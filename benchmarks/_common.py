@@ -1,0 +1,35 @@
+"""Shared benchmark plumbing.
+
+Each benchmark regenerates one of the paper's tables/figures. The wall
+time pytest-benchmark reports is the cost of the whole simulation; the
+scientific output is the table, which is printed and persisted under
+``benchmarks/results/`` so it survives pytest's output capturing.
+
+Set ``REPRO_BENCH_FULL=1`` for the exact paper-scale configurations
+(longer); the default trims trial counts, not scenario structure.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def full_scale() -> bool:
+    return os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result table and persist it to benchmarks/results/."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n",
+                                             encoding="utf-8")
+
+
+def once(benchmark, func):
+    """Run ``func`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Fig. 3 (latency vs message loss)."""
+
+from benchmarks._common import emit, full_scale, once
+from repro.experiments.fig3_latency import Fig3Config, run_fig3
+
+
+def _config() -> Fig3Config:
+    if full_scale():
+        return Fig3Config.paper()
+    # Same sweep, fewer commits per point.
+    return Fig3Config(trials=40)
+
+
+def test_fig3_latency_vs_loss(benchmark):
+    result = once(benchmark, lambda: run_fig3(_config()))
+    emit("fig3_latency", result.table().format())
+    result.check_shape()
+    # Headline: "Fast Raft is twice as fast as classic Raft if message
+    # loss is below 5%".
+    low_loss = [p for p in result.points if p.loss_rate < 0.05]
+    assert all(p.speedup >= 1.5 for p in low_loss)

@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Fig. 4 (silent-leave latency timeline)."""
+
+from benchmarks._common import emit, full_scale, once
+from repro.experiments.fig4_churn import Fig4Config, run_fig4
+from repro.metrics.summary import summarize
+
+
+def _config() -> Fig4Config:
+    if full_scale():
+        return Fig4Config.paper()
+    return Fig4Config(warmup_commits=25, total_commits=120)
+
+
+def test_fig4_silent_leave_timeline(benchmark):
+    result = once(benchmark, lambda: run_fig4(_config()))
+    table = result.table()
+    # Also persist the raw timeline (the figure's scatter series).
+    series = "\n".join(f"{offset:+.3f}s  {latency * 1000:7.1f} ms"
+                       for offset, latency in result.timeline)
+    emit("fig4_churn", table.format() + "\n\ntimeline:\n" + series)
+    result.check_shape()
+    pre, _, _ = result.phase_latencies()
+    # Paper: 50-100 ms band before the leave.
+    assert 0.030 <= summarize(pre).mean <= 0.110

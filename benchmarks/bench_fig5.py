@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Fig. 5 (throughput vs cluster count)."""
+
+from benchmarks._common import emit, full_scale, once
+from repro.experiments.fig5_throughput import Fig5Config, run_fig5
+
+
+def _config() -> Fig5Config:
+    if full_scale():
+        return Fig5Config.paper()
+    # Same sweep, shorter/fewer trials.
+    return Fig5Config(trial_duration=60.0, trials=2, warmup=15.0)
+
+
+def test_fig5_throughput_vs_clusters(benchmark):
+    result = once(benchmark, lambda: run_fig5(_config()))
+    emit("fig5_throughput", result.table().format())
+    result.check_shape()
+    # Headline: "C-Raft achieves 5x the throughput of Raft" at 10
+    # clusters; accept the ballpark (>= 3x).
+    assert result.points[-1].speedup >= 3.0

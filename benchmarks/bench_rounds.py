@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the Figs. 1-2 message-round validation."""
+
+from benchmarks._common import emit, once
+from repro.experiments.rounds import RoundsConfig, run_rounds
+
+
+def test_rounds_message_flow(benchmark):
+    result = once(benchmark, lambda: run_rounds(RoundsConfig.paper()))
+    emit("figs_1_2_rounds", result.table().format())
+    result.check_shape()
+    assert result.classic_commit_hops == 3
+    assert result.fast_commit_hops == 2

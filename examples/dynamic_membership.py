@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Dynamic membership: joins, announced leaves, and silent leaves.
+
+Walks through the paper's Section IV-D mechanisms on a live cluster:
+
+1. a new site joins by sending join requests (caught up as a non-voting
+   member first, then added by a committed configuration entry);
+2. a member leaves gracefully with a leave request;
+3. two members vanish silently -- the leader's member timeout detects
+   them and reconfigures, shrinking the fast quorum until the fast track
+   works again (the Fig. 4 scenario).
+
+Run:  python examples/dynamic_membership.py
+"""
+
+from repro import Configuration, build_cluster
+from repro.fastraft.server import FastRaftServer
+from repro.harness.checkers import run_safety_checks
+from repro.harness.faults import FaultInjector
+from repro.harness.workload import ClosedLoopWorkload
+from repro.net.loss import BernoulliLoss
+from repro.smr.kv import KVStateMachine
+
+
+def show_config(cluster, label):
+    leader = cluster.servers[cluster.leader()]
+    config = leader.engine.configuration
+    print(f"{label}: members={list(config.members)} "
+          f"(classic quorum {config.classic_quorum}, "
+          f"fast quorum {config.fast_quorum})")
+
+
+def main() -> None:
+    cluster = build_cluster(FastRaftServer, n_sites=4, seed=3,
+                            loss=BernoulliLoss(0.05),
+                            state_machine_factory=KVStateMachine)
+    cluster.start_all()
+    cluster.run_until_leader()
+    show_config(cluster, "bootstrap")
+
+    # Background traffic so membership changes contend with real load.
+    client = cluster.add_client(site="n0")
+    workload = ClosedLoopWorkload(client, max_requests=300)
+    workload.start()
+    cluster.run_until(lambda: workload.completed_count >= 10, timeout=30.0)
+
+    # --- 1. a new site joins -----------------------------------------
+    print("\nn9 requests to join ...")
+    joiner = FastRaftServer(
+        name="n9", loop=cluster.loop, network=cluster.network,
+        store=cluster.fabric.store_for("n9"),
+        bootstrap_config=Configuration(tuple(cluster.servers)),
+        timing=cluster.timing, rng=cluster.rng, trace=cluster.trace,
+        state_machine_factory=KVStateMachine)
+    cluster.add_server(joiner)
+    joiner.start()
+    cluster.run_until(
+        lambda: "n9" in cluster.servers[cluster.leader()]
+        .engine.configuration.members, timeout=30.0)
+    show_config(cluster, "after join")
+    print(f"n9 caught up to commit index {joiner.engine.commit_index}")
+
+    # --- 2. an announced leave ---------------------------------------
+    leaver = next(n for n in ("n1", "n2", "n3")
+                  if n != cluster.leader())
+    print(f"\n{leaver} announces its departure ...")
+    faults = FaultInjector(cluster)
+    faults.announced_leave(leaver)
+    cluster.run_until(
+        lambda: leaver not in cluster.servers[cluster.leader()]
+        .engine.configuration.members, timeout=30.0)
+    show_config(cluster, "after announced leave")
+
+    # --- 3. silent leaves (Fig. 4) ------------------------------------
+    leader_name = cluster.leader()
+    victims = [n for n in cluster.servers
+               if n != leader_name and n != leaver and n != "n0"
+               and n in cluster.servers[leader_name]
+               .engine.configuration.members][:2]
+    print(f"\n{victims} leave silently; waiting for the member "
+          f"timeout ({cluster.timing.member_timeout_beats} missed "
+          f"heartbeat responses) ...")
+    for victim in victims:
+        faults.silent_leave(victim)
+    cluster.run_until(
+        lambda: all(v not in cluster.servers[cluster.leader()]
+                    .engine.configuration.members for v in victims),
+        timeout=60.0)
+    show_config(cluster, "after silent-leave detection")
+
+    cluster.run_until(lambda: workload.done, timeout=300.0)
+    print(f"\nworkload finished: {workload.completed_count} commits "
+          f"across all membership changes")
+    run_safety_checks(cluster.servers.values(), cluster.trace)
+    print("safety checks passed")
+
+
+if __name__ == "__main__":
+    main()

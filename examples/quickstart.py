@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Quickstart: a five-site Fast Raft cluster committing entries.
+
+Builds the paper's basic setup (five sites, one region, 100 ms leader
+heartbeat), commits ten key-value entries through a closed-loop proposer,
+and prints per-entry commit latency -- at low loss every entry should ride
+the fast track at roughly half the classic-Raft latency.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import build_cluster
+from repro.fastraft.server import FastRaftServer
+from repro.harness.checkers import run_safety_checks
+from repro.smr.kv import KVCommand, KVStateMachine
+
+
+def main() -> None:
+    cluster = build_cluster(FastRaftServer, n_sites=5, seed=7,
+                            state_machine_factory=KVStateMachine)
+    cluster.start_all()
+    leader = cluster.run_until_leader()
+    print(f"leader elected: {leader} at t={cluster.loop.now():.3f}s")
+
+    client = cluster.add_client(site="n0")
+    for i in range(10):
+        record = cluster.propose_and_wait(
+            client, KVCommand.put(f"key{i}", i * 10))
+        print(f"  put key{i}: index={record.commit_index}, "
+              f"latency={record.latency * 1000:.1f} ms")
+
+    # Let replication quiesce, then inspect a replica.
+    cluster.run_for(1.0)
+    replica = cluster.servers["n3"]
+    print(f"\nreplica n3 state: {replica.state_machine.snapshot()}")
+    print(f"commit indices:   {cluster.commit_indices()}")
+
+    fast = len([e for e in cluster.trace.events
+                if e.category == "fastraft.fast_commit"])
+    print(f"fast-track commits at the leader: {fast}")
+
+    run_safety_checks(cluster.servers.values(), cluster.trace)
+    print("safety checks passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""repro: a reproduction of Fast Raft and C-Raft.
+
+Implements the consensus algorithms from "A Hierarchical Model for Fast
+Distributed Consensus in Dynamic Networks" (Castiglia, Goldberg,
+Patterson; ICDCS 2020) on a deterministic discrete-event simulator, along
+with classic Raft as the paper's baseline, a replicated state-machine
+layer, fault injection, and the full experiment suite regenerating the
+paper's figures.
+
+Quickstart::
+
+    from repro import build_cluster
+    from repro.fastraft import FastRaftServer
+
+    cluster = build_cluster(FastRaftServer, n_sites=5, seed=7)
+    cluster.start_all()
+    cluster.run_until_leader()
+    client = cluster.add_client(site="n0")
+    record = cluster.propose_and_wait(client, {"op": "put", "key": "a",
+                                               "value": 1})
+    print(f"committed at index {record.commit_index} "
+          f"in {record.latency * 1000:.1f} ms")
+"""
+
+from repro.consensus.config import Configuration
+from repro.consensus.entry import EntryKind, InsertedBy, LogEntry
+from repro.consensus.timing import TimingConfig
+from repro.harness.builder import Cluster, build_cluster
+from repro.harness.faults import FaultInjector
+from repro.net.latency import (
+    ConstantLatency,
+    RegionLatencyModel,
+    UniformLatency,
+)
+from repro.net.loss import BernoulliLoss, NoLoss
+from repro.raft.server import RaftServer
+from repro.sim.loop import MS, SimLoop
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BernoulliLoss",
+    "Cluster",
+    "Configuration",
+    "ConstantLatency",
+    "EntryKind",
+    "FaultInjector",
+    "InsertedBy",
+    "LogEntry",
+    "MS",
+    "NoLoss",
+    "RaftServer",
+    "RegionLatencyModel",
+    "SimLoop",
+    "TimingConfig",
+    "UniformLatency",
+    "build_cluster",
+    "__version__",
+]

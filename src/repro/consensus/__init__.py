@@ -1,0 +1,42 @@
+"""Consensus common layer shared by classic Raft, Fast Raft, and C-Raft.
+
+Contains the vocabulary types of the paper's Section II--IV: log entries
+(with Fast Raft's ``insertedBy`` mark), the replicated log (supporting
+insert-at-index with holes and overwrite, which classic Raft never needs
+but Fast Raft requires), membership configurations with classic and fast
+quorum sizes, timing parameters, and every RPC message type.
+"""
+
+from repro.consensus.config import Configuration
+from repro.consensus.entry import (
+    BatchPayload,
+    ConfigPayload,
+    EntryKind,
+    GlobalStatePayload,
+    InsertedBy,
+    LogEntry,
+    make_entry_id,
+)
+from repro.consensus.log import RaftLog
+from repro.consensus.quorum import (
+    classic_quorum_size,
+    fast_quorum_size,
+    quorum_intersection_ok,
+)
+from repro.consensus.timing import TimingConfig
+
+__all__ = [
+    "BatchPayload",
+    "ConfigPayload",
+    "Configuration",
+    "EntryKind",
+    "GlobalStatePayload",
+    "InsertedBy",
+    "LogEntry",
+    "RaftLog",
+    "TimingConfig",
+    "classic_quorum_size",
+    "fast_quorum_size",
+    "make_entry_id",
+    "quorum_intersection_ok",
+]

@@ -1,0 +1,88 @@
+"""Membership configurations.
+
+A configuration is the set of voting members plus derived quorum sizes.
+Per the paper, each site obeys the configuration from the **last inserted**
+CONFIG entry in its log (insertion, not commit, is what activates it), and
+only one site may join or leave per configuration change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.consensus.quorum import classic_quorum_size, fast_quorum_size
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """Immutable voting-member set with quorum sizes."""
+
+    members: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(set(self.members)))
+        if not ordered:
+            raise ConfigurationError("configuration must have >= 1 member")
+        if len(ordered) != len(self.members):
+            raise ConfigurationError(
+                f"duplicate members in configuration: {self.members!r}")
+        object.__setattr__(self, "members", ordered)
+
+    # ------------------------------------------------------------------
+    # Quorums
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    @property
+    def classic_quorum(self) -> int:
+        return classic_quorum_size(self.size)
+
+    @property
+    def fast_quorum(self) -> int:
+        return fast_quorum_size(self.size)
+
+    def is_classic_quorum(self, voters: set[str] | int) -> bool:
+        count = voters if isinstance(voters, int) else len(
+            set(voters) & set(self.members))
+        return count >= self.classic_quorum
+
+    def is_fast_quorum(self, voters: set[str] | int) -> bool:
+        count = voters if isinstance(voters, int) else len(
+            set(voters) & set(self.members))
+        return count >= self.fast_quorum
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def __contains__(self, name: str) -> bool:
+        return name in self.members
+
+    def others(self, name: str) -> tuple[str, ...]:
+        """All members except ``name``."""
+        return tuple(m for m in self.members if m != name)
+
+    def with_member(self, name: str) -> "Configuration":
+        """Configuration after ``name`` joins (single-site change)."""
+        if name in self.members:
+            raise ConfigurationError(f"{name!r} is already a member")
+        return Configuration(self.members + (name,))
+
+    def without_member(self, name: str) -> "Configuration":
+        """Configuration after ``name`` leaves (single-site change)."""
+        if name not in self.members:
+            raise ConfigurationError(f"{name!r} is not a member")
+        if self.size == 1:
+            raise ConfigurationError("cannot remove the last member")
+        return Configuration(tuple(m for m in self.members if m != name))
+
+    def single_change_from(self, other: "Configuration") -> bool:
+        """True if this config differs from ``other`` by at most one site
+        (the paper's safety precondition for reconfiguration)."""
+        mine, theirs = set(self.members), set(other.members)
+        return len(mine.symmetric_difference(theirs)) <= 1
+
+    def __repr__(self) -> str:
+        return f"Configuration({list(self.members)!r})"

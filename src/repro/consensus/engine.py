@@ -1,0 +1,441 @@
+"""Shared consensus-engine machinery.
+
+An *engine* is a transport-agnostic protocol state machine: it never
+touches the network directly, only an injected ``send`` callable and the
+simulation loop for timers. This is what lets C-Raft run one engine for
+intra-cluster consensus and a second engine for inter-cluster consensus
+inside the same site, exactly as the paper layers Fast Raft on Fast Raft.
+
+:class:`BaseEngine` implements everything classic Raft and Fast Raft
+share: persistent term/vote handling, role transitions, election timers
+and vote counting, configuration tracking from the log, commit-index
+advancement with ordered apply callbacks, and the configuration-membership
+gate ("Messages from sites not listed in the configuration are ignored").
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.consensus.config import Configuration
+from repro.consensus.entry import LogEntry
+from repro.consensus.log import RaftLog
+from repro.consensus.messages import (
+    AppendEntries,
+    AppendEntriesResponse,
+    ClientRequest,
+    CommitNotice,
+    JoinAccepted,
+    JoinRequest,
+    LeaveAccepted,
+    LeaveRequest,
+    NotInConfiguration,
+    ProposeEntry,
+    ProposeToLeader,
+    RequestVote,
+    RequestVoteResponse,
+    VoteEntry,
+)
+from repro.consensus.timing import TimingConfig
+from repro.errors import ConsensusError
+from repro.sim.loop import SimLoop
+from repro.sim.timers import RestartableTimer, randomized_timeout
+from repro.sim.trace import TraceRecorder
+from repro.storage.stable import StableStore
+
+
+class Role(enum.Enum):
+    FOLLOWER = "follower"
+    CANDIDATE = "candidate"
+    LEADER = "leader"
+
+
+@dataclass
+class EngineContext:
+    """Everything an engine needs from its host site."""
+
+    name: str
+    loop: SimLoop
+    send: Callable[[str, Any], None]
+    rng: random.Random
+    trace: TraceRecorder
+    store: StableStore
+    timing: TimingConfig
+    #: Disambiguates engines in traces when one site runs several (C-Raft
+    #: runs one per level: the cluster name locally, "global" above).
+    scope: str = "main"
+    #: Called for every committed entry, in log order.
+    on_apply: Callable[[int, LogEntry], None] = lambda index, entry: None
+    #: Called when an entry originated by this site commits (client reply
+    #: path). May fire more than once per entry id; receivers dedup.
+    on_origin_commit: Callable[[LogEntry, int], None] = lambda entry, index: None
+    #: Called after every role transition (C-Raft reacts to local
+    #: leadership changes by joining/leaving the global configuration).
+    on_role_change: Callable[["Role"], None] = lambda role: None
+    #: Called when the engine adopts a new configuration.
+    on_config_change: Callable[[Configuration], None] = lambda config: None
+
+
+#: Message types consensus-gated on sender membership.
+_GATED_TYPES = (AppendEntries, AppendEntriesResponse, RequestVote,
+                RequestVoteResponse, VoteEntry, ProposeEntry,
+                ProposeToLeader)
+
+
+class BaseEngine:
+    """Common state and behaviour for the Raft-family engines."""
+
+    #: Subclasses set this for traces/metrics ("raft", "fastraft", ...).
+    protocol_name = "base"
+
+    def __init__(self, ctx: EngineContext,
+                 bootstrap_config: Configuration) -> None:
+        self.ctx = ctx
+        self.timing = ctx.timing
+        # --- persistent state (survives crashes via the stable store) ---
+        store = ctx.store
+        self.log: RaftLog = store.get("log")
+        if self.log is None:
+            self.log = RaftLog()
+            store.set("log", self.log)
+        if "bootstrap_config" not in store:
+            store.set("bootstrap_config", bootstrap_config)
+        self._bootstrap_config: Configuration = store.get("bootstrap_config")
+        self.current_term: int = store.get("current_term", 0)
+        self.voted_for: str | None = store.get("voted_for", None)
+        # --- volatile state ---
+        self.commit_index = 0
+        self.role = Role.FOLLOWER
+        self.leader_id: str | None = None
+        self._votes_received: set[str] = set()
+        self._configuration = self._derive_configuration()
+        # Extra senders whose consensus messages are accepted although they
+        # are not configuration members (the leader's catch-up targets).
+        self._extra_allowed: set[str] = set()
+        self._election_timer = RestartableTimer(ctx.loop,
+                                                self._on_election_timeout)
+        self._stopped = False
+        self._dispatch = self._build_dispatch()
+
+    # ------------------------------------------------------------------
+    # Convenience accessors
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.ctx.name
+
+    @property
+    def configuration(self) -> Configuration:
+        return self._configuration
+
+    @property
+    def is_leader(self) -> bool:
+        return self.role is Role.LEADER
+
+    @property
+    def is_member(self) -> bool:
+        return self.name in self._configuration
+
+    def now(self) -> float:
+        return self.ctx.loop.now()
+
+    def _trace(self, category: str, **payload: Any) -> None:
+        self.ctx.trace.record(self.now(), self.name,
+                              f"{self.protocol_name}.{category}",
+                              scope=self.ctx.scope, **payload)
+
+    def _send(self, dst: str, message: Any) -> None:
+        self.ctx.send(dst, message)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin operating as a follower."""
+        self._stopped = False
+        self._trace("start", term=self.current_term,
+                    members=self._configuration.members)
+        self._arm_election_timer()
+
+    def stop(self) -> None:
+        """Cancel all timers (crash or shutdown). State is preserved."""
+        self._stopped = True
+        self._election_timer.cancel()
+        self._stop_role_timers()
+
+    def _stop_role_timers(self) -> None:
+        """Cancel role-specific timers; subclasses extend."""
+
+    # ------------------------------------------------------------------
+    # Persistence helpers
+    # ------------------------------------------------------------------
+    def _persist_term_vote(self) -> None:
+        self.ctx.store.set("current_term", self.current_term)
+        self.ctx.store.set("voted_for", self.voted_for)
+
+    def _derive_configuration(self) -> Configuration:
+        """Highest-versioned CONFIG entry wins; else the bootstrap config
+        (see ConfigPayload.version for why not simply "last inserted")."""
+        best = self.log.best_config_entry()
+        if best is None:
+            return self._bootstrap_config
+        __, entry = best
+        return Configuration(entry.payload.members)
+
+    def _refresh_configuration(self) -> None:
+        new_config = self._derive_configuration()
+        if new_config != self._configuration:
+            self._configuration = new_config
+            self._trace("config.adopt", members=new_config.members)
+            self._on_configuration_changed()
+            self.ctx.on_config_change(new_config)
+
+    def _on_configuration_changed(self) -> None:
+        """Hook for subclasses (e.g. leader drops state for removed sites)."""
+
+    # ------------------------------------------------------------------
+    # Message dispatch
+    # ------------------------------------------------------------------
+    def _build_dispatch(self) -> dict[type, Callable[[Any, str], None]]:
+        return {
+            AppendEntries: self._handle_append_entries,
+            AppendEntriesResponse: self._handle_append_entries_response,
+            RequestVote: self._handle_request_vote,
+            RequestVoteResponse: self._handle_request_vote_response,
+            CommitNotice: self._handle_commit_notice,
+            ClientRequest: self._handle_client_request,
+            JoinRequest: self._handle_join_request,
+            LeaveRequest: self._handle_leave_request,
+            JoinAccepted: self._handle_join_accepted,
+            LeaveAccepted: self._handle_leave_accepted,
+            NotInConfiguration: self._handle_not_in_configuration,
+        }
+
+    def handle(self, message: Any, sender: str) -> None:
+        """Entry point for every delivered message."""
+        if self._stopped:
+            return
+        if not self._sender_allowed(message, sender):
+            self._on_gated_message(message, sender)
+            return
+        handler = self._dispatch.get(type(message))
+        if handler is None:
+            raise ConsensusError(
+                f"{self.name}: no handler for {type(message).__name__}")
+        handler(message, sender)
+
+    def _sender_allowed(self, message: Any, sender: str) -> bool:
+        if not isinstance(message, _GATED_TYPES):
+            return True
+        if sender == self.name or sender in self._configuration:
+            return True
+        if sender in self._extra_allowed:
+            return True
+        # A site that is not (or no longer) a voting member accepts
+        # catch-up AppendEntries from anyone: its own configuration view
+        # is stale by definition, and stale *leaders* are rejected by the
+        # term check inside the handler.
+        if isinstance(message, AppendEntries) and not self.is_member:
+            return True
+        return False
+
+    def _on_gated_message(self, message: Any, sender: str) -> None:
+        """Tell an evicted site it is out of the configuration so it can
+        rejoin (paper Section IV-D: such a site "will need to send a join
+        request to return to the configuration")."""
+        self._trace("gate.ignored", sender=sender,
+                    type=type(message).__name__)
+        if isinstance(message, (RequestVote, VoteEntry, AppendEntries)):
+            self._send(sender, NotInConfiguration(
+                term=self.current_term,
+                members=self._configuration.members,
+                leader_hint=self.leader_id))
+
+    # ------------------------------------------------------------------
+    # Term handling
+    # ------------------------------------------------------------------
+    def _observe_term(self, term: int, leader_hint: str | None = None) -> None:
+        """Adopt a higher term and fall back to follower if needed."""
+        if term > self.current_term:
+            self.current_term = term
+            self.voted_for = None
+            self._persist_term_vote()
+            self._become_follower(leader_hint)
+
+    # ------------------------------------------------------------------
+    # Role transitions
+    # ------------------------------------------------------------------
+    def _become_follower(self, leader_hint: str | None = None) -> None:
+        previous = self.role
+        self.role = Role.FOLLOWER
+        if leader_hint is not None:
+            self.leader_id = leader_hint
+        self._votes_received.clear()
+        self._stop_role_timers()
+        if previous is not Role.FOLLOWER:
+            self._trace("role.follower", term=self.current_term)
+            self.ctx.on_role_change(Role.FOLLOWER)
+        self._arm_election_timer()
+
+    def _become_candidate(self) -> None:
+        self.role = Role.CANDIDATE
+        self.current_term += 1
+        self.voted_for = self.name
+        self._persist_term_vote()
+        self.leader_id = None
+        self._votes_received = {self.name}
+        self._trace("role.candidate", term=self.current_term)
+        request = self._make_vote_request()
+        for member in self._configuration.others(self.name):
+            self._send(member, request)
+        self._arm_election_timer()
+        self._maybe_win_election()  # single-member configuration
+
+    def _become_leader(self) -> None:
+        self.role = Role.LEADER
+        self.leader_id = self.name
+        self._election_timer.cancel()
+        self._trace("role.leader", term=self.current_term)
+        self._init_leader_state()
+        self.ctx.on_role_change(Role.LEADER)
+
+    # Subclass responsibilities ----------------------------------------
+    def _make_vote_request(self) -> RequestVote:
+        raise NotImplementedError
+
+    def _init_leader_state(self) -> None:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Election timer
+    # ------------------------------------------------------------------
+    def _arm_election_timer(self) -> None:
+        timeout = randomized_timeout(self.ctx.rng,
+                                     self.timing.election_timeout_min,
+                                     self.timing.election_timeout_max)
+        self._election_timer.reset(timeout)
+
+    def _on_election_timeout(self) -> None:
+        if self._stopped or self.role is Role.LEADER:
+            return
+        if not self.is_member:
+            # Evicted (or never-admitted) sites cannot win an election;
+            # they wait for membership handling instead of spamming votes.
+            self._on_election_timeout_as_nonmember()
+            return
+        self._trace("election.timeout", term=self.current_term)
+        self._become_candidate()
+
+    def _on_election_timeout_as_nonmember(self) -> None:
+        """Hook: Fast Raft launches a (re)join request here."""
+        self._arm_election_timer()
+
+    # ------------------------------------------------------------------
+    # Elections: voting
+    # ------------------------------------------------------------------
+    def _handle_request_vote(self, msg: RequestVote, sender: str) -> None:
+        # "Sites that receive the RequestVote message immediately move to
+        # the new term."
+        self._observe_term(msg.term)
+        if msg.term < self.current_term:
+            self._send(sender, self._make_vote_response(False))
+            return
+        can_vote = self.voted_for in (None, msg.candidate_id)
+        granted = can_vote and self._candidate_up_to_date(msg)
+        if granted:
+            self.voted_for = msg.candidate_id
+            self._persist_term_vote()
+            self._arm_election_timer()
+        self._trace("election.vote", candidate=msg.candidate_id,
+                    term=msg.term, granted=granted)
+        self._send(sender, self._make_vote_response(granted))
+
+    def _candidate_up_to_date(self, msg: RequestVote) -> bool:
+        raise NotImplementedError
+
+    def _make_vote_response(self, granted: bool) -> RequestVoteResponse:
+        return RequestVoteResponse(term=self.current_term,
+                                   vote_granted=granted, voter=self.name)
+
+    def _handle_request_vote_response(self, msg: RequestVoteResponse,
+                                      sender: str) -> None:
+        self._observe_term(msg.term)
+        if self.role is not Role.CANDIDATE or msg.term < self.current_term:
+            return
+        if msg.vote_granted and msg.voter in self._configuration:
+            self._votes_received.add(msg.voter)
+            self._absorb_vote_response(msg)
+            self._maybe_win_election()
+
+    def _absorb_vote_response(self, msg: RequestVoteResponse) -> None:
+        """Hook: Fast Raft collects self-approved entries for recovery."""
+
+    def _maybe_win_election(self) -> None:
+        if self.role is not Role.CANDIDATE:
+            return
+        if self._configuration.is_classic_quorum(self._votes_received):
+            self._trace("election.won", term=self.current_term,
+                        votes=sorted(self._votes_received))
+            self._become_leader()
+
+    # ------------------------------------------------------------------
+    # Commit advancement
+    # ------------------------------------------------------------------
+    def _advance_commit_index(self, new_commit: int) -> None:
+        """Move ``commit_index`` to ``new_commit``, applying in order.
+
+        Stops early at a hole: a site never considers an entry committed
+        before holding it (contiguity guard; see DESIGN.md).
+        """
+        while self.commit_index < new_commit:
+            next_index = self.commit_index + 1
+            entry = self.log.get(next_index)
+            if entry is None:
+                break
+            self.commit_index = next_index
+            self._trace("commit", index=next_index, entry_id=entry.entry_id,
+                        kind=entry.kind.value, term=entry.term)
+            self._on_entry_committed(next_index, entry)
+            self.ctx.on_apply(next_index, entry)
+            if entry.origin == self.name:
+                self.ctx.on_origin_commit(entry, next_index)
+
+    def _on_entry_committed(self, index: int, entry: LogEntry) -> None:
+        """Hook: leaders notify origins, finish config changes, etc."""
+
+    # ------------------------------------------------------------------
+    # Default no-op handlers (overridden where meaningful)
+    # ------------------------------------------------------------------
+    def _handle_append_entries(self, msg: AppendEntries, sender: str) -> None:
+        raise NotImplementedError
+
+    def _handle_append_entries_response(self, msg: AppendEntriesResponse,
+                                        sender: str) -> None:
+        raise NotImplementedError
+
+    def _handle_commit_notice(self, msg: CommitNotice, sender: str) -> None:
+        entry = self.log.get(msg.index)
+        if entry is not None and entry.entry_id == msg.entry_id:
+            self.ctx.on_origin_commit(entry, msg.index)
+
+    def _handle_client_request(self, msg: ClientRequest, sender: str) -> None:
+        raise NotImplementedError
+
+    def _handle_join_request(self, msg: JoinRequest, sender: str) -> None:
+        self._trace("join.unsupported", site=msg.site)
+
+    def _handle_leave_request(self, msg: LeaveRequest, sender: str) -> None:
+        self._trace("leave.unsupported", site=msg.site)
+
+    def _handle_join_accepted(self, msg: JoinAccepted, sender: str) -> None:
+        pass
+
+    def _handle_leave_accepted(self, msg: LeaveAccepted, sender: str) -> None:
+        pass
+
+    def _handle_not_in_configuration(self, msg: NotInConfiguration,
+                                     sender: str) -> None:
+        pass

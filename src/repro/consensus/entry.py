@@ -1,0 +1,157 @@
+"""Log entries.
+
+A :class:`LogEntry` carries, per the paper's "Contents of a log entry":
+
+- ``data`` -- here split into ``kind`` + ``payload`` so configuration
+  entries, C-Raft global-state entries, batches, and no-ops are explicit,
+- ``term`` -- the term in which the holding site inserted it,
+- ``inserted_by`` -- ``SELF`` or ``LEADER`` (new in Fast Raft).
+
+Entries also carry an ``entry_id`` (``"<origin>:<request id>"``) and the
+``origin`` site. The id gives "the same entry" a precise meaning for vote
+counting and duplicate suppression; the origin tells any leader (including
+one elected after a failure) whom to notify on commit.
+
+Entries are immutable; state changes (leader approval, restamping) create
+a new object via :func:`dataclasses.replace`-style helpers, which keeps
+log snapshots safe to share across the simulation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+
+class EntryKind(enum.Enum):
+    """What a log entry's payload means."""
+
+    DATA = "data"                  # application command
+    NOOP = "noop"                  # leader filler / term establishment
+    CONFIG = "config"              # membership configuration change
+    GLOBAL_STATE = "global_state"  # C-Raft local-log replication of global state
+    BATCH = "batch"                # C-Raft global-log batch of local entries
+
+
+class InsertedBy(enum.Enum):
+    """Fast Raft's provenance mark (``insertedBy`` in the paper)."""
+
+    SELF = "self"      # inserted on receipt of a proposal (self-approved)
+    LEADER = "leader"  # inserted or confirmed by the term's leader
+
+
+def make_entry_id(origin: str, request_id: int | str) -> str:
+    """Canonical entry id: unique as long as origins number their requests."""
+    return f"{origin}:{request_id}"
+
+
+_NOOP_COUNTER = 0
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One slot of the replicated log."""
+
+    entry_id: str
+    kind: EntryKind
+    payload: Any
+    origin: str
+    term: int
+    inserted_by: InsertedBy
+
+    def with_mark(self, term: int, inserted_by: InsertedBy) -> "LogEntry":
+        """Copy with new term stamp and provenance (leader approval)."""
+        return dataclasses.replace(self, term=term, inserted_by=inserted_by)
+
+    @property
+    def is_config(self) -> bool:
+        return self.kind is EntryKind.CONFIG
+
+    @property
+    def is_noop(self) -> bool:
+        return self.kind is EntryKind.NOOP
+
+    def same_entry(self, other: "LogEntry") -> bool:
+        """Paper's "same entry": identity of the proposed value, not of the
+        (term, provenance) stamps."""
+        return self.entry_id == other.entry_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"LogEntry({self.entry_id!r}, {self.kind.value}, "
+                f"t={self.term}, {self.inserted_by.value})")
+
+
+def make_noop(origin: str, term: int,
+              inserted_by: InsertedBy = InsertedBy.LEADER) -> LogEntry:
+    """A fresh no-op entry (unique id each call)."""
+    global _NOOP_COUNTER
+    _NOOP_COUNTER += 1
+    return LogEntry(entry_id=make_entry_id(origin, f"noop{_NOOP_COUNTER}"),
+                    kind=EntryKind.NOOP, payload=None, origin=origin,
+                    term=term, inserted_by=inserted_by)
+
+
+@dataclass(frozen=True)
+class ConfigPayload:
+    """Payload of a CONFIG entry: the full voting-member list.
+
+    ``version`` increases with every configuration entry a leader
+    creates, and sites adopt the highest version present in their log
+    rather than the paper's "last appended". The rules agree while
+    changes serialize strictly (the paper's assumption); versioning stays
+    correct when the degraded reconfiguration path (Section IV-F
+    liveness) has to run ahead of a stalled earlier change that could
+    still be decided afterwards (see DESIGN.md).
+    """
+
+    members: tuple[str, ...]
+    version: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "members", tuple(sorted(self.members)))
+
+
+@dataclass(frozen=True)
+class GlobalStatePayload:
+    """Payload of a C-Raft GLOBAL_STATE entry in a *local* log.
+
+    Replicates the cluster leader's global-log inserts so a future local
+    leader inherits the cluster's inter-cluster consensus state. One
+    payload may carry several ``(global index, global entry)`` pairs: a
+    global AppendEntries batch is persisted through one local consensus
+    round rather than one per entry (pure batching; the paper gates each
+    insert individually, with identical semantics).
+
+    ``global_commit`` is the gating leader's global commit index at
+    creation time. Cluster members advance their *effective* global commit
+    only from applied state entries, never from the AppendEntries
+    piggyback alone: state entries are totally ordered by the local log,
+    so by the time a member sees ``global_commit >= g`` every corrective
+    insert the leader performed below ``g`` is already in the member's
+    view -- the finality invariant that makes applying safe (DESIGN.md,
+    "Global commit propagation"). A payload with no inserts is a pure
+    commit marker.
+    """
+
+    inserts: tuple[tuple[int, "LogEntry"], ...]
+    global_commit: int = 0
+
+
+@dataclass(frozen=True)
+class BatchPayload:
+    """Payload of a C-Raft BATCH entry in the *global* log.
+
+    ``entries`` are the locally committed DATA entries being published
+    cluster-to-cluster; ``local_range`` records the local-log span for
+    bookkeeping and tests.
+    """
+
+    cluster: str
+    sequence: int
+    entries: tuple[LogEntry, ...]
+    local_range: tuple[int, int]
+
+    def __len__(self) -> int:
+        return len(self.entries)

@@ -1,0 +1,198 @@
+"""The replicated log.
+
+Indices start at 1 (index 0 is the empty-log sentinel with term 0, as in
+the Raft papers). Unlike classic Raft's append-only list, Fast Raft inserts
+entries at arbitrary indices -- "site a may miss a proposal for an entry at
+index j < i ... leaving index j empty" -- and overwrites entries when the
+leader approves a different one. The log is therefore a sparse map with
+explicit support for holes, overwrite, and (for the classic baseline)
+suffix truncation.
+
+An ``entry_id -> indices`` reverse map supports duplicate detection
+("If entry is duplicate and committed, notify proposer").
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.consensus.entry import EntryKind, InsertedBy, LogEntry
+from repro.errors import LogError
+
+
+class RaftLog:
+    """Sparse 1-indexed log with provenance-aware slots."""
+
+    def __init__(self) -> None:
+        self._slots: dict[int, LogEntry] = {}
+        self._last_index = 0
+        self._id_indices: dict[str, set[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+    @property
+    def last_index(self) -> int:
+        """Highest occupied index (``lastLogIndex``), 0 when empty."""
+        return self._last_index
+
+    def get(self, index: int) -> LogEntry | None:
+        """Entry at ``index`` or None (hole / out of range)."""
+        return self._slots.get(index)
+
+    def has(self, index: int) -> bool:
+        return index in self._slots
+
+    def term_at(self, index: int) -> int:
+        """Term of the entry at ``index``; 0 for the index-0 sentinel.
+
+        Raises :class:`LogError` for a hole, because callers comparing
+        terms at holes are making a protocol error.
+        """
+        if index == 0:
+            return 0
+        entry = self._slots.get(index)
+        if entry is None:
+            raise LogError(f"no entry at index {index}")
+        return entry.term
+
+    def __len__(self) -> int:
+        """Number of occupied slots (holes excluded)."""
+        return len(self._slots)
+
+    def __iter__(self) -> Iterator[tuple[int, LogEntry]]:
+        """Iterate occupied ``(index, entry)`` pairs in index order."""
+        for index in sorted(self._slots):
+            yield index, self._slots[index]
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert(self, index: int, entry: LogEntry) -> None:
+        """Place ``entry`` at ``index``, overwriting any occupant.
+
+        Fast Raft semantics: followers insert proposals into empty slots
+        and the leader's AppendEntries overwrites conflicting ones. The
+        caller decides *whether* overwriting is legal; the log only
+        records.
+        """
+        if index < 1:
+            raise LogError(f"log indices start at 1: {index!r}")
+        old = self._slots.get(index)
+        if old is not None:
+            self._unindex(old.entry_id, index)
+        self._slots[index] = entry
+        self._index_id(entry.entry_id, index)
+        if index > self._last_index:
+            self._last_index = index
+
+    def append(self, entry: LogEntry) -> int:
+        """Classic-Raft append at ``last_index + 1``; returns the index."""
+        index = self._last_index + 1
+        self.insert(index, entry)
+        return index
+
+    def truncate_from(self, index: int) -> None:
+        """Remove every entry at ``index`` and above (classic-Raft conflict
+        resolution; Fast Raft never truncates, it overwrites)."""
+        if index < 1:
+            raise LogError(f"cannot truncate from index {index!r}")
+        doomed = [i for i in self._slots if i >= index]
+        for i in doomed:
+            self._unindex(self._slots[i].entry_id, i)
+            del self._slots[i]
+        self._last_index = max(self._slots, default=0)
+
+    # ------------------------------------------------------------------
+    # Range and provenance queries
+    # ------------------------------------------------------------------
+    def entries_between(self, lo: int, hi: int) -> list[tuple[int, LogEntry]]:
+        """Occupied ``(index, entry)`` pairs with ``lo <= index <= hi``."""
+        if lo < 1:
+            lo = 1
+        return [(i, self._slots[i]) for i in range(lo, hi + 1)
+                if i in self._slots]
+
+    def contiguous_from(self, lo: int, hi: int) -> bool:
+        """True when every index in ``[lo, hi]`` is occupied."""
+        return all(i in self._slots for i in range(lo, hi + 1))
+
+    def last_with_provenance(self, inserted_by: InsertedBy) -> int:
+        """Highest index whose entry has the given provenance, else 0.
+
+        ``last_with_provenance(InsertedBy.LEADER)`` is the paper's
+        ``lastLeaderIndex``.
+        """
+        for index in sorted(self._slots, reverse=True):
+            if self._slots[index].inserted_by is inserted_by:
+                return index
+        return 0
+
+    def entries_with_provenance(self, inserted_by: InsertedBy
+                                ) -> list[tuple[int, LogEntry]]:
+        """All ``(index, entry)`` pairs with the given provenance, ordered."""
+        return [(i, e) for i, e in self if e.inserted_by is inserted_by]
+
+    def latest_config_entry(self) -> tuple[int, LogEntry] | None:
+        """Highest-index CONFIG entry, or None (bootstrap config applies)."""
+        for index in sorted(self._slots, reverse=True):
+            entry = self._slots[index]
+            if entry.kind is EntryKind.CONFIG:
+                return index, entry
+        return None
+
+    def best_config_entry(self) -> tuple[int, LogEntry] | None:
+        """The governing CONFIG entry: highest version, then highest
+        index (see ConfigPayload.version)."""
+        best: tuple[int, LogEntry] | None = None
+        for index, entry in self:
+            if entry.kind is not EntryKind.CONFIG:
+                continue
+            if best is None:
+                best = (index, entry)
+                continue
+            best_key = (getattr(best[1].payload, "version", 0), best[0])
+            this_key = (getattr(entry.payload, "version", 0), index)
+            if this_key > best_key:
+                best = (index, entry)
+        return best
+
+    def max_config_version(self) -> int:
+        """Highest configuration version anywhere in the log (0 if none)."""
+        return max((getattr(e.payload, "version", 0)
+                    for _, e in self if e.kind is EntryKind.CONFIG),
+                   default=0)
+
+    # ------------------------------------------------------------------
+    # Duplicate detection
+    # ------------------------------------------------------------------
+    def indices_of(self, entry_id: str) -> set[int]:
+        """All indices currently holding ``entry_id`` (possibly several,
+        after client retries landed the same request at multiple slots)."""
+        return set(self._id_indices.get(entry_id, ()))
+
+    def committed_index_of(self, entry_id: str, commit_index: int
+                           ) -> int | None:
+        """Lowest committed index holding ``entry_id``, or None."""
+        indices = self._id_indices.get(entry_id)
+        if not indices:
+            return None
+        committed = [i for i in indices if i <= commit_index]
+        return min(committed) if committed else None
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _index_id(self, entry_id: str, index: int) -> None:
+        self._id_indices.setdefault(entry_id, set()).add(index)
+
+    def _unindex(self, entry_id: str, index: int) -> None:
+        indices = self._id_indices.get(entry_id)
+        if indices is not None:
+            indices.discard(index)
+            if not indices:
+                del self._id_indices[entry_id]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<RaftLog last_index={self._last_index} "
+                f"occupied={len(self._slots)}>")

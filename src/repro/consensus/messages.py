@@ -1,0 +1,218 @@
+"""RPC message types for all three protocols.
+
+All messages are immutable dataclasses. ``AppendEntries.entries`` carries
+explicit ``(index, entry)`` pairs because Fast Raft replicates ranges that
+do not necessarily start at the follower's end of log.
+
+The C-Raft :class:`Envelope` wraps any of these with a level tag so one
+site can run intra-cluster and inter-cluster consensus side by side over
+one network address.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.consensus.entry import LogEntry
+
+IndexedEntries = tuple[tuple[int, LogEntry], ...]
+
+
+# ----------------------------------------------------------------------
+# Client <-> site (co-located, reliable)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ClientRequest:
+    """A client asks its attached site to get ``command`` committed."""
+
+    request_id: str
+    command: Any
+
+
+@dataclass(frozen=True)
+class ClientReply:
+    """Outcome of a client request (sent on commit, or on redirect info)."""
+
+    request_id: str
+    ok: bool
+    index: int | None = None
+    info: str = ""
+
+
+# ----------------------------------------------------------------------
+# Proposals and votes
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ProposeToLeader:
+    """Classic Raft: a site forwards a proposal to the term's leader."""
+
+    entry: LogEntry
+
+
+@dataclass(frozen=True)
+class ProposeEntry:
+    """Fast Raft: the proposing site broadcasts the entry for index
+    ``index`` to every member (Fig. 2's first hop)."""
+
+    index: int
+    entry: LogEntry
+
+
+@dataclass(frozen=True)
+class VoteEntry:
+    """Fast Raft: a site reports its slot content for ``index`` to the
+    leader ("Send log[i] and commitIndex to leaderId")."""
+
+    term: int
+    index: int
+    entry: LogEntry
+    commit_index: int
+    voter: str
+
+
+@dataclass(frozen=True)
+class CommitNotice:
+    """Leader tells the origin site that its entry committed."""
+
+    entry_id: str
+    index: int
+    term: int
+
+
+# ----------------------------------------------------------------------
+# Replication
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AppendEntries:
+    """Leader -> follower replication / heartbeat."""
+
+    term: int
+    leader_id: str
+    prev_log_index: int
+    prev_log_term: int
+    entries: IndexedEntries
+    leader_commit: int
+    #: C-Raft: the local leader piggybacks the global commit index on its
+    #: local AppendEntries so cluster members learn global commits.
+    global_commit: int = 0
+
+
+@dataclass(frozen=True)
+class AppendEntriesResponse:
+    term: int
+    success: bool
+    follower: str
+    #: Highest index known replicated on the follower when ``success``.
+    match_index: int
+    #: Follower's last log index -- lets the leader cap nextIndex backoff.
+    last_log_index: int
+
+
+# ----------------------------------------------------------------------
+# Elections
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RequestVote:
+    """Candidate -> all sites.
+
+    For classic Raft ``last_log_index``/``last_log_term`` describe the
+    candidate's last entry; for Fast Raft they describe the last
+    *leader-approved* entry (self-approved entries are excluded from the
+    up-to-date comparison, Section IV-C).
+    """
+
+    term: int
+    candidate_id: str
+    last_log_index: int
+    last_log_term: int
+
+
+@dataclass(frozen=True)
+class RequestVoteResponse:
+    term: int
+    vote_granted: bool
+    voter: str
+    #: Fast Raft recovery: granting voters attach every self-approved
+    #: entry in their log.
+    self_approved: IndexedEntries = ()
+
+
+# ----------------------------------------------------------------------
+# Membership
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class JoinRequest:
+    """A site asks to join the configuration (sent to any member;
+    non-leaders forward it to the leader)."""
+
+    site: str
+
+
+@dataclass(frozen=True)
+class JoinAccepted:
+    """Leader -> joining site once the new configuration committed."""
+
+    members: tuple[str, ...]
+    leader_id: str
+
+
+@dataclass(frozen=True)
+class LeaveRequest:
+    """A site announces its departure (or the leader self-generates this
+    after a member timeout for silent leaves)."""
+
+    site: str
+
+
+@dataclass(frozen=True)
+class LeaveAccepted:
+    """Leader -> departing site once the exclusion committed."""
+
+    site: str
+
+
+@dataclass(frozen=True)
+class NotInConfiguration:
+    """Administrative notice to a site whose consensus message was ignored
+    because it is not a configuration member; carries enough information
+    for the site to rejoin. (The paper drops such messages silently and
+    notes the site "will need to send a join request"; this notice is how
+    the site learns that, without changing any consensus decision.)"""
+
+    term: int
+    members: tuple[str, ...]
+    leader_hint: str | None
+
+
+# ----------------------------------------------------------------------
+# C-Raft envelope
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Envelope:
+    """Level-tagged wrapper for C-Raft message routing.
+
+    ``level`` is ``"local"`` or ``"global"``; ``scope`` is the cluster
+    name for local messages (so a site in several clusters could route by
+    cluster) and ``"global"`` otherwise.
+    """
+
+    level: str
+    scope: str
+    inner: Any
+
+
+#: Message types a non-member may send without being ignored.
+MEMBERSHIP_OPEN_TYPES = (JoinRequest, LeaveRequest)
+
+
+@dataclass
+class PendingClient:
+    """Server-side bookkeeping for one in-flight client request."""
+
+    request_id: str
+    client: str
+    entry: LogEntry
+    attempt_index: int = 0
+    replied: bool = False
+    extra: dict[str, Any] = field(default_factory=dict)

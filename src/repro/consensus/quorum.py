@@ -1,0 +1,50 @@
+"""Quorum arithmetic.
+
+Classic quorum: a strict majority, ``floor(M/2) + 1``.
+Fast quorum (Fast Paxos / Fast Raft): ``ceil(3M/4)``.
+
+The correctness requirement (Zhao 2015, used in the paper's Lemma 2) is
+that any classic quorum and any fast quorum intersect in more than half of
+the classic quorum, so an entry inserted by a fast quorum has a strict
+plurality of the votes in *any* classic quorum the leader might collect.
+:func:`quorum_intersection_ok` checks that requirement directly and is
+exercised for all cluster sizes by property tests.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+
+
+def classic_quorum_size(members: int) -> int:
+    """Strict majority of ``members``."""
+    if members <= 0:
+        raise ConfigurationError(f"need at least one member: {members!r}")
+    return members // 2 + 1
+
+
+def fast_quorum_size(members: int) -> int:
+    """The paper's fast quorum, ``ceil(3M/4)``."""
+    if members <= 0:
+        raise ConfigurationError(f"need at least one member: {members!r}")
+    return math.ceil(3 * members / 4)
+
+
+def quorum_intersection_ok(members: int) -> bool:
+    """Check the Fast Paxos safety condition for ``members`` sites.
+
+    In the worst case a classic quorum CQ and a fast quorum FQ share
+    ``CQ + FQ - M`` sites. Safety needs that shared part to be a strict
+    majority of the classic quorum: every classic quorum the leader might
+    hear from must reveal the fast-quorum entry as its plurality winner
+    even if every other vote in the classic quorum went to a single rival.
+
+    Plurality is guaranteed when ``overlap > CQ - overlap``, i.e.
+    ``2 * (CQ + FQ - M) > CQ``.
+    """
+    cq = classic_quorum_size(members)
+    fq = fast_quorum_size(members)
+    overlap = cq + fq - members
+    return 2 * overlap > cq

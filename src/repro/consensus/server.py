@@ -1,0 +1,120 @@
+"""ConsensusServer: binds a protocol engine to a network address.
+
+The server owns everything that is *not* consensus: client bookkeeping
+(request -> client, exactly-once replies), state-machine application of
+committed DATA entries, and crash/recovery (rebuilding the engine from
+stable storage with fresh volatile state).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.consensus.config import Configuration
+from repro.consensus.engine import BaseEngine, EngineContext
+from repro.consensus.entry import EntryKind, LogEntry
+from repro.consensus.messages import ClientReply, ClientRequest
+from repro.consensus.timing import TimingConfig
+from repro.net.network import Network
+from repro.sim.actor import Actor
+from repro.sim.loop import SimLoop
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import TraceRecorder
+from repro.storage.stable import StableStore
+
+
+class ConsensusServer(Actor):
+    """A site: one engine, its clients, and its state machine."""
+
+    #: Subclasses bind the engine class.
+    engine_cls: type[BaseEngine] = BaseEngine
+
+    def __init__(self, name: str, loop: SimLoop, network: Network,
+                 store: StableStore, bootstrap_config: Configuration,
+                 timing: TimingConfig, rng: RngRegistry,
+                 trace: TraceRecorder,
+                 state_machine_factory: Callable[[], Any] | None = None
+                 ) -> None:
+        super().__init__(loop, name)
+        self._network = network
+        self._store = store
+        self._bootstrap_config = bootstrap_config
+        self._timing = timing
+        self._rng = rng
+        self._trace = trace
+        self._sm_factory = state_machine_factory
+        self.state_machine = state_machine_factory() if state_machine_factory else None
+        # request_id -> client address; replies are exactly-once per id.
+        self._clients: dict[str, str] = {}
+        self._replied: set[str] = set()
+        self._applied_ids: set[str] = set()
+        #: Committed (index, entry) pairs in apply order (tests/checkers).
+        self.applied_log: list[tuple[int, LogEntry]] = []
+        self.engine = self._build_engine()
+
+    # ------------------------------------------------------------------
+    # Engine wiring
+    # ------------------------------------------------------------------
+    def _build_engine(self) -> BaseEngine:
+        ctx = EngineContext(
+            name=self.name, loop=self.loop, send=self._send,
+            rng=self._rng.stream(f"node.{self.name}"), trace=self._trace,
+            store=self._store, timing=self._timing,
+            on_apply=self._on_apply, on_origin_commit=self._on_origin_commit)
+        return type(self).engine_cls(ctx, self._bootstrap_config)
+
+    def _send(self, dst: str, message: Any) -> None:
+        self._network.send(self.name, dst, message)
+
+    def start(self) -> None:
+        self.engine.start()
+
+    # ------------------------------------------------------------------
+    # Crash / recovery
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Stop the site. Stable storage survives; volatile state dies."""
+        self.engine.stop()
+        self.kill()
+
+    def recover(self) -> None:
+        """Restart from stable storage with fresh volatile state."""
+        self.state_machine = self._sm_factory() if self._sm_factory else None
+        self._clients.clear()
+        self._replied.clear()
+        self._applied_ids.clear()
+        self.applied_log = []
+        self.engine = self._build_engine()
+        self.revive()
+        self.engine.start()
+        self._trace.record(self.now(), self.name, "node.recovered")
+
+    # ------------------------------------------------------------------
+    # Message handling
+    # ------------------------------------------------------------------
+    def on_message(self, message: Any, sender: str) -> None:
+        if isinstance(message, ClientRequest):
+            self._clients[message.request_id] = sender
+        self.engine.handle(message, sender)
+
+    # ------------------------------------------------------------------
+    # Commit callbacks
+    # ------------------------------------------------------------------
+    def _on_apply(self, index: int, entry: LogEntry) -> None:
+        self.applied_log.append((index, entry))
+        if entry.kind is not EntryKind.DATA:
+            return
+        if entry.entry_id in self._applied_ids:
+            return  # exactly-once: a retried request committed twice
+        self._applied_ids.add(entry.entry_id)
+        if self.state_machine is not None:
+            self.state_machine.apply(entry.payload)
+
+    def _on_origin_commit(self, entry: LogEntry, index: int) -> None:
+        request_id = entry.entry_id
+        client = self._clients.get(request_id)
+        if client is None or request_id in self._replied:
+            return
+        self._replied.add(request_id)
+        self._network.send_local(self.name, client, ClientReply(
+            request_id=request_id, ok=True, index=index))

@@ -1,0 +1,121 @@
+"""Batch assembly: which locally committed entries go global, and when.
+
+The paper's Fig. 5 configuration proposes "a batch of entries to the
+global log after ten entries were committed in the local log"; the policy
+here is count-based with an optional age-based flush so interactive
+deployments do not strand a partial batch forever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.consensus.entry import BatchPayload, EntryKind, LogEntry
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """When to propose a batch."""
+
+    #: Propose once this many local DATA entries await batching.
+    batch_size: int = 10
+    #: Also propose a partial batch once its oldest entry is this old
+    #: (seconds); None disables age-based flushing (the paper's setup).
+    max_age: float | None = None
+    #: How many proposed-but-uncommitted batches may be outstanding.
+    max_outstanding: int = 1
+
+
+class Batcher:
+    """Tracks locally committed DATA entries not yet published globally."""
+
+    def __init__(self, cluster: str, policy: BatchPolicy) -> None:
+        self.cluster = cluster
+        self.policy = policy
+        self._pending: list[tuple[int, LogEntry]] = []
+        self._pending_since: float | None = None
+        self._next_unbatched = 1   # first local index not yet covered
+        self._sequence = 0
+        self._outstanding = 0
+
+    # ------------------------------------------------------------------
+    # Feeding
+    # ------------------------------------------------------------------
+    def observe_local_commit(self, index: int, entry: LogEntry,
+                             now: float) -> None:
+        """Called for every locally applied entry, in order."""
+        if index < self._next_unbatched:
+            return  # already covered by an earlier batch
+        if entry.kind is not EntryKind.DATA:
+            return
+        if not self._pending:
+            self._pending_since = now
+        self._pending.append((index, entry))
+
+    def rebuild(self, applied: list[tuple[int, LogEntry]],
+                next_unbatched: int, now: float) -> None:
+        """Reset from a fresh leader's view: ``applied`` is the local
+        applied log; entries at ``next_unbatched`` or later are pending."""
+        self._next_unbatched = next_unbatched
+        self._pending = [(i, e) for i, e in applied
+                         if i >= next_unbatched
+                         and e.kind is EntryKind.DATA]
+        self._pending_since = now if self._pending else None
+        self._outstanding = 0
+
+    # ------------------------------------------------------------------
+    # Draining
+    # ------------------------------------------------------------------
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    @property
+    def outstanding(self) -> int:
+        return self._outstanding
+
+    @property
+    def next_unbatched(self) -> int:
+        return self._next_unbatched
+
+    def ready(self, now: float) -> bool:
+        if self._outstanding >= self.policy.max_outstanding:
+            return False
+        if len(self._pending) >= self.policy.batch_size:
+            return True
+        if (self.policy.max_age is not None and self._pending
+                and self._pending_since is not None
+                and now - self._pending_since >= self.policy.max_age):
+            return True
+        return False
+
+    def take_batch(self, now: float) -> BatchPayload:
+        """Assemble the next batch (caller checked :meth:`ready`)."""
+        size = min(self.policy.batch_size, len(self._pending))
+        taken = self._pending[:size]
+        self._pending = self._pending[size:]
+        self._pending_since = now if self._pending else None
+        self._sequence += 1
+        self._outstanding += 1
+        first, last = taken[0][0], taken[-1][0]
+        self._next_unbatched = last + 1
+        return BatchPayload(cluster=self.cluster, sequence=self._sequence,
+                            entries=tuple(e for _, e in taken),
+                            local_range=(first, last))
+
+    def batch_done(self) -> None:
+        """A batch we proposed committed globally."""
+        if self._outstanding > 0:
+            self._outstanding -= 1
+
+    def advance_covered(self, through_local_index: int) -> None:
+        """Another leader's batch (or a recovered one of ours) already
+        covers local entries through this index; drop them from pending."""
+        if through_local_index < self._next_unbatched - 1:
+            return
+        self._next_unbatched = max(self._next_unbatched,
+                                   through_local_index + 1)
+        self._pending = [(i, e) for i, e in self._pending
+                         if i >= self._next_unbatched]
+        if not self._pending:
+            self._pending_since = None

@@ -1,0 +1,182 @@
+"""Multi-cluster C-Raft deployment builder (the Fig. 5 setup)."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.consensus.config import Configuration
+from repro.consensus.engine import Role
+from repro.consensus.timing import TimingConfig
+from repro.craft.batching import BatchPolicy
+from repro.craft.server import CRaftServer
+from repro.errors import ExperimentError
+from repro.net.latency import LatencyModel
+from repro.net.loss import LossModel, NoLoss
+from repro.net.network import Network
+from repro.net.topology import Topology
+from repro.sim.loop import SimLoop
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import TraceRecorder
+from repro.smr.client import Client
+from repro.storage.stable import StorageFabric
+
+
+class CRaftDeployment:
+    """A set of C-Raft sites grouped into clusters."""
+
+    def __init__(self, loop: SimLoop, network: Network, rng: RngRegistry,
+                 trace: TraceRecorder, fabric: StorageFabric,
+                 topology: Topology, local_timing: TimingConfig,
+                 global_timing: TimingConfig) -> None:
+        self.loop = loop
+        self.network = network
+        self.rng = rng
+        self.trace = trace
+        self.fabric = fabric
+        self.topology = topology
+        self.local_timing = local_timing
+        self.global_timing = global_timing
+        self.servers: dict[str, CRaftServer] = {}
+        self.clients: dict[str, Client] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_server(self, server: CRaftServer) -> None:
+        self.servers[server.name] = server
+        self.network.register(server)
+
+    def add_client(self, site: str, name: str | None = None,
+                   proposal_timeout: float | None = None) -> Client:
+        if site not in self.servers:
+            raise ExperimentError(f"unknown site: {site!r}")
+        if name is None:
+            name = f"client.{site}.{len(self.clients)}"
+        timeout = (proposal_timeout if proposal_timeout is not None
+                   else self.local_timing.proposal_timeout)
+        client = Client(name, self.loop, self.network, site,
+                        proposal_timeout=timeout)
+        self.clients[name] = client
+        self.network.register(client)
+        return client
+
+    def start_all(self) -> None:
+        for server in self.servers.values():
+            server.start()
+
+    # ------------------------------------------------------------------
+    # Run control
+    # ------------------------------------------------------------------
+    def run_for(self, duration: float) -> None:
+        self.loop.run_for(duration)
+
+    def run_until(self, predicate: Callable[[], bool], timeout: float,
+                  step: float = 0.05) -> bool:
+        deadline = self.loop.now() + timeout
+        while self.loop.now() < deadline:
+            if predicate():
+                return True
+            self.loop.run_for(step)
+        return predicate()
+
+    def run_until_local_leaders(self, timeout: float = 10.0) -> dict[str, str]:
+        """Run until every cluster has a leader; returns cluster -> site."""
+        def all_elected() -> bool:
+            return all(self.local_leader(c) is not None
+                       for c in self.topology.clusters)
+        if not self.run_until(all_elected, timeout):
+            missing = [c for c in self.topology.clusters
+                       if self.local_leader(c) is None]
+            raise ExperimentError(f"no local leader in {missing} "
+                                  f"within {timeout}s")
+        return {c: self.local_leader(c) for c in self.topology.clusters}
+
+    def run_until_global_ready(self, timeout: float = 30.0) -> str:
+        """Run until every cluster leader sits in the global configuration
+        and a global leader exists; returns the global leader site."""
+        def ready() -> bool:
+            if self.global_leader() is None:
+                return False
+            for cluster in self.topology.clusters:
+                leader = self.local_leader(cluster)
+                if leader is None:
+                    return False
+                engine = self.servers[leader].global_engine
+                if engine is None or not engine.is_member:
+                    return False
+            return True
+        if not self.run_until(ready, timeout):
+            raise ExperimentError(f"global level not ready within {timeout}s")
+        return self.global_leader()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def local_leader(self, cluster: str) -> str | None:
+        best_name, best_term = None, -1
+        for name in self.topology.nodes_in_cluster(cluster):
+            server = self.servers.get(name)
+            if server is None or not server.alive:
+                continue
+            if self.network.is_disconnected(name):
+                continue
+            engine = server.local_engine
+            if engine.role is Role.LEADER and engine.current_term > best_term:
+                best_name, best_term = name, engine.current_term
+        return best_name
+
+    def global_leader(self) -> str | None:
+        best_name, best_term = None, -1
+        for name, server in self.servers.items():
+            if not server.alive or self.network.is_disconnected(name):
+                continue
+            engine = server.global_engine
+            if engine is None:
+                continue
+            if engine.role is Role.LEADER and engine.current_term > best_term:
+                best_name, best_term = name, engine.current_term
+        return best_name
+
+    def total_global_applied(self) -> int:
+        """Highest count of inner entries applied from the global log at
+        any site (the Fig. 5 throughput numerator)."""
+        return max((len(s._global_applied_ids)
+                    for s in self.servers.values()), default=0)
+
+
+def build_craft_deployment(
+        topology: Topology, latency: LatencyModel,
+        loss: LossModel | None = None, seed: int = 0,
+        local_timing: TimingConfig | None = None,
+        global_timing: TimingConfig | None = None,
+        batch_policy: BatchPolicy | None = None,
+        trace_enabled: bool = True,
+        state_machine_factory: Callable[[], Any] | None = None,
+        global_seed_site: str | None = None) -> CRaftDeployment:
+    """Build (without starting) a C-Raft deployment over ``topology``."""
+    loop = SimLoop()
+    rng = RngRegistry(seed)
+    trace = TraceRecorder(enabled=trace_enabled)
+    network = Network(loop, rng, latency,
+                      loss if loss is not None else NoLoss(), trace)
+    fabric = StorageFabric()
+    local_timing = local_timing or TimingConfig.intra_cluster()
+    global_timing = global_timing or TimingConfig.inter_cluster()
+    deployment = CRaftDeployment(loop, network, rng, trace, fabric,
+                                 topology, local_timing, global_timing)
+    if global_seed_site is None:
+        first_cluster = topology.clusters[0]
+        global_seed_site = topology.nodes_in_cluster(first_cluster)[0]
+    for cluster in topology.clusters:
+        members = topology.nodes_in_cluster(cluster)
+        config = Configuration(tuple(members))
+        for name in members:
+            server = CRaftServer(
+                name=name, cluster=cluster, loop=loop, network=network,
+                fabric=fabric, local_bootstrap=config,
+                global_seed=global_seed_site, local_timing=local_timing,
+                global_timing=global_timing, rng=rng, trace=trace,
+                batch_policy=batch_policy,
+                state_machine_factory=state_machine_factory)
+            deployment.add_server(server)
+    return deployment

@@ -1,0 +1,51 @@
+"""The inter-cluster engine: Fast Raft with gated log inserts.
+
+Every insert into the global log -- from a proposal, from the leader's
+decision procedure, or from absorbing a global AppendEntries -- first runs
+intra-cluster consensus on a global state entry (Section V-B). The gate
+itself lives in :class:`repro.craft.server.CRaftServer`, which owns the
+local engine; this class only redirects the insert funnel through the
+injected gate.
+
+Restamping during election recovery (term/provenance only, data unchanged)
+bypasses the gate: the restamped entries are re-replicated to every global
+member through gated AppendEntries anyway, and the local log still holds
+the data under the old stamp, which is all safety needs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.consensus.entry import LogEntry
+from repro.fastraft.engine import FastRaftEngine
+
+#: Signature of the injected gate: (pairs, continuation).
+GateFn = Callable[[list[tuple[int, LogEntry]], Callable[[], None]], None]
+
+
+class CRaftGlobalEngine(FastRaftEngine):
+    """Inter-cluster Fast Raft run by cluster leaders."""
+
+    protocol_name = "craft.global"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        # Wired by CRaftServer after construction; default passes through
+        # (used by unit tests that exercise the engine standalone).
+        self.insert_gate: GateFn | None = None
+
+    def _gate_insert(self, pairs: list[tuple[int, LogEntry]],
+                     then: Callable[[], None]) -> None:
+        if not pairs or self.insert_gate is None:
+            super()._gate_insert(pairs, then)
+            return
+        self.insert_gate(pairs, lambda: self._complete_gated_insert(pairs,
+                                                                    then))
+
+    def _complete_gated_insert(self, pairs: list[tuple[int, LogEntry]],
+                               then: Callable[[], None]) -> None:
+        """Continuation run once the state entry committed locally."""
+        for index, entry in pairs:
+            self._insert_into_log(index, entry)
+        then()

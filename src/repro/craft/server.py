@@ -1,0 +1,494 @@
+"""CRaftServer: one site running both levels of C-Raft.
+
+Responsibilities (Section V):
+
+- run intra-cluster Fast Raft on the local log and answer local clients;
+- materialize a **global-log view** from committed GLOBAL_STATE entries in
+  the local log, so every cluster member holds every global entry its
+  cluster has vouched for;
+- while local leader: run inter-cluster Fast Raft, gating every global
+  insert through local consensus, and publish batches of locally
+  committed entries to the global log;
+- manage global membership from local leadership: join the global
+  configuration on winning the local election, announce a leave on losing
+  it (silent failures are caught by the global member timeout).
+
+Bootstrap: the global configuration starts as ``{global_seed}`` -- one
+designated site that runs a global engine from startup so the first real
+cluster leaders have someone to join through; the seed retires from the
+global configuration as soon as another member exists (unless it is a
+cluster leader itself). The paper configures its AWS deployment manually
+and leaves bootstrap unspecified; see DESIGN.md.
+
+Crash recovery needs no special view logic: the view is a pure function of
+the locally *applied* prefix, and on restart the local protocol re-applies
+the committed prefix from stable storage, rebuilding the view, the state
+machine, and the batch bookkeeping in one sweep.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable
+
+from repro.consensus.config import Configuration
+from repro.consensus.engine import EngineContext, Role
+from repro.consensus.entry import (
+    EntryKind,
+    GlobalStatePayload,
+    InsertedBy,
+    LogEntry,
+)
+from repro.consensus.log import RaftLog
+from repro.consensus.messages import (
+    ClientReply,
+    ClientRequest,
+    Envelope,
+    JoinRequest,
+    LeaveRequest,
+)
+from repro.consensus.timing import TimingConfig
+from repro.craft.batching import Batcher, BatchPolicy
+from repro.craft.global_engine import CRaftGlobalEngine
+from repro.craft.local import CRaftLocalEngine
+from repro.net.network import Network
+from repro.sim.actor import Actor
+from repro.sim.loop import SimLoop
+from repro.sim.rng import RngRegistry
+from repro.sim.timers import PeriodicTimer, RestartableTimer
+from repro.sim.trace import TraceRecorder
+from repro.storage.stable import StorageFabric
+
+
+class CRaftServer(Actor):
+    """A C-Raft site."""
+
+    def __init__(self, name: str, cluster: str, loop: SimLoop,
+                 network: Network, fabric: StorageFabric,
+                 local_bootstrap: Configuration, global_seed: str,
+                 local_timing: TimingConfig, global_timing: TimingConfig,
+                 rng: RngRegistry, trace: TraceRecorder,
+                 batch_policy: BatchPolicy | None = None,
+                 state_machine_factory: Callable[[], Any] | None = None
+                 ) -> None:
+        super().__init__(loop, name)
+        self.cluster = cluster
+        self._network = network
+        self._fabric = fabric
+        self._local_bootstrap = local_bootstrap
+        self.global_seed = global_seed
+        self._local_timing = local_timing
+        self._global_timing = global_timing
+        self._rng = rng
+        self._trace = trace
+        self._batch_policy = batch_policy or BatchPolicy()
+        self._sm_factory = state_machine_factory
+        self._seq = itertools.count(1)
+        self._reset_volatile()
+        self.local_engine = self._build_local_engine()
+        self.global_engine: CRaftGlobalEngine | None = None
+        if name == global_seed:
+            self._ensure_global_engine()
+
+    def _reset_volatile(self) -> None:
+        self.global_view = RaftLog()
+        self.global_commit = 0
+        #: Advisory value from the AppendEntries piggyback; never used to
+        #: apply (see GlobalStatePayload.global_commit for why).
+        self.global_commit_hint = 0
+        self._last_replicated_commit = 0
+        self._marker_check_scheduled = False
+        self.global_applied_index = 0
+        #: Applied global (index, entry) pairs, in order.
+        self.global_applied: list[tuple[int, LogEntry]] = []
+        self._global_applied_ids: set[str] = set()
+        #: (time, inner entry count) per applied batch -- throughput metric.
+        self.global_apply_events: list[tuple[float, int]] = []
+        self.global_state_machine = (self._sm_factory()
+                                     if self._sm_factory else None)
+        #: Local applied (index, entry) pairs, in order.
+        self.applied_log: list[tuple[int, LogEntry]] = []
+        self.batcher = Batcher(self.cluster, self._batch_policy)
+        self._clients: dict[str, str] = {}
+        self._replied: set[str] = set()
+        self._pending_gates: dict[str, Callable[[], None]] = {}
+        self._gate_timers: dict[str, RestartableTimer] = {}
+        self._outstanding_batches: dict[str, RestartableTimer] = {}
+        self._batch_tick: PeriodicTimer | None = None
+
+    # ------------------------------------------------------------------
+    # Engine construction
+    # ------------------------------------------------------------------
+    def _build_local_engine(self) -> CRaftLocalEngine:
+        ctx = EngineContext(
+            name=self.name, loop=self.loop, send=self._send_local_level,
+            rng=self._rng.stream(f"node.{self.name}"), trace=self._trace,
+            store=self._fabric.store_for(self.name),
+            timing=self._local_timing, scope=self.cluster,
+            on_apply=self._on_local_apply,
+            on_origin_commit=self._on_local_origin_commit,
+            on_role_change=self._on_local_role_change)
+        engine = CRaftLocalEngine(ctx, self._local_bootstrap)
+        engine.global_commit_provider = lambda: self.global_commit
+        engine.global_commit_sink = self._note_global_commit_hint
+        return engine
+
+    def _ensure_global_engine(self) -> None:
+        if self.global_engine is not None:
+            return
+        store = self._fabric.store_for(f"{self.name}::global")
+        # The global log is determined by the local log's state entries
+        # (Section V-B); rebuild it from the view on every (re)creation.
+        log = RaftLog()
+        for index, entry in self.global_view:
+            log.insert(index, entry)
+        store.set("log", log)
+        ctx = EngineContext(
+            name=self.name, loop=self.loop, send=self._send_global_level,
+            rng=self._rng.stream(f"node.{self.name}.global"),
+            trace=self._trace, store=store, timing=self._global_timing,
+            scope="global",
+            on_apply=self._on_global_engine_apply,
+            on_origin_commit=self._on_global_origin_commit,
+            on_config_change=self._on_global_config_change)
+        engine = CRaftGlobalEngine(
+            ctx, Configuration((self.global_seed,)))
+        engine.insert_gate = self._gate_through_local_consensus
+        self.global_engine = engine
+        if self.alive:
+            engine.start()
+        self._trace.record(self.now(), self.name, "craft.global_engine.up",
+                           cluster=self.cluster)
+
+    def _drop_global_engine(self) -> None:
+        if self.global_engine is None:
+            return
+        self.global_engine.stop()
+        self.global_engine = None
+        for timer in self._gate_timers.values():
+            timer.cancel()
+        self._gate_timers.clear()
+        self._pending_gates.clear()
+        for timer in self._outstanding_batches.values():
+            timer.cancel()
+        self._outstanding_batches.clear()
+        self._trace.record(self.now(), self.name, "craft.global_engine.down",
+                           cluster=self.cluster)
+
+    # ------------------------------------------------------------------
+    # Transport adapters
+    # ------------------------------------------------------------------
+    def _send_local_level(self, dst: str, message: Any) -> None:
+        self._network.send(self.name, dst,
+                           Envelope("local", self.cluster, message))
+
+    def _send_global_level(self, dst: str, message: Any) -> None:
+        self._network.send(self.name, dst,
+                           Envelope("global", "global", message))
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self.local_engine.start()
+        if self.global_engine is not None:
+            self.global_engine.start()
+        self._batch_tick = PeriodicTimer(
+            self.loop, self._local_timing.heartbeat_interval,
+            self._maybe_propose_batch)
+        self._batch_tick.start()
+
+    def crash(self) -> None:
+        self.local_engine.stop()
+        self._drop_global_engine()
+        if self._batch_tick is not None:
+            self._batch_tick.stop()
+        self.kill()
+
+    def recover(self) -> None:
+        """Restart from stable storage. The local engine re-applies the
+        committed prefix, which rebuilds the view/state machine/batcher."""
+        self._reset_volatile()
+        self.local_engine = self._build_local_engine()
+        self.revive()
+        self.local_engine.start()
+        self._batch_tick = PeriodicTimer(
+            self.loop, self._local_timing.heartbeat_interval,
+            self._maybe_propose_batch)
+        self._batch_tick.start()
+        self._trace.record(self.now(), self.name, "node.recovered")
+
+    # ------------------------------------------------------------------
+    # Message routing
+    # ------------------------------------------------------------------
+    def on_message(self, message: Any, sender: str) -> None:
+        if isinstance(message, ClientRequest):
+            self._clients[message.request_id] = sender
+            self.local_engine.handle(message, sender)
+            return
+        if not isinstance(message, Envelope):
+            return  # stray unwrapped message; C-Raft traffic is enveloped
+        if message.level == "local":
+            if message.scope == self.cluster:
+                self.local_engine.handle(message.inner, sender)
+            return
+        if message.level == "global":
+            if self.global_engine is not None:
+                self.global_engine.handle(message.inner, sender)
+            else:
+                self._relay_global_without_engine(message.inner, sender)
+            return
+
+    def _relay_global_without_engine(self, inner: Any, sender: str) -> None:
+        """This site no longer runs a global engine (e.g. the retired
+        bootstrap seed), but its view may still know the current global
+        members; forward join requests there so late-joining cluster
+        leaders are not stranded on a stale contact."""
+        if not isinstance(inner, JoinRequest):
+            return
+        latest = self.global_view.latest_config_entry()
+        if latest is None:
+            return
+        for member in latest[1].payload.members:
+            if member not in (self.name, sender):
+                self._send_global_level(member, inner)
+
+    # ------------------------------------------------------------------
+    # The insert gate (Section V-B)
+    # ------------------------------------------------------------------
+    def _gate_through_local_consensus(
+            self, pairs: list[tuple[int, LogEntry]],
+            then: Callable[[], None]) -> None:
+        """Commit a GLOBAL_STATE entry locally, then run ``then``."""
+        entry_id = f"{self.name}:gstate.{next(self._seq)}.{self.now():.4f}"
+        payload = GlobalStatePayload(inserts=tuple(pairs),
+                                     global_commit=self.global_commit)
+        self._last_replicated_commit = max(self._last_replicated_commit,
+                                           self.global_commit)
+        entry = LogEntry(entry_id=entry_id, kind=EntryKind.GLOBAL_STATE,
+                         payload=payload, origin=self.name, term=0,
+                         inserted_by=InsertedBy.SELF)
+        self._pending_gates[entry_id] = then
+        self._trace.record(self.now(), self.name, "craft.gate.open",
+                           entry_id=entry_id,
+                           indices=[i for i, _ in pairs])
+        self.local_engine.propose(entry)
+        timer = RestartableTimer(
+            self.loop, lambda: self._retry_gate(entry_id, entry))
+        timer.reset(self._local_timing.proposal_timeout)
+        self._gate_timers[entry_id] = timer
+
+    def _retry_gate(self, entry_id: str, entry: LogEntry) -> None:
+        if entry_id not in self._pending_gates:
+            return
+        self.local_engine.propose(entry)
+        self._gate_timers[entry_id].reset(self._local_timing.proposal_timeout)
+
+    def _complete_gate(self, entry_id: str) -> None:
+        then = self._pending_gates.pop(entry_id, None)
+        timer = self._gate_timers.pop(entry_id, None)
+        if timer is not None:
+            timer.cancel()
+        if then is not None:
+            self._trace.record(self.now(), self.name, "craft.gate.closed",
+                               entry_id=entry_id)
+            then()
+
+    # ------------------------------------------------------------------
+    # Local-level callbacks
+    # ------------------------------------------------------------------
+    def _on_local_apply(self, index: int, entry: LogEntry) -> None:
+        self.applied_log.append((index, entry))
+        if entry.kind is EntryKind.DATA:
+            self.batcher.observe_local_commit(index, entry, self.now())
+            self._maybe_propose_batch()
+        elif entry.kind is EntryKind.GLOBAL_STATE:
+            for gindex, gentry in entry.payload.inserts:
+                self._view_insert(gindex, gentry)
+            # Effective global commit advances only here (local-log order
+            # guarantees every corrective insert below it arrived first).
+            if entry.payload.global_commit > self.global_commit:
+                self.global_commit = entry.payload.global_commit
+            self._advance_global_apply()
+            self._complete_gate(entry.entry_id)
+
+    def _view_insert(self, gindex: int, gentry: LogEntry) -> None:
+        """Materialize one global entry, with the same finality guards as
+        the engine's log: state entries usually commit locally in creation
+        order, but one that lost its local slot and was retried can land
+        *after* its corrective successor -- its content must then lose.
+        """
+        if gindex <= self.global_applied_index:
+            return  # applied entries are final
+        existing = self.global_view.get(gindex)
+        if existing is not None:
+            if (existing.inserted_by is InsertedBy.LEADER
+                    and gentry.inserted_by is InsertedBy.SELF):
+                return  # tentative insert never displaces a decided one
+            if (existing.inserted_by is InsertedBy.LEADER
+                    and gentry.inserted_by is InsertedBy.LEADER
+                    and gentry.term < existing.term):
+                return  # stale decision from a deposed global leader
+        self.global_view.insert(gindex, gentry)
+
+    def _on_local_origin_commit(self, entry: LogEntry, index: int) -> None:
+        if entry.kind is not EntryKind.DATA:
+            return
+        request_id = entry.entry_id
+        client = self._clients.get(request_id)
+        if client is None or request_id in self._replied:
+            return
+        self._replied.add(request_id)
+        self._network.send_local(self.name, client, ClientReply(
+            request_id=request_id, ok=True, index=index))
+
+    def _on_local_role_change(self, role: Role) -> None:
+        if role is Role.LEADER:
+            self._became_local_leader()
+        else:
+            self._lost_local_leadership()
+
+    def _became_local_leader(self) -> None:
+        covered = 0
+        for _, gentry in self.global_applied:
+            if (gentry.kind is EntryKind.BATCH
+                    and gentry.payload.cluster == self.cluster):
+                covered = max(covered, gentry.payload.local_range[1])
+        self.batcher.rebuild(self.applied_log, covered + 1, self.now())
+        self._ensure_global_engine()
+        self._trace.record(self.now(), self.name, "craft.local_leader",
+                           cluster=self.cluster,
+                           next_unbatched=self.batcher.next_unbatched)
+
+    def _lost_local_leadership(self) -> None:
+        engine = self.global_engine
+        if engine is None:
+            return
+        if self.name in engine.configuration:
+            # Announce the departure; the global member timeout covers the
+            # case where this message is lost.
+            leave = LeaveRequest(site=self.name)
+            for member in engine.configuration.others(self.name):
+                self._send_global_level(member, leave)
+        else:
+            self._drop_global_engine()
+
+    # ------------------------------------------------------------------
+    # Global-level callbacks
+    # ------------------------------------------------------------------
+    def _note_global_commit_hint(self, global_commit: int) -> None:
+        if global_commit > self.global_commit_hint:
+            self.global_commit_hint = global_commit
+
+    def _on_global_engine_apply(self, gindex: int, gentry: LogEntry) -> None:
+        # At a global member the engine's own commit advance is safe to
+        # apply directly: its log (and therefore the view, which the gate
+        # fills first) already holds the final entry.
+        if gindex > self.global_commit:
+            self.global_commit = gindex
+            self._advance_global_apply()
+            if not self._marker_check_scheduled:
+                self._marker_check_scheduled = True
+                self.loop.call_soon(self._maybe_propose_commit_marker)
+
+    def _maybe_propose_commit_marker(self) -> None:
+        """Replicate a bare global-commit advance to the cluster when no
+        gated insert carried (or will carry) it."""
+        self._marker_check_scheduled = False
+        if not self.alive or self.local_engine.role is not Role.LEADER:
+            return
+        if self.global_commit <= self._last_replicated_commit:
+            return
+        self._gate_through_local_consensus([], lambda: None)
+
+    def _on_global_origin_commit(self, entry: LogEntry, gindex: int) -> None:
+        if entry.kind is EntryKind.BATCH:
+            self._batch_settled(entry.entry_id)
+
+    def _on_global_config_change(self, config: Configuration) -> None:
+        if self.global_engine is None:
+            return
+        am_member = self.name in config
+        local_leader = self.local_engine.role is Role.LEADER
+        if not am_member and not local_leader:
+            self._drop_global_engine()
+            return
+        if (am_member and not local_leader and config.size > 1
+                and self.name == self.global_seed):
+            # Seed retirement: a real cluster leader has joined.
+            leave = LeaveRequest(site=self.name)
+            for member in config.others(self.name):
+                self._send_global_level(member, leave)
+
+    # ------------------------------------------------------------------
+    # Global apply (every site, through the view)
+    # ------------------------------------------------------------------
+    def _advance_global_apply(self) -> None:
+        while self.global_applied_index < self.global_commit:
+            nxt = self.global_applied_index + 1
+            gentry = self.global_view.get(nxt)
+            if gentry is None:
+                break  # wait for the state entry carrying it
+            self.global_applied_index = nxt
+            self.global_applied.append((nxt, gentry))
+            if gentry.kind is EntryKind.BATCH:
+                self._apply_batch(gentry)
+
+    def _apply_batch(self, gentry: LogEntry) -> None:
+        payload = gentry.payload
+        applied = 0
+        for inner in payload.entries:
+            if inner.entry_id in self._global_applied_ids:
+                continue
+            self._global_applied_ids.add(inner.entry_id)
+            applied += 1
+            if self.global_state_machine is not None:
+                self.global_state_machine.apply(inner.payload)
+        self.global_apply_events.append((self.now(), applied))
+        if payload.cluster == self.cluster:
+            self.batcher.advance_covered(payload.local_range[1])
+            self._batch_settled(gentry.entry_id)
+
+    # ------------------------------------------------------------------
+    # Batching
+    # ------------------------------------------------------------------
+    def _maybe_propose_batch(self) -> None:
+        if self.local_engine.role is not Role.LEADER:
+            return
+        engine = self.global_engine
+        if engine is None or not engine.is_member:
+            return
+        if not self.batcher.ready(self.now()):
+            return
+        payload = self.batcher.take_batch(self.now())
+        entry = LogEntry(
+            entry_id=(f"{self.name}:batch.{self.cluster}."
+                      f"{payload.sequence}.{self.now():.4f}"),
+            kind=EntryKind.BATCH, payload=payload, origin=self.name,
+            term=0, inserted_by=InsertedBy.SELF)
+        self._trace.record(self.now(), self.name, "craft.batch.proposed",
+                           sequence=payload.sequence, size=len(payload),
+                           local_range=payload.local_range)
+        timer = RestartableTimer(
+            self.loop, lambda: self._retry_batch(entry))
+        timer.reset(self._global_timing.proposal_timeout)
+        self._outstanding_batches[entry.entry_id] = timer
+        engine.propose(entry)
+
+    def _retry_batch(self, entry: LogEntry) -> None:
+        timer = self._outstanding_batches.get(entry.entry_id)
+        if timer is None:
+            return
+        engine = self.global_engine
+        if engine is None:
+            return
+        engine.propose(entry)
+        timer.reset(self._global_timing.proposal_timeout)
+
+    def _batch_settled(self, entry_id: str) -> None:
+        timer = self._outstanding_batches.pop(entry_id, None)
+        if timer is None:
+            return
+        timer.cancel()
+        self.batcher.batch_done()
+        self._maybe_propose_batch()

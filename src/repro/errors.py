@@ -1,0 +1,53 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single except clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """Raised for misuse of the simulation kernel (e.g. time travel)."""
+
+
+class NetworkError(ReproError):
+    """Raised for network-substrate misuse (unknown address, bad model)."""
+
+
+class StorageError(ReproError):
+    """Raised when stable storage is used incorrectly."""
+
+
+class ConsensusError(ReproError):
+    """Base class for consensus-layer errors."""
+
+
+class LogError(ConsensusError):
+    """Raised for invalid replicated-log operations."""
+
+
+class ConfigurationError(ConsensusError):
+    """Raised for invalid membership configurations."""
+
+
+class NotLeaderError(ConsensusError):
+    """Raised when a leader-only operation is invoked on a non-leader."""
+
+    def __init__(self, message: str = "node is not the leader",
+                 leader_hint: str | None = None) -> None:
+        super().__init__(message)
+        #: Best-known current leader, if any, so callers can redirect.
+        self.leader_hint = leader_hint
+
+
+class InvariantViolation(ReproError):
+    """Raised by safety checkers when a protocol invariant is broken."""
+
+
+class ExperimentError(ReproError):
+    """Raised by the experiment harness for bad experiment parameters."""

@@ -1,0 +1,45 @@
+"""Experiment drivers regenerating the paper's evaluation (Section VI).
+
+One module per figure:
+
+- :mod:`repro.experiments.rounds` -- message-flow validation of Figs. 1-2
+  (commit hop counts over a constant-latency network).
+- :mod:`repro.experiments.fig3_latency` -- classic Raft vs Fast Raft
+  commit latency across message-loss rates (Fig. 3).
+- :mod:`repro.experiments.fig4_churn` -- Fast Raft latency timeline while
+  two of five sites leave silently (Fig. 4).
+- :mod:`repro.experiments.fig5_throughput` -- classic Raft vs C-Raft
+  global throughput across cluster counts (Fig. 5).
+- :mod:`repro.experiments.ablations` -- sweeps over the design knobs that
+  DESIGN.md calls out (decision interval, batch size, dispatch policy,
+  proposer count).
+
+Each driver accepts a config dataclass with a ``quick()`` preset (used by
+tests) and a ``paper()`` preset (used by the benchmark harness), returns a
+result object with the measured rows, renders the paper-style table via
+``result.table()``, and enforces the expected *shape* (who wins, by
+roughly what factor, where crossovers fall) via ``result.check_shape()``.
+
+Run from the command line::
+
+    python -m repro.experiments fig3 --quick
+"""
+
+from repro.experiments.base import ResultTable, cell_seed
+from repro.experiments.fig3_latency import Fig3Config, run_fig3
+from repro.experiments.fig4_churn import Fig4Config, run_fig4
+from repro.experiments.fig5_throughput import Fig5Config, run_fig5
+from repro.experiments.rounds import RoundsConfig, run_rounds
+
+__all__ = [
+    "Fig3Config",
+    "Fig4Config",
+    "Fig5Config",
+    "ResultTable",
+    "RoundsConfig",
+    "cell_seed",
+    "run_fig3",
+    "run_fig4",
+    "run_fig5",
+    "run_rounds",
+]

@@ -1,0 +1,79 @@
+"""Command-line entry point for the experiment suite.
+
+Usage::
+
+    python -m repro.experiments rounds
+    python -m repro.experiments fig3 --full
+    python -m repro.experiments fig4
+    python -m repro.experiments fig5 --full
+    python -m repro.experiments ablations
+    python -m repro.experiments all
+
+``--quick`` (the default) runs scaled-down configurations in seconds;
+``--full`` runs the paper-scale configurations used by EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.ablations import AblationConfig, run_all_ablations
+from repro.experiments.fig3_latency import Fig3Config, run_fig3
+from repro.experiments.fig4_churn import Fig4Config, run_fig4
+from repro.experiments.fig5_throughput import Fig5Config, run_fig5
+from repro.experiments.rounds import RoundsConfig, run_rounds
+
+
+def _run_one(name: str, full: bool) -> None:
+    started = time.time()
+    if name == "rounds":
+        config = RoundsConfig.paper() if full else RoundsConfig.quick()
+        result = run_rounds(config)
+    elif name == "fig3":
+        config = Fig3Config.paper() if full else Fig3Config.quick()
+        result = run_fig3(config)
+    elif name == "fig4":
+        config = Fig4Config.paper() if full else Fig4Config.quick()
+        result = run_fig4(config)
+    elif name == "fig5":
+        config = Fig5Config.paper() if full else Fig5Config.quick()
+        result = run_fig5(config)
+    elif name == "ablations":
+        config = AblationConfig.paper() if full else AblationConfig.quick()
+        for table in run_all_ablations(config):
+            print(table)
+            print()
+        print(f"[ablations done in {time.time() - started:.1f}s wall time]")
+        return
+    else:
+        raise SystemExit(f"unknown experiment: {name!r}")
+    print(result.table())
+    result.check_shape()
+    print(f"[shape checks passed; {time.time() - started:.1f}s wall time]")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's evaluation tables.")
+    parser.add_argument("experiment",
+                        choices=["rounds", "fig3", "fig4", "fig5",
+                                 "ablations", "all"])
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument("--quick", action="store_true", default=True,
+                      help="scaled-down configuration (default)")
+    mode.add_argument("--full", action="store_true",
+                      help="paper-scale configuration")
+    args = parser.parse_args(argv)
+    names = (["rounds", "fig3", "fig4", "fig5", "ablations"]
+             if args.experiment == "all" else [args.experiment])
+    for name in names:
+        _run_one(name, args.full)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

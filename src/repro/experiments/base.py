@@ -1,0 +1,65 @@
+"""Shared experiment plumbing: tables, seeds, shape assertions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ExperimentError
+from repro.sim.rng import derive_seed
+
+
+def cell_seed(base_seed: int, *parts: Any) -> int:
+    """Stable per-cell seed for a parameter sweep (so adding a column does
+    not reshuffle the randomness of existing cells)."""
+    return derive_seed(base_seed, ":".join(str(p) for p in parts)) % (2 ** 31)
+
+
+@dataclass
+class ResultTable:
+    """A printable experiment table (one per paper figure)."""
+
+    title: str
+    columns: list[str]
+    rows: list[tuple] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ExperimentError(
+                f"row has {len(values)} cells, table has "
+                f"{len(self.columns)} columns")
+        self.rows.append(tuple(values))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def format(self) -> str:
+        cells = [[self._fmt(v) for v in row] for row in self.rows]
+        widths = [max(len(self.columns[i]),
+                      max((len(row[i]) for row in cells), default=0))
+                  for i in range(len(self.columns))]
+        lines = [self.title, "=" * len(self.title)]
+        header = "  ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in cells:
+            lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    @staticmethod
+    def _fmt(value: Any) -> str:
+        if isinstance(value, float):
+            return f"{value:.2f}"
+        return str(value)
+
+    def __str__(self) -> str:
+        return self.format()
+
+
+def require(condition: bool, message: str) -> None:
+    """Shape assertion used by ``result.check_shape()`` methods."""
+    if not condition:
+        raise ExperimentError(f"shape check failed: {message}")

@@ -1,0 +1,153 @@
+"""Figure 3: commit latency of classic Raft vs Fast Raft under loss.
+
+Paper setup: five sites in one AWS region, loss forced to 0-10 % with
+``tc``, one randomly placed closed-loop proposer, 100 committed entries
+per point, 100 ms leader heartbeat.
+
+Expected shape (paper): Fast Raft commits in about half the classic-Raft
+latency at low loss; as loss grows the fast track fails more often, the
+extra classic-track round dominates, and Fast Raft meets/exceeds classic
+Raft around 5-10 % loss while classic Raft stays roughly flat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.consensus.timing import TimingConfig
+from repro.experiments.base import ResultTable, cell_seed, require
+from repro.harness.builder import build_cluster
+from repro.harness.checkers import run_safety_checks
+from repro.harness.workload import ClosedLoopWorkload
+from repro.fastraft.server import FastRaftServer
+from repro.metrics.summary import SummaryStats, summarize
+from repro.net.loss import BernoulliLoss
+from repro.raft.server import RaftServer
+
+
+@dataclass(frozen=True)
+class Fig3Config:
+    n_sites: int = 5
+    loss_rates: tuple[float, ...] = (0.0, 0.01, 0.025, 0.05, 0.075, 0.10)
+    trials: int = 100          # committed entries per point (paper: 100)
+    seed: int = 0
+    timing: TimingConfig = field(default_factory=TimingConfig.intra_cluster)
+    #: Client retry period. The paper's classic-Raft curve stays flat up
+    #: to 10 % loss, which requires the proposer to re-send lost proposals
+    #: at heartbeat scale (a dropped proposer->leader datagram is the only
+    #: loss classic Raft cannot absorb through its quorum).
+    proposal_timeout: float = 0.150
+    timeout: float = 600.0     # sim-seconds allowed per point
+
+    @classmethod
+    def paper(cls) -> "Fig3Config":
+        return cls()
+
+    @classmethod
+    def quick(cls) -> "Fig3Config":
+        return cls(loss_rates=(0.0, 0.05, 0.10), trials=25)
+
+
+@dataclass
+class Fig3Point:
+    loss_rate: float
+    classic: SummaryStats
+    fast: SummaryStats
+
+    @property
+    def speedup(self) -> float:
+        """classic/fast mean-latency ratio (>1 means Fast Raft wins)."""
+        return self.classic.mean / self.fast.mean
+
+
+@dataclass
+class Fig3Result:
+    config: Fig3Config
+    points: list[Fig3Point]
+
+    def table(self) -> ResultTable:
+        table = ResultTable(
+            "Fig. 3 -- mean commit latency vs message loss (ms)",
+            ["loss %", "classic Raft", "Fast Raft", "classic p95",
+             "fast p95", "speedup"])
+        for point in self.points:
+            table.add_row(point.loss_rate * 100,
+                          point.classic.mean * 1000,
+                          point.fast.mean * 1000,
+                          point.classic.p95 * 1000,
+                          point.fast.p95 * 1000,
+                          point.speedup)
+        table.add_note(f"{self.config.n_sites} sites, one region, "
+                       f"{self.config.trials} commits per point, heartbeat "
+                       f"{self.config.timing.heartbeat_interval * 1000:.0f} ms")
+        return table
+
+    def check_shape(self) -> None:
+        """The paper's robust qualitative claims.
+
+        One documented divergence (EXPERIMENTS.md): the paper's prototype
+        crosses over around 5-10 % loss, ours does not -- our client
+        retries regenerate the entire proposal broadcast, so failed fast
+        tracks recover cheaply and Fast Raft keeps its lead under loss.
+        We therefore check that both protocols degrade within bounds and
+        that the advantage does not *grow* with loss, rather than
+        demanding the crossover.
+        """
+        first, last = self.points[0], self.points[-1]
+        require(first.speedup >= 1.5,
+                f"Fast Raft should be ~2x classic at 0% loss, got "
+                f"{first.speedup:.2f}x")
+        require(first.speedup <= 3.5,
+                f"speedup at 0% loss implausibly large: "
+                f"{first.speedup:.2f}x")
+        fast_drift = last.fast.mean / first.fast.mean
+        classic_drift = last.classic.mean / first.classic.mean
+        require(fast_drift > 1.1,
+                f"Fast Raft latency should degrade with loss, drifted "
+                f"only {fast_drift:.2f}x")
+        require(classic_drift < 1.6,
+                f"classic Raft should stay roughly flat, drifted "
+                f"{classic_drift:.2f}x")
+        require(last.speedup <= first.speedup * 1.15,
+                f"Fast Raft's advantage should not grow with loss "
+                f"({first.speedup:.2f}x -> {last.speedup:.2f}x)")
+
+
+def measure_latency(server_cls, loss_rate: float, config: Fig3Config,
+                    seed: int) -> SummaryStats:
+    """One grid point: commit ``trials`` entries, return latency stats."""
+    cluster = build_cluster(
+        server_cls, n_sites=config.n_sites, seed=seed,
+        timing=config.timing,
+        loss=BernoulliLoss(loss_rate) if loss_rate else None,
+        trace_enabled=True)
+    cluster.start_all()
+    cluster.run_until_leader(timeout=30.0)
+    # "We chose a site at random to be the proposer."
+    proposer_site = cluster.rng.stream("fig3.proposer").choice(
+        sorted(cluster.servers))
+    client = cluster.add_client(site=proposer_site,
+                                proposal_timeout=config.proposal_timeout)
+    workload = ClosedLoopWorkload(client, max_requests=config.trials)
+    workload.start()
+    if not cluster.run_until(lambda: workload.done, timeout=config.timeout):
+        raise TimeoutError(
+            f"{server_cls.__name__} at {loss_rate:.0%} loss finished only "
+            f"{workload.completed_count}/{config.trials}")
+    run_safety_checks(cluster.servers.values(), cluster.trace)
+    return summarize(workload.latencies())
+
+
+def run_fig3(config: Fig3Config | None = None) -> Fig3Result:
+    config = config or Fig3Config.paper()
+    points = []
+    for loss_rate in config.loss_rates:
+        classic = measure_latency(
+            RaftServer, loss_rate, config,
+            cell_seed(config.seed, "classic", loss_rate))
+        fast = measure_latency(
+            FastRaftServer, loss_rate, config,
+            cell_seed(config.seed, "fast", loss_rate))
+        points.append(Fig3Point(loss_rate=loss_rate, classic=classic,
+                                fast=fast))
+    return Fig3Result(config=config, points=points)

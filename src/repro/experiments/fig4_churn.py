@@ -1,0 +1,145 @@
+"""Figure 4: Fast Raft commit-latency timeline across a silent leave.
+
+Paper setup: five sites, 5 % message loss, member timeout after five
+missed heartbeat responses; two sites leave silently mid-run (the vertical
+red line in the figure). Before the leave the proposer mostly rides the
+fast track (fast quorum 4 of 5); right after it, the fast track is
+unavailable and a latency spike above 200 ms appears around the
+configuration change; once the leader commits the exclusion entries the
+fast quorum shrinks to 3 of 3 and latency returns to the 50-100 ms band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.consensus.timing import TimingConfig
+from repro.experiments.base import ResultTable, require
+from repro.fastraft.server import FastRaftServer
+from repro.harness.builder import build_cluster
+from repro.harness.checkers import run_safety_checks
+from repro.harness.faults import FaultInjector
+from repro.harness.workload import ClosedLoopWorkload
+from repro.metrics.summary import summarize
+from repro.net.loss import BernoulliLoss
+
+
+@dataclass(frozen=True)
+class Fig4Config:
+    n_sites: int = 5
+    loss_rate: float = 0.05
+    leavers: int = 2
+    warmup_commits: int = 40      # commits before the leave
+    total_commits: int = 160      # commits overall
+    settle_time: float = 3.0      # post-leave horizon treated as recovery
+    seed: int = 7
+    timing: TimingConfig = field(default_factory=TimingConfig.intra_cluster)
+    timeout: float = 900.0
+
+    @classmethod
+    def paper(cls) -> "Fig4Config":
+        return cls()
+
+    @classmethod
+    def quick(cls) -> "Fig4Config":
+        return cls(warmup_commits=15, total_commits=80)
+
+
+@dataclass
+class Fig4Result:
+    config: Fig4Config
+    leave_time: float
+    #: (submit time relative to the leave, latency) per committed proposal.
+    timeline: list[tuple[float, float]]
+    final_members: tuple[str, ...]
+    final_fast_quorum: int
+
+    def phase_latencies(self) -> tuple[list[float], list[float], list[float]]:
+        """(pre-leave, transition, recovered) latency groups."""
+        pre, transition, recovered = [], [], []
+        for offset, latency in self.timeline:
+            if offset < 0:
+                pre.append(latency)
+            elif offset < self.config.settle_time:
+                transition.append(latency)
+            else:
+                recovered.append(latency)
+        return pre, transition, recovered
+
+    def table(self) -> ResultTable:
+        pre, transition, recovered = self.phase_latencies()
+        table = ResultTable(
+            "Fig. 4 -- Fast Raft latency around two silent leaves (ms)",
+            ["phase", "commits", "mean", "p95", "max"])
+        for name, values in (("before leave", pre),
+                             ("transition", transition),
+                             ("recovered", recovered)):
+            if values:
+                stats = summarize(values)
+                table.add_row(name, stats.count, stats.mean * 1000,
+                              stats.p95 * 1000, stats.maximum * 1000)
+            else:
+                table.add_row(name, 0, float("nan"), float("nan"),
+                              float("nan"))
+        table.add_note(f"members after recovery: "
+                       f"{list(self.final_members)}, fast quorum "
+                       f"{self.final_fast_quorum}")
+        table.add_note(f"silent leave at t={self.leave_time:.2f}s, loss "
+                       f"{self.config.loss_rate:.0%}, member timeout "
+                       f"{self.config.timing.member_timeout_beats} beats")
+        return table
+
+    def check_shape(self) -> None:
+        pre, transition, recovered = self.phase_latencies()
+        require(bool(pre) and bool(recovered),
+                "need commits on both sides of the leave")
+        pre_mean = sum(pre) / len(pre)
+        recovered_mean = sum(recovered) / len(recovered)
+        peak = max(transition + recovered) if (transition or recovered) else 0
+        require(peak > 2 * pre_mean,
+                f"expected a churn spike >2x the steady state "
+                f"(pre {pre_mean * 1000:.0f} ms, peak {peak * 1000:.0f} ms)")
+        require(recovered_mean < 2.0 * pre_mean,
+                f"latency should return near the pre-leave band "
+                f"(pre {pre_mean * 1000:.0f} ms, recovered "
+                f"{recovered_mean * 1000:.0f} ms)")
+        expected_size = self.config.n_sites - self.config.leavers
+        require(len(self.final_members) == expected_size,
+                f"configuration should shrink to {expected_size} members, "
+                f"got {list(self.final_members)}")
+
+
+def run_fig4(config: Fig4Config | None = None) -> Fig4Result:
+    config = config or Fig4Config.paper()
+    cluster = build_cluster(
+        FastRaftServer, n_sites=config.n_sites, seed=config.seed,
+        timing=config.timing, loss=BernoulliLoss(config.loss_rate))
+    cluster.start_all()
+    leader_name = cluster.run_until_leader(timeout=30.0)
+    # The proposer sits on the leader's site so that proposer-side retries
+    # never mask the protocol's own latency (as in the paper's timeline).
+    client = cluster.add_client(site=leader_name)
+    workload = ClosedLoopWorkload(client, max_requests=config.total_commits)
+    workload.start()
+    if not cluster.run_until(
+            lambda: workload.completed_count >= config.warmup_commits,
+            timeout=config.timeout):
+        raise TimeoutError("warmup did not complete")
+    leave_time = cluster.loop.now()
+    faults = FaultInjector(cluster)
+    victims = [n for n in cluster.servers if n != leader_name]
+    for victim in victims[:config.leavers]:
+        faults.silent_leave(victim)
+    if not cluster.run_until(lambda: workload.done, timeout=config.timeout):
+        raise TimeoutError(
+            f"finished only {workload.completed_count}"
+            f"/{config.total_commits} commits")
+    cluster.run_for(1.0)
+    run_safety_checks(cluster.servers.values(), cluster.trace)
+    engine = cluster.servers[leader_name].engine
+    timeline = [(record.submitted_at - leave_time, record.latency)
+                for record in workload.records if record.done]
+    return Fig4Result(config=config, leave_time=leave_time,
+                      timeline=timeline,
+                      final_members=engine.configuration.members,
+                      final_fast_quorum=engine.configuration.fast_quorum)

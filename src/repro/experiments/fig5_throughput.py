@@ -1,0 +1,228 @@
+"""Figure 5: global commit throughput of classic Raft vs C-Raft.
+
+Paper setup: 20 sites split evenly over a varying number of clusters, one
+cluster per AWS region; one closed-loop proposer per cluster; C-Raft
+batches ten locally committed entries per global proposal; throughput is
+entries committed to the global log, averaged over five 3-minute trials.
+Intra-cluster heartbeat 100 ms, inter-cluster 500 ms.
+
+Expected shape (paper): comparable at one cluster, C-Raft pulling ahead as
+clusters multiply, reaching about 5x classic Raft at ten clusters.
+
+The classic baseline spans the same sites in the same regions; its timing
+uses the intra-cluster preset when everything sits in one region and the
+inter-cluster preset once the deployment is geo-distributed, mirroring
+how the paper configures heartbeats per deployment scope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.consensus.config import Configuration
+from repro.consensus.engine import Role
+from repro.consensus.entry import EntryKind
+from repro.consensus.timing import TimingConfig
+from repro.craft.batching import BatchPolicy
+from repro.craft.deployment import build_craft_deployment
+from repro.experiments.base import ResultTable, cell_seed, require
+from repro.experiments.regions import latency_model_for, regions_for
+from repro.harness.checkers import check_election_safety
+from repro.harness.workload import ClosedLoopWorkload
+from repro.net.network import Network
+from repro.net.topology import Topology
+from repro.raft.server import RaftServer
+from repro.sim.loop import SimLoop
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import TraceRecorder
+from repro.smr.kv import KVStateMachine
+from repro.storage.stable import StorageFabric
+
+
+@dataclass(frozen=True)
+class Fig5Config:
+    total_sites: int = 20
+    cluster_counts: tuple[int, ...] = (1, 2, 4, 5, 10)
+    batch_size: int = 10
+    #: Batches are proposed as soon as ten local commits accumulate (the
+    #: paper places no wait on the previous batch), so several may be in
+    #: flight; this bounds the pipeline.
+    max_outstanding_batches: int = 8
+    trial_duration: float = 180.0   # paper: 3-minute trials
+    trials: int = 5
+    warmup: float = 20.0            # excluded from the measurement window
+    seed: int = 0
+
+    @classmethod
+    def paper(cls) -> "Fig5Config":
+        return cls()
+
+    @classmethod
+    def quick(cls) -> "Fig5Config":
+        return cls(cluster_counts=(1, 4, 10), trial_duration=40.0,
+                   trials=1, warmup=10.0)
+
+
+@dataclass
+class Fig5Point:
+    clusters: int
+    classic_throughput: float   # entries/s committed to the (global) log
+    craft_throughput: float
+
+    @property
+    def speedup(self) -> float:
+        return self.craft_throughput / self.classic_throughput
+
+
+@dataclass
+class Fig5Result:
+    config: Fig5Config
+    points: list[Fig5Point]
+
+    def table(self) -> ResultTable:
+        table = ResultTable(
+            "Fig. 5 -- global commit throughput vs cluster count (entries/s)",
+            ["clusters", "classic Raft", "C-Raft", "speedup"])
+        for point in self.points:
+            table.add_row(point.clusters, point.classic_throughput,
+                          point.craft_throughput, point.speedup)
+        table.add_note(f"{self.config.total_sites} sites, batch size "
+                       f"{self.config.batch_size}, "
+                       f"{self.config.trials} x "
+                       f"{self.config.trial_duration:.0f}s trials, one "
+                       f"closed-loop proposer per cluster")
+        return table
+
+    def check_shape(self) -> None:
+        single = self.points[0]
+        require(single.clusters == 1, "first point should be one cluster")
+        require(0.4 <= single.speedup <= 2.5,
+                f"protocols should be comparable at one cluster, got "
+                f"{single.speedup:.2f}x")
+        most = self.points[-1]
+        require(most.speedup >= 3.0,
+                f"C-Raft should win by several x at {most.clusters} "
+                f"clusters, got {most.speedup:.2f}x")
+        speedups = [p.speedup for p in self.points]
+        require(speedups[-1] > speedups[0],
+                "C-Raft's advantage should grow with cluster count")
+
+
+# ----------------------------------------------------------------------
+# Classic Raft baseline over the same geo-distributed sites
+# ----------------------------------------------------------------------
+def _classic_trial(cluster_count: int, config: Fig5Config,
+                   seed: int) -> float:
+    regions = regions_for(cluster_count)
+    topology = Topology.even_clusters(config.total_sites, regions)
+    timing = (TimingConfig.intra_cluster() if cluster_count == 1
+              else TimingConfig.inter_cluster())
+    loop = SimLoop()
+    rng = RngRegistry(seed)
+    trace = TraceRecorder(enabled=False)
+    network = Network(loop, rng, latency_model_for(topology), None, trace)
+    fabric = StorageFabric()
+    members = Configuration(tuple(topology.nodes))
+    servers = {}
+    for name in topology.nodes:
+        server = RaftServer(
+            name=name, loop=loop, network=network,
+            store=fabric.store_for(name), bootstrap_config=members,
+            timing=timing, rng=rng, trace=trace,
+            state_machine_factory=KVStateMachine)
+        servers[name] = server
+        network.register(server)
+    for server in servers.values():
+        server.start()
+
+    def leader_exists() -> bool:
+        return any(s.engine.role is Role.LEADER for s in servers.values())
+
+    deadline = loop.now() + 60.0
+    while loop.now() < deadline and not leader_exists():
+        loop.run_for(0.1)
+    if not leader_exists():
+        raise TimeoutError("classic baseline elected no leader")
+    # One proposer per cluster, as in the paper.
+    workloads = []
+    for index, region in enumerate(regions):
+        site = topology.nodes_in_region(region)[0]
+        client_name = f"client.{region}"
+        from repro.smr.client import Client
+        client = Client(client_name, loop, network, site,
+                        proposal_timeout=timing.proposal_timeout)
+        network.register(client)
+        workload = ClosedLoopWorkload(
+            client, command_factory=lambda s, r=region: {
+                "op": "put", "key": f"{r}.{s}", "value": s})
+        workload.start()
+        workloads.append(workload)
+    loop.run_for(config.warmup)
+    leader = next(s for s in servers.values()
+                  if s.engine.role is Role.LEADER)
+    start_count = _data_commits(leader)
+    loop.run_for(config.trial_duration)
+    end_count = _data_commits(leader)
+    for workload in workloads:
+        workload.stop()
+    return (end_count - start_count) / config.trial_duration
+
+
+def _data_commits(server) -> int:
+    return sum(1 for _, e in server.applied_log
+               if e.kind is EntryKind.DATA)
+
+
+# ----------------------------------------------------------------------
+# C-Raft
+# ----------------------------------------------------------------------
+def _craft_trial(cluster_count: int, config: Fig5Config, seed: int) -> float:
+    regions = regions_for(cluster_count)
+    topology = Topology.even_clusters(config.total_sites, regions)
+    deployment = build_craft_deployment(
+        topology, latency_model_for(topology), seed=seed,
+        local_timing=TimingConfig.intra_cluster(),
+        global_timing=TimingConfig.inter_cluster(),
+        batch_policy=BatchPolicy(
+            batch_size=config.batch_size,
+            max_outstanding=config.max_outstanding_batches),
+        trace_enabled=False,
+        state_machine_factory=KVStateMachine)
+    deployment.start_all()
+    deployment.run_until_local_leaders(timeout=30.0)
+    deployment.run_until_global_ready(timeout=90.0)
+    workloads = []
+    for region in regions:
+        site = topology.nodes_in_cluster(region)[0]
+        client = deployment.add_client(site=site)
+        workload = ClosedLoopWorkload(
+            client, command_factory=lambda s, r=region: {
+                "op": "put", "key": f"{r}.{s}", "value": s})
+        workload.start()
+        workloads.append(workload)
+    deployment.run_for(config.warmup)
+    start_count = deployment.total_global_applied()
+    deployment.run_for(config.trial_duration)
+    end_count = deployment.total_global_applied()
+    for workload in workloads:
+        workload.stop()
+    return (end_count - start_count) / config.trial_duration
+
+
+def run_fig5(config: Fig5Config | None = None) -> Fig5Result:
+    config = config or Fig5Config.paper()
+    points = []
+    for cluster_count in config.cluster_counts:
+        classic_rates, craft_rates = [], []
+        for trial in range(config.trials):
+            classic_rates.append(_classic_trial(
+                cluster_count, config,
+                cell_seed(config.seed, "classic", cluster_count, trial)))
+            craft_rates.append(_craft_trial(
+                cluster_count, config,
+                cell_seed(config.seed, "craft", cluster_count, trial)))
+        points.append(Fig5Point(
+            clusters=cluster_count,
+            classic_throughput=sum(classic_rates) / len(classic_rates),
+            craft_throughput=sum(craft_rates) / len(craft_rates)))
+    return Fig5Result(config=config, points=points)

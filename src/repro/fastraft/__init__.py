@@ -1,0 +1,30 @@
+"""Fast Raft: the paper's first contribution (Section IV).
+
+Fast Raft reduces the commit path from three leader-coordinated message
+rounds to two by letting proposers broadcast entries directly to all
+sites, which insert them *self-approved* and vote to the leader. A fast
+quorum of ``ceil(3M/4)`` matching votes commits immediately (fast track);
+otherwise the leader picks the plurality entry and falls back to ordinary
+Raft replication (classic track). Elections compare only leader-approved
+entries and run a recovery pass over resent self-approved entries.
+Membership is self-announced (join/leave requests) and the leader detects
+silent leaves through a member timeout.
+
+The engine is assembled from focused mixins:
+
+- :mod:`repro.fastraft.proposals` -- proposal broadcast and vote intake,
+- :mod:`repro.fastraft.decision` -- the leader's periodic decision
+  procedure (fast-track commits, classic-track handoff, gap fill),
+- :mod:`repro.fastraft.replication` -- AppendEntries with overwrite
+  semantics and silent-leave detection,
+- :mod:`repro.fastraft.election` -- modified up-to-date rule and the
+  post-election recovery algorithm,
+- :mod:`repro.fastraft.membership` -- join/leave protocol.
+"""
+
+from repro.fastraft.engine import FastRaftEngine
+from repro.fastraft.server import FastRaftServer
+from repro.fastraft.votes import PossibleEntries, VoteRecord
+
+__all__ = ["FastRaftEngine", "FastRaftServer", "PossibleEntries",
+           "VoteRecord"]

@@ -1,0 +1,196 @@
+"""FastRaftEngine: assembly of the Fast Raft behaviour mixins.
+
+State layout follows the paper's Section IV-A: persistent ``currentTerm``,
+``votedFor``, ``log`` (via :class:`BaseEngine` and the stable store) plus
+``lastLeaderIndex`` (derived from provenance marks on recovery); volatile
+leader state ``nextIndex``, ``matchIndex``, ``fastMatchIndex``, and
+``possibleEntries``.
+
+The ``_gate_insert`` hook is the C-Raft extension point: every log insert
+funnels through it, and the inter-cluster engine overrides it to first run
+intra-cluster consensus on a global-state entry (Section V-B).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.consensus.config import Configuration
+from repro.consensus.engine import BaseEngine, EngineContext, Role
+from repro.consensus.entry import EntryKind, InsertedBy, LogEntry
+from repro.consensus.messages import ProposeEntry, VoteEntry
+from repro.fastraft.decision import DecisionMixin
+from repro.fastraft.election import ElectionMixin
+from repro.fastraft.membership import MembershipMixin
+from repro.fastraft.proposals import ProposalMixin
+from repro.fastraft.replication import ReplicationMixin
+from repro.fastraft.votes import PossibleEntries
+from repro.sim.timers import PeriodicTimer
+
+
+class FastRaftEngine(ProposalMixin, DecisionMixin, ReplicationMixin,
+                     ElectionMixin, MembershipMixin, BaseEngine):
+    """Fast Raft over an injected transport."""
+
+    protocol_name = "fastraft"
+
+    def __init__(self, ctx: EngineContext,
+                 bootstrap_config: Configuration) -> None:
+        super().__init__(ctx, bootstrap_config)
+        # Volatile leader state (Section IV-A).
+        self.possible_entries = PossibleEntries()
+        self.next_index: dict[str, int] = {}
+        self.match_index: dict[str, int] = {}
+        self.fast_match_index: dict[str, int] = {}
+        # lastLeaderIndex is persistent in the paper; here it is derived
+        # from the (persistent) provenance marks on every recovery.
+        self.last_leader_index = self.log.last_with_provenance(
+            InsertedBy.LEADER)
+        # Timers: AppendEntries dispatch and the decision procedure run on
+        # separate cadences (see TimingConfig / DESIGN.md calibration).
+        self._heartbeat = PeriodicTimer(ctx.loop,
+                                        self.timing.heartbeat_interval,
+                                        self._broadcast_append_entries)
+        self._decision_timer = PeriodicTimer(
+            ctx.loop, self.timing.effective_decision_interval,
+            self._decision_tick)
+        # Failure detection / liveness bookkeeping.
+        self._beats_missed: dict[str, int] = {}
+        self._gap_since: dict[int, float] = {}
+        self._gating_indices: set[int] = set()
+        self._last_decision_outcome = "blocked"
+        # Membership bookkeeping.
+        self._catchup_targets: set[str] = set()
+        self._pending_config: dict[str, Any] | None = None
+        self._config_queue: list[dict[str, Any]] = []
+        self._awaiting_commit: dict[str, dict[str, Any]] = {}
+        self._recovery_votes: dict[str, tuple] = {}
+        self._internal_seq = 0
+        self._evicted = False
+        self._config_version_floor = self.log.max_config_version()
+        # Proposals this site originated that have not committed yet.
+        # When a commit reveals that one lost its slot to a concurrent
+        # proposal, it is re-proposed immediately instead of waiting for
+        # the proposer's timeout -- essential for throughput when many
+        # sites propose at once (C-Raft's global level, Fig. 5).
+        self._outstanding_proposals: dict[str, LogEntry] = {}
+        self._reclaims_scheduled: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # Timers and role transitions
+    # ------------------------------------------------------------------
+    def _decision_tick(self) -> None:
+        self._run_decision()
+        self._retry_pending_config()
+
+    def _stop_role_timers(self) -> None:
+        self._heartbeat.stop()
+        self._decision_timer.stop()
+        self.possible_entries.clear()
+        self.next_index.clear()
+        self.match_index.clear()
+        self.fast_match_index.clear()
+        self._beats_missed.clear()
+        self._gap_since.clear()
+        self._gating_indices.clear()
+        self._catchup_targets.clear()
+        self._extra_allowed.clear()
+        self._pending_config = None
+        self._config_queue.clear()
+        self._awaiting_commit.clear()
+
+    # ------------------------------------------------------------------
+    # Log insertion (single funnel, C-Raft's extension point)
+    # ------------------------------------------------------------------
+    def _insert_into_log(self, index: int, entry: LogEntry) -> None:
+        previous = self.log.get(index)
+        # Finality guards. With the synchronous insert path these are
+        # unreachable (handlers validate slots as they insert), but
+        # C-Raft's insert gate defers the write behind a round of local
+        # consensus, and the slot can change in the meantime:
+        # (1) committed slots are immutable;
+        # (2) a self-approved insert never displaces a leader-approved
+        #     entry (only the leader makes safe decisions, Section IV-B).
+        if index <= self.commit_index:
+            self._trace("insert.stale_dropped", index=index,
+                        entry_id=entry.entry_id)
+            return
+        if (previous is not None
+                and previous.inserted_by is InsertedBy.LEADER
+                and entry.inserted_by is InsertedBy.SELF):
+            self._trace("insert.superseded_dropped", index=index,
+                        entry_id=entry.entry_id)
+            return
+        self.log.insert(index, entry)
+        if entry.inserted_by is InsertedBy.LEADER:
+            self.last_leader_index = max(self.last_leader_index, index)
+        if (entry.kind is EntryKind.CONFIG
+                or (previous is not None
+                    and previous.kind is EntryKind.CONFIG)):
+            self._refresh_configuration()
+
+    def _gate_insert(self, pairs: list[tuple[int, LogEntry]],
+                     then: Callable[[], None]) -> None:
+        """Insert ``pairs`` then run ``then``. Plain Fast Raft inserts
+        immediately; the C-Raft global engine overrides this to interpose
+        intra-cluster consensus (Section V-B)."""
+        for index, entry in pairs:
+            self._insert_into_log(index, entry)
+        then()
+
+    # ------------------------------------------------------------------
+    # Commit side effects
+    # ------------------------------------------------------------------
+    def _on_entry_committed(self, index: int, entry: LogEntry) -> None:
+        if self.role is Role.LEADER:
+            if entry.origin != self.name:
+                self._notify_origin(entry, index)
+            if entry.kind is EntryKind.CONFIG:
+                self._finish_config_change(entry)
+        self._outstanding_proposals.pop(entry.entry_id, None)
+        self._reclaim_lost_proposals()
+
+    def _reclaim_lost_proposals(self) -> None:
+        """Re-propose any of our outstanding entries whose every slot is
+        now below the commit index (a different entry won the race).
+
+        With ``repropose_jitter`` set, losers back off by a random delay:
+        simultaneous reclaim waves would otherwise all target the same
+        next index and collide again.
+        """
+        jitter = self.timing.repropose_jitter
+        for entry_id, entry in list(self._outstanding_proposals.items()):
+            slots = self.log.indices_of(entry_id)
+            if any(i > self.commit_index for i in slots):
+                continue  # still in play at a live index
+            if jitter <= 0:
+                self.propose(entry)
+            elif entry_id not in self._reclaims_scheduled:
+                self._reclaims_scheduled.add(entry_id)
+                delay = self.ctx.rng.uniform(0.0, jitter)
+                self.ctx.loop.call_later(
+                    delay, lambda e=entry: self._delayed_repropose(e))
+
+    def _delayed_repropose(self, entry: LogEntry) -> None:
+        self._reclaims_scheduled.discard(entry.entry_id)
+        if self._stopped or entry.entry_id not in self._outstanding_proposals:
+            return
+        self.propose(entry)
+
+    def _on_configuration_changed(self) -> None:
+        if self.role is not Role.LEADER:
+            return
+        start = self.commit_index + 1
+        for member in self.configuration.members:
+            self.next_index.setdefault(member, start)
+            self.match_index.setdefault(member, 0)
+            self.fast_match_index.setdefault(member, 0)
+
+    # ------------------------------------------------------------------
+    # Dispatch additions
+    # ------------------------------------------------------------------
+    def _build_dispatch(self):
+        dispatch = super()._build_dispatch()
+        dispatch[ProposeEntry] = self._handle_propose_entry
+        dispatch[VoteEntry] = self._handle_vote_entry
+        return dispatch

@@ -1,0 +1,332 @@
+"""Self-announced membership (paper Section IV-D).
+
+Sites send join/leave requests to the members; non-leaders forward to the
+leader; the leader serializes changes (one site per configuration entry),
+catches joiners up as non-voting members first, and detects silent leaves
+via the member timeout (in :mod:`repro.fastraft.replication`).
+
+An evicted site (removed after a silent leave while actually alive) keeps
+its stale configuration, so it cannot know it was removed; when its
+messages are ignored, members answer with ``NotInConfiguration`` and the
+site switches to join mode -- the paper's "it will need to send a join
+request to return to the configuration".
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.consensus.config import Configuration
+from repro.consensus.engine import Role
+from repro.consensus.entry import ConfigPayload, EntryKind, InsertedBy, LogEntry
+from repro.consensus.messages import (
+    JoinAccepted,
+    JoinRequest,
+    LeaveAccepted,
+    LeaveRequest,
+    NotInConfiguration,
+)
+
+
+class MembershipMixin:
+    """Membership behaviour of :class:`FastRaftEngine`."""
+
+    # ------------------------------------------------------------------
+    # Join / leave requests
+    # ------------------------------------------------------------------
+    def _handle_join_request(self, msg: JoinRequest, sender: str) -> None:
+        if self.role is not Role.LEADER:
+            if self.leader_id is not None and self.leader_id != self.name:
+                self._send(self.leader_id, msg)  # redirect to the leader
+            return
+        site = msg.site
+        if site in self.configuration:
+            self._send(site, JoinAccepted(
+                members=self.configuration.members, leader_id=self.name))
+            return
+        if self._membership_change_known(site):
+            return  # duplicate request
+        self._trace("join.accepted_for_catchup", site=site)
+        self._enqueue_config_change({"action": "add", "site": site})
+
+    def _handle_leave_request(self, msg: LeaveRequest, sender: str) -> None:
+        if self.role is not Role.LEADER:
+            if self.leader_id is not None and self.leader_id != self.name:
+                self._send(self.leader_id, msg)
+            return
+        site = msg.site
+        if site not in self.configuration:
+            self._send(site, LeaveAccepted(site=site))
+            return
+        if self._membership_change_known(site):
+            return
+        self._trace("leave.accepted", site=site)
+        self._enqueue_config_change({"action": "remove", "site": site,
+                                     "reason": "announced"})
+
+    def _membership_change_known(self, site: str) -> bool:
+        if any(change["site"] == site for change in self._config_queue):
+            return True
+        pending = self._pending_config
+        return pending is not None and pending["site"] == site
+
+    def _target_config(self, action: str, site: str) -> Configuration | None:
+        """Membership after the change, computed idempotently: configs
+        activate on *insert*, so by (re)proposal time the current config
+        may already reflect the change."""
+        members = set(self.configuration.members)
+        if action == "add":
+            members.add(site)
+        else:
+            members.discard(site)
+        if not members:
+            return None  # never commit an empty configuration
+        return Configuration(tuple(members))
+
+    # ------------------------------------------------------------------
+    # Serialized configuration changes
+    # ------------------------------------------------------------------
+    def _enqueue_config_change(self, change: dict[str, Any]) -> None:
+        self._config_queue.append(change)
+        self._start_next_config_change()
+
+    def _start_next_config_change(self) -> None:
+        if self.role is not Role.LEADER:
+            return
+        if self._pending_config is not None or not self._config_queue:
+            return
+        change = self._config_queue.pop(0)
+        self._pending_config = change
+        site = change["site"]
+        if change["action"] == "add":
+            # Non-voting catch-up before the configuration entry.
+            self._catchup_targets.add(site)
+            self._extra_allowed.add(site)
+            self.next_index[site] = 1
+            self.match_index[site] = 0
+            self.fast_match_index.setdefault(site, 0)
+            self._send_append_entries(site)
+            return
+        target = self._target_config("remove", site)
+        if target is None:
+            self._pending_config = None
+            self._start_next_config_change()
+            return
+        if self._should_degrade():
+            # No quorum can decide the proposal; removals fall back to the
+            # degraded direct insert regardless of who initiated them.
+            self._degraded_config_insert(target, change)
+            return
+        self._propose_config_entry(target, change)
+
+    def _should_degrade(self) -> bool:
+        """Degraded reconfiguration applies when enabled, no classic
+        quorum of members responds, and at least one *other* member still
+        does. The last condition guards the most common false positive: a
+        leader that hears from nobody is far more likely to be the
+        disconnected one itself, and shrinking its configuration around
+        itself is exactly the split-brain the paper's Section IV-E
+        argument forbids."""
+        if not self.timing.allow_degraded_reconfig:
+            return False
+        if self._quorum_of_members_responsive():
+            return False
+        threshold = self.timing.member_timeout_beats
+        return any(self._beats_missed.get(member, 0) <= threshold
+                   for member in self.configuration.others(self.name))
+
+    # ------------------------------------------------------------------
+    # Degraded reconfiguration (Section IV-F liveness)
+    # ------------------------------------------------------------------
+    def _quorum_of_members_responsive(self) -> bool:
+        """Can the current configuration still decide proposals?"""
+        threshold = self.timing.member_timeout_beats
+        live = 1  # the leader itself
+        for member in self.configuration.others(self.name):
+            if self._beats_missed.get(member, 0) <= threshold:
+                live += 1
+        return live >= self.configuration.classic_quorum
+
+    def _degraded_config_insert(self, new_config: Configuration,
+                                change: dict[str, Any]) -> None:
+        """Majority silently left: the decision procedure can never gather
+        a classic quorum, so the leader inserts the exclusion entry into
+        its own log directly -- "the leader can insert a new configuration
+        and decrease the leader's perception of quorum sizes" (Section
+        IV-F). Configurations activate on insert, so chained removals
+        shrink the quorum until the survivors can commit the entries.
+        Leader-approved slots are never overwritten."""
+        k = self.commit_index + 1
+        while True:
+            existing = self.log.get(k)
+            if existing is None or existing.inserted_by is not InsertedBy.LEADER:
+                break
+            k += 1
+        self._internal_seq += 1
+        entry = LogEntry(
+            entry_id=(f"{self.name}:config{self._internal_seq}"
+                      f".t{self.current_term}"),
+            kind=EntryKind.CONFIG,
+            payload=ConfigPayload(members=new_config.members,
+                                  version=self._next_config_version()),
+            origin=self.name, term=self.current_term,
+            inserted_by=InsertedBy.LEADER)
+        change["entry_id"] = entry.entry_id
+        self._insert_into_log(k, entry)
+        self._trace("config.degraded_insert", index=k, site=change["site"],
+                    members=new_config.members)
+        # Do not block the queue on this entry's commit; remember it so
+        # the commit hook can still finish the bookkeeping later.
+        self._awaiting_commit[entry.entry_id] = change
+        self._pending_config = None
+        self._start_next_config_change()
+
+    def _check_catchup_complete(self, follower: str) -> None:
+        pending = self._pending_config
+        if (pending is None or pending["action"] != "add"
+                or pending["site"] != follower
+                or "entry_id" in pending):
+            return
+        if self.match_index.get(follower, 0) >= self.last_leader_index:
+            self._propose_config_entry(
+                self._target_config("add", follower), pending)
+
+    def _next_config_version(self) -> int:
+        version = max(self.log.max_config_version(),
+                      self._config_version_floor) + 1
+        self._config_version_floor = version
+        return version
+
+    def _propose_config_entry(self, new_config: Configuration,
+                              change: dict[str, Any]) -> None:
+        """Configuration entries travel the normal proposal path; the
+        Fig. 4 latency spike the paper attributes to "concurrent proposals
+        with the leader for a configuration change" is exactly this."""
+        self._internal_seq += 1
+        entry = LogEntry(
+            entry_id=f"{self.name}:config{self._internal_seq}.t{self.current_term}",
+            kind=EntryKind.CONFIG,
+            payload=ConfigPayload(members=new_config.members,
+                                  version=self._next_config_version()),
+            origin=self.name, term=self.current_term,
+            inserted_by=InsertedBy.SELF)
+        change["entry_id"] = entry.entry_id
+        self._trace("config.proposed", action=change["action"],
+                    site=change["site"], members=new_config.members)
+        self.propose(entry)
+
+    def _retry_pending_config(self) -> None:
+        """Re-propose a pending configuration entry that lost its slot
+        (called from the leader's decision tick; cheap no-op otherwise)."""
+        pending = self._pending_config
+        if pending is None or "entry_id" not in pending:
+            return
+        if pending["action"] == "remove" and self._should_degrade():
+            # The remaining sites can never decide this proposal; fall
+            # back to the degraded direct insert (Section IV-F).
+            target = self._target_config("remove", pending["site"])
+            if target is not None:
+                self._degraded_config_insert(target, pending)
+                return
+        entry_id = pending["entry_id"]
+        if self.log.indices_of(entry_id):
+            return
+        # The config entry was overwritten by a concurrent proposal before
+        # being decided anywhere we can see; propose it afresh.
+        del pending["entry_id"]
+        target = self._target_config(pending["action"], pending["site"])
+        if target is None:
+            self._pending_config = None
+            self._start_next_config_change()
+            return
+        self._propose_config_entry(target, pending)
+
+    def _finish_config_change(self, entry: LogEntry) -> None:
+        pending = self._pending_config
+        if pending is not None and pending.get("entry_id") == entry.entry_id:
+            self._pending_config = None
+        else:
+            pending = self._awaiting_commit.pop(entry.entry_id, None)
+            if pending is None:
+                return
+        site = pending["site"]
+        if pending["action"] == "add":
+            self._catchup_targets.discard(site)
+            self._extra_allowed.discard(site)
+            self._send(site, JoinAccepted(
+                members=self.configuration.members, leader_id=self.name))
+        else:
+            self._send(site, LeaveAccepted(site=site))
+            self.next_index.pop(site, None)
+            self.match_index.pop(site, None)
+            self.fast_match_index.pop(site, None)
+            self._beats_missed.pop(site, None)
+            self.possible_entries.forget_voter(site)
+            if site == self.name:
+                self._become_follower()
+                return
+        self._trace("config.committed", action=pending["action"], site=site)
+        self._start_next_config_change()
+
+    # ------------------------------------------------------------------
+    # Joining / evicted site behaviour
+    # ------------------------------------------------------------------
+    def _on_election_timeout_as_nonmember(self) -> None:
+        """Not in the configuration (never admitted, or evicted): ask to
+        join instead of starting unwinnable elections."""
+        self._send_join_requests()
+        self._election_timer.reset(self.timing.join_timeout)
+
+    def _send_join_requests(self) -> None:
+        request = JoinRequest(site=self.name)
+        contacts = [m for m in self._join_contacts() if m != self.name]
+        for contact in contacts:
+            self._send(contact, request)
+        self._trace("join.requested", contacts=contacts)
+
+    def _join_contacts(self) -> tuple[str, ...]:
+        """All known members plus the last leader hint: a lone hint can go
+        stale (the hinted site may itself have left the configuration)."""
+        contacts = set(self.configuration.members)
+        if self.leader_id is not None:
+            contacts.add(self.leader_id)
+        return tuple(sorted(contacts))
+
+    def _handle_join_accepted(self, msg: JoinAccepted, sender: str) -> None:
+        self.leader_id = msg.leader_id
+        self._evicted = False
+        self._refresh_configuration()
+        self._trace("join.completed", members=msg.members)
+        self._arm_election_timer()
+
+    def _handle_leave_accepted(self, msg: LeaveAccepted, sender: str) -> None:
+        if msg.site != self.name:
+            return
+        # Our announced departure committed: exit the system. Without
+        # this, the site's election timeout would immediately ask to
+        # rejoin (the paper assumes a leaving site actually leaves).
+        self._trace("leave.completed")
+        self.stop()
+
+    def _handle_not_in_configuration(self, msg: NotInConfiguration,
+                                     sender: str) -> None:
+        if self.name in msg.members:
+            return  # raced with our own (re)admission
+        if msg.term < self.current_term and self.role is not Role.CANDIDATE:
+            # Stale notice from before our (re)admission. A candidate is
+            # exempt: its term is inflated by failed elections, yet the
+            # notice is live feedback to the votes it is soliciting now.
+            return
+        self._observe_term(msg.term)
+        if not self._evicted:
+            self._evicted = True
+            self._trace("evicted.detected", via=sender)
+        if msg.leader_hint is not None:
+            self.leader_id = msg.leader_hint
+        if self.role is not Role.LEADER:
+            self._election_timer.reset(self.timing.join_timeout)
+            self._send_join_requests()
+
+    @property
+    def is_member(self) -> bool:  # overrides BaseEngine's property use
+        return self.name in self.configuration and not self._evicted

@@ -1,0 +1,181 @@
+"""Classic-track replication and silent-leave detection.
+
+The leader periodically sends AppendEntries covering its leader-approved
+region (``nextIndex[i] .. lastLeaderIndex``). Followers *overwrite*
+conflicting slots instead of truncating: self-approved entries are
+tentative, and only the leader has made safe decisions about them
+(Section IV-B, "When a follower receives AppendEntries message", step 4).
+
+The heartbeat doubles as the paper's silent-leave failure detector: a
+member that misses ``member_timeout_beats`` consecutive response windows
+is proposed out of the configuration.
+"""
+
+from __future__ import annotations
+
+from repro.consensus.engine import Role
+from repro.consensus.entry import InsertedBy
+from repro.consensus.messages import AppendEntries, AppendEntriesResponse
+
+
+class ReplicationMixin:
+    """Replication behaviour of :class:`FastRaftEngine`."""
+
+    # ------------------------------------------------------------------
+    # Leader side
+    # ------------------------------------------------------------------
+    def _append_targets(self) -> list[str]:
+        targets = list(self.configuration.others(self.name))
+        targets.extend(sorted(self._catchup_targets))
+        return targets
+
+    def _broadcast_append_entries(self) -> None:
+        if self.role is not Role.LEADER:
+            return
+        self._tick_member_timeouts()
+        for target in self._append_targets():
+            self._send_append_entries(target)
+
+    def _send_append_entries(self, target: str) -> None:
+        next_index = self.next_index.get(target, self.last_leader_index + 1)
+        prev_index = next_index - 1
+        prev_term = self.log.term_at(prev_index) if prev_index > 0 else 0
+        hi = min(self.last_leader_index,
+                 prev_index + self.timing.max_append_batch)
+        entries = tuple(self.log.entries_between(next_index, hi))
+        self._send(target, AppendEntries(
+            term=self.current_term, leader_id=self.name,
+            prev_log_index=prev_index, prev_log_term=prev_term,
+            entries=entries, leader_commit=self.commit_index,
+            global_commit=self._global_commit_piggyback()))
+
+    def _global_commit_piggyback(self) -> int:
+        """C-Raft's local level overrides this; plain Fast Raft sends 0."""
+        return 0
+
+    def _handle_append_entries_response(self, msg: AppendEntriesResponse,
+                                        sender: str) -> None:
+        self._observe_term(msg.term)
+        if self.role is not Role.LEADER or msg.term < self.current_term:
+            return
+        follower = msg.follower
+        self._beats_missed[follower] = 0
+        if msg.success:
+            self.match_index[follower] = max(
+                self.match_index.get(follower, 0), msg.match_index)
+            self.next_index[follower] = max(
+                self.next_index.get(follower, 1),
+                self.match_index[follower] + 1)
+            self._classic_track_commit()
+            self._check_catchup_complete(follower)
+        else:
+            current = self.next_index.get(follower,
+                                          self.last_leader_index + 1)
+            self.next_index[follower] = max(
+                1, min(current - 1, msg.last_log_index + 1))
+
+    def _classic_track_commit(self) -> None:
+        """Commit rule over matchIndex (identical to classic Raft but
+        bounded by the leader-approved region)."""
+        best = self.commit_index
+        for k in range(self.commit_index + 1, self.last_leader_index + 1):
+            votes = 1  # leader
+            for member in self.configuration.members:
+                if (member != self.name
+                        and self.match_index.get(member, 0) >= k):
+                    votes += 1
+            if not self.configuration.is_classic_quorum(votes):
+                break
+            entry = self.log.get(k)
+            if entry is not None and entry.term == self.current_term:
+                best = k
+        if best > self.commit_index:
+            self._trace("classic_commit", index=best)
+            self._advance_commit_index(best)
+            self.possible_entries.drop_through(self.commit_index)
+            self.ctx.loop.call_soon(self._run_decision)
+
+    # ------------------------------------------------------------------
+    # Member timeout (silent leaves, Section IV-D)
+    # ------------------------------------------------------------------
+    def _tick_member_timeouts(self) -> None:
+        for member in self.configuration.others(self.name):
+            missed = self._beats_missed.get(member, 0) + 1
+            self._beats_missed[member] = missed
+            if missed > self.timing.member_timeout_beats:
+                self._on_member_timeout(member)
+
+    def _on_member_timeout(self, member: str) -> None:
+        if any(change["site"] == member for change in self._config_queue):
+            return
+        pending = self._pending_config
+        if pending is not None and pending["site"] == member:
+            return
+        if any(change["site"] == member
+               for change in self._awaiting_commit.values()):
+            return
+        self._trace("member_timeout", site=member)
+        self._enqueue_config_change({"action": "remove", "site": member,
+                                     "reason": "member_timeout"})
+
+    # ------------------------------------------------------------------
+    # Follower side
+    # ------------------------------------------------------------------
+    def _handle_append_entries(self, msg: AppendEntries, sender: str) -> None:
+        self._observe_term(msg.term, leader_hint=msg.leader_id)
+        if msg.term < self.current_term:
+            self._send(sender, AppendEntriesResponse(
+                term=self.current_term, success=False, follower=self.name,
+                match_index=0, last_log_index=self.log.last_index))
+            return
+        if self.role is not Role.FOLLOWER:
+            self._become_follower(msg.leader_id)
+        else:
+            self.leader_id = msg.leader_id
+            self._arm_election_timer()
+        if self.name in self.configuration:
+            # Current-term replication from the leader is authoritative:
+            # any earlier eviction notice is superseded.
+            self._evicted = False
+        if not self._log_matches(msg.prev_log_index, msg.prev_log_term):
+            self._send(sender, AppendEntriesResponse(
+                term=self.current_term, success=False, follower=self.name,
+                match_index=0, last_log_index=self.log.last_index))
+            return
+        self._absorb_global_commit(msg.global_commit)
+        to_insert = []
+        for index, entry in msg.entries:
+            existing = self.log.get(index)
+            if (existing is not None and existing.entry_id == entry.entry_id
+                    and existing.term == entry.term
+                    and existing.inserted_by is InsertedBy.LEADER):
+                continue  # already absorbed
+            to_insert.append((index, entry))
+        last_new = msg.prev_log_index + len(msg.entries)
+        self._gate_insert(to_insert, lambda: self._append_entries_absorbed(
+            sender, msg, last_new))
+
+    def _append_entries_absorbed(self, sender: str, msg: AppendEntries,
+                                 last_new: int) -> None:
+        if msg.leader_commit > self.commit_index:
+            self._advance_commit_index(min(msg.leader_commit,
+                                           max(last_new, self.commit_index)))
+        self._send(sender, AppendEntriesResponse(
+            term=self.current_term, success=True, follower=self.name,
+            match_index=last_new, last_log_index=self.log.last_index))
+
+    def _absorb_global_commit(self, global_commit: int) -> None:
+        """C-Raft local level overrides; plain Fast Raft ignores."""
+
+    def _log_matches(self, prev_index: int, prev_term: int) -> bool:
+        """Consistency check adapted to overwrite semantics: the previous
+        entry must be leader-approved with the matching term, already
+        committed, or the sentinel."""
+        if prev_index == 0:
+            return True
+        if prev_index <= self.commit_index:
+            return True
+        entry = self.log.get(prev_index)
+        if entry is None or entry.inserted_by is not InsertedBy.LEADER:
+            return False
+        return entry.term == prev_term

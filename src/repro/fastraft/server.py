@@ -1,0 +1,12 @@
+"""Fast Raft bound to a network address."""
+
+from __future__ import annotations
+
+from repro.consensus.server import ConsensusServer
+from repro.fastraft.engine import FastRaftEngine
+
+
+class FastRaftServer(ConsensusServer):
+    """A Fast Raft site."""
+
+    engine_cls = FastRaftEngine

@@ -1,0 +1,134 @@
+"""The leader's ``possibleEntries`` structure.
+
+Tracks, per log index, which entry each site voted for. The paper keeps
+"a set of pairs, each consisting of a proposed entry and number of votes";
+we keep the voter identities too because fast-track commits must update
+``fastMatchIndex`` for exactly the sites whose vote matched the decision,
+and because revotes (client retries) must not double-count a site.
+
+A *null vote* (paper step (d): "If e is elsewhere in possibleEntries, set
+to a null vote to avoid inserting a duplicate entry") still counts toward
+the classic-quorum threshold for its index; if null wins the plurality the
+leader inserts a fresh no-op.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.consensus.entry import LogEntry
+
+#: Bucket key for null votes.
+NULL_ID = "__null__"
+
+
+@dataclass
+class VoteRecord:
+    """Votes for one candidate entry at one index."""
+
+    entry: LogEntry | None  # None for the null bucket
+    voters: set[str] = field(default_factory=set)
+
+    @property
+    def count(self) -> int:
+        return len(self.voters)
+
+    @property
+    def is_null(self) -> bool:
+        return self.entry is None
+
+
+class PossibleEntries:
+    """Per-index vote books."""
+
+    def __init__(self) -> None:
+        self._buckets: dict[int, dict[str, VoteRecord]] = {}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def add_vote(self, index: int, entry: LogEntry, voter: str) -> None:
+        """Record that ``voter``'s slot at ``index`` holds ``entry``.
+
+        A site revoting for a different entry at the same index (its slot
+        was overwritten) is moved, never double-counted.
+        """
+        bucket = self._buckets.setdefault(index, {})
+        for entry_id, record in bucket.items():
+            if entry_id != entry.entry_id:
+                record.voters.discard(voter)
+        record = bucket.get(entry.entry_id)
+        if record is None:
+            record = VoteRecord(entry=entry)
+            bucket[entry.entry_id] = record
+        record.voters.add(voter)
+
+    def null_out(self, entry_id: str, except_index: int) -> None:
+        """Convert votes for ``entry_id`` at all other indices into null
+        votes (the entry is being used at ``except_index``)."""
+        for index, bucket in self._buckets.items():
+            if index == except_index:
+                continue
+            record = bucket.pop(entry_id, None)
+            if record is None:
+                continue
+            null_record = bucket.get(NULL_ID)
+            if null_record is None:
+                null_record = VoteRecord(entry=None)
+                bucket[NULL_ID] = null_record
+            null_record.voters.update(record.voters)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def voters_at(self, index: int) -> set[str]:
+        """Every site with any (including null) vote at ``index``."""
+        bucket = self._buckets.get(index, {})
+        voters: set[str] = set()
+        for record in bucket.values():
+            voters |= record.voters
+        return voters
+
+    def candidates(self, index: int) -> list[VoteRecord]:
+        """Vote records at ``index``, most votes first.
+
+        Ties break deterministically: non-null before null, then lowest
+        entry id ("break ties arbitrarily" -- determinism keeps runs
+        replayable).
+        """
+        bucket = self._buckets.get(index, {})
+
+        def sort_key(item: tuple[str, VoteRecord]):
+            entry_id, record = item
+            return (-record.count, record.is_null, entry_id)
+
+        return [record for _, record in sorted(bucket.items(), key=sort_key)]
+
+    def record_for(self, index: int, entry_id: str) -> VoteRecord | None:
+        return self._buckets.get(index, {}).get(entry_id)
+
+    def indices(self) -> list[int]:
+        return sorted(self._buckets)
+
+    def has_votes(self, index: int) -> bool:
+        return bool(self._buckets.get(index))
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def drop_through(self, index: int) -> None:
+        """Forget books for indices <= ``index`` (already committed)."""
+        for stale in [i for i in self._buckets if i <= index]:
+            del self._buckets[stale]
+
+    def forget_voter(self, voter: str) -> None:
+        """Remove a departed site's votes everywhere."""
+        for bucket in self._buckets.values():
+            for record in bucket.values():
+                record.voters.discard(voter)
+
+    def clear(self) -> None:
+        self._buckets.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<PossibleEntries indices={self.indices()}>"

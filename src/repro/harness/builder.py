@@ -1,0 +1,160 @@
+"""Cluster construction and run-control helpers."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.consensus.config import Configuration
+from repro.consensus.engine import Role
+from repro.consensus.server import ConsensusServer
+from repro.consensus.timing import TimingConfig
+from repro.errors import ExperimentError
+from repro.net.latency import LatencyModel, UniformLatency
+from repro.net.loss import LossModel, NoLoss
+from repro.net.network import Network
+from repro.sim.loop import SimLoop
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import TraceRecorder
+from repro.smr.client import Client
+from repro.storage.stable import StorageFabric
+
+#: Default intra-region one-way latency: the paper reports sub-millisecond
+#: round trips inside one AWS region.
+DEFAULT_LATENCY = UniformLatency(0.0002, 0.0005)
+
+
+class Cluster:
+    """A set of consensus servers plus the shared substrate."""
+
+    def __init__(self, loop: SimLoop, network: Network, rng: RngRegistry,
+                 trace: TraceRecorder, fabric: StorageFabric,
+                 timing: TimingConfig) -> None:
+        self.loop = loop
+        self.network = network
+        self.rng = rng
+        self.trace = trace
+        self.fabric = fabric
+        self.timing = timing
+        self.servers: dict[str, ConsensusServer] = {}
+        self.clients: dict[str, Client] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_server(self, server: ConsensusServer) -> None:
+        self.servers[server.name] = server
+        self.network.register(server)
+
+    def add_client(self, site: str, name: str | None = None,
+                   proposal_timeout: float | None = None,
+                   max_attempts: int | None = None) -> Client:
+        """Attach a client to ``site`` (co-located, reliable link)."""
+        if site not in self.servers:
+            raise ExperimentError(f"unknown site: {site!r}")
+        if name is None:
+            name = f"client.{site}.{len(self.clients)}"
+        timeout = (proposal_timeout if proposal_timeout is not None
+                   else self.timing.proposal_timeout)
+        client = Client(name, self.loop, self.network, site,
+                        proposal_timeout=timeout, max_attempts=max_attempts)
+        self.clients[name] = client
+        self.network.register(client)
+        return client
+
+    def start_all(self) -> None:
+        for server in self.servers.values():
+            server.start()
+
+    # ------------------------------------------------------------------
+    # Run control
+    # ------------------------------------------------------------------
+    def run_for(self, duration: float) -> None:
+        self.loop.run_for(duration)
+
+    def run_until(self, predicate: Callable[[], bool], timeout: float,
+                  step: float = 0.01) -> bool:
+        """Advance in ``step`` increments until ``predicate()`` or timeout.
+
+        Returns True if the predicate became true.
+        """
+        deadline = self.loop.now() + timeout
+        while self.loop.now() < deadline:
+            if predicate():
+                return True
+            self.loop.run_for(step)
+        return predicate()
+
+    def run_until_leader(self, timeout: float = 5.0) -> str:
+        """Run until some live server is leader; returns its name."""
+        if not self.run_until(lambda: self.leader() is not None, timeout):
+            raise ExperimentError(f"no leader elected within {timeout}s")
+        return self.leader()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def leader(self) -> str | None:
+        """Name of the live leader with the highest term, if any."""
+        best_name, best_term = None, -1
+        for name, server in self.servers.items():
+            if not server.alive or self.network.is_disconnected(name):
+                continue
+            engine = server.engine
+            if engine.role is Role.LEADER and engine.current_term > best_term:
+                best_name, best_term = name, engine.current_term
+        return best_name
+
+    def live_servers(self) -> list[ConsensusServer]:
+        return [s for s in self.servers.values()
+                if s.alive and not self.network.is_disconnected(s.name)]
+
+    def commit_indices(self) -> dict[str, int]:
+        return {name: server.engine.commit_index
+                for name, server in self.servers.items()}
+
+    # ------------------------------------------------------------------
+    # Convenience workload
+    # ------------------------------------------------------------------
+    def propose_and_wait(self, client: Client, command: Any,
+                         timeout: float = 10.0):
+        """Submit one command and run the loop until it commits."""
+        record = client.submit(command)
+        if not self.run_until(lambda: record.done, timeout):
+            raise ExperimentError(
+                f"command {command!r} did not commit within {timeout}s")
+        return record
+
+
+def build_cluster(server_cls: type[ConsensusServer], n_sites: int = 5,
+                  seed: int = 0, timing: TimingConfig | None = None,
+                  latency: LatencyModel | None = None,
+                  loss: LossModel | None = None,
+                  trace_enabled: bool = True,
+                  state_machine_factory: Callable[[], Any] | None = None,
+                  name_prefix: str = "n") -> Cluster:
+    """Standard single-group cluster: ``n_sites`` voting members.
+
+    The result is not started; call :meth:`Cluster.start_all` (tests often
+    install faults first).
+    """
+    if n_sites < 1:
+        raise ExperimentError(f"need at least one site: {n_sites!r}")
+    loop = SimLoop()
+    rng = RngRegistry(seed)
+    trace = TraceRecorder(enabled=trace_enabled)
+    network = Network(loop, rng,
+                      latency if latency is not None else DEFAULT_LATENCY,
+                      loss if loss is not None else NoLoss(), trace)
+    fabric = StorageFabric()
+    timing = timing if timing is not None else TimingConfig()
+    cluster = Cluster(loop, network, rng, trace, fabric, timing)
+    names = [f"{name_prefix}{i}" for i in range(n_sites)]
+    config = Configuration(tuple(names))
+    for name in names:
+        server = server_cls(
+            name=name, loop=loop, network=network,
+            store=fabric.store_for(name), bootstrap_config=config,
+            timing=timing, rng=rng, trace=trace,
+            state_machine_factory=state_machine_factory)
+        cluster.add_server(server)
+    return cluster

@@ -1,0 +1,121 @@
+"""Safety-invariant checkers.
+
+Mechanical verifications of the paper's Section II properties and the
+internal invariants its proofs rely on. Experiments and tests call
+:func:`run_safety_checks` after every run; property-based tests call the
+individual checkers on randomized fault schedules.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable
+
+from repro.consensus.engine import BaseEngine
+from repro.consensus.entry import InsertedBy
+from repro.consensus.server import ConsensusServer
+from repro.errors import InvariantViolation
+from repro.sim.trace import TraceRecorder
+
+
+def check_committed_prefix_agreement(engines: Iterable[BaseEngine]) -> None:
+    """Safety (Definition 2.1): no two sites commit different entries at
+    the same index."""
+    engines = list(engines)
+    for i, a in enumerate(engines):
+        for b in engines[i + 1:]:
+            upto = min(a.commit_index, b.commit_index)
+            for index in range(1, upto + 1):
+                entry_a, entry_b = a.log.get(index), b.log.get(index)
+                if entry_a is None or entry_b is None:
+                    raise InvariantViolation(
+                        f"committed hole at index {index}: "
+                        f"{a.name}={entry_a!r} {b.name}={entry_b!r}")
+                if entry_a.entry_id != entry_b.entry_id:
+                    raise InvariantViolation(
+                        f"safety violation at index {index}: "
+                        f"{a.name} committed {entry_a.entry_id!r}, "
+                        f"{b.name} committed {entry_b.entry_id!r}")
+
+
+def check_log_matching(engines: Iterable[BaseEngine]) -> None:
+    """Leader-approved entries with the same (index, term) hold the same
+    value (classic Raft's Log Matching, restricted to leader-approved
+    entries for Fast Raft, whose self-approved slots are tentative)."""
+    engines = list(engines)
+    for i, a in enumerate(engines):
+        for b in engines[i + 1:]:
+            hi = min(a.log.last_index, b.log.last_index)
+            for index in range(1, hi + 1):
+                entry_a, entry_b = a.log.get(index), b.log.get(index)
+                if entry_a is None or entry_b is None:
+                    continue
+                if (entry_a.inserted_by is not InsertedBy.LEADER
+                        or entry_b.inserted_by is not InsertedBy.LEADER):
+                    continue
+                if (entry_a.term == entry_b.term
+                        and entry_a.entry_id != entry_b.entry_id):
+                    raise InvariantViolation(
+                        f"log matching violation at index {index} term "
+                        f"{entry_a.term}: {a.name}={entry_a.entry_id!r} "
+                        f"{b.name}={entry_b.entry_id!r}")
+
+
+def check_election_safety(trace: TraceRecorder) -> None:
+    """At most one leader per (protocol, scope, term)."""
+    leaders: dict[tuple, set[str]] = defaultdict(set)
+    for event in trace.select_prefix(""):
+        if not event.category.endswith("role.leader"):
+            continue
+        key = (event.category, event.payload.get("scope", "main"),
+               event.payload.get("term"))
+        leaders[key].add(event.node)
+        if len(leaders[key]) > 1:
+            raise InvariantViolation(
+                f"two leaders for {key!r}: {sorted(leaders[key])}")
+
+
+def check_applied_consistency(servers: Iterable[ConsensusServer]) -> None:
+    """Every site applies the same (index, entry) sequence -- one site's
+    applied log is a prefix of any longer one."""
+    applied = [[(i, e.entry_id) for i, e in s.applied_log]
+               for s in servers]
+    applied.sort(key=len)
+    for shorter, longer in zip(applied, applied[1:]):
+        if longer[:len(shorter)] != shorter:
+            raise InvariantViolation(
+                f"applied sequences diverge: {shorter[-3:]} vs "
+                f"{longer[:len(shorter)][-3:]}")
+
+
+def check_leader_approved_prefix(engine: BaseEngine) -> None:
+    """A Fast Raft *leader*'s log is contiguous leader-approved up to its
+    last leader-approved index (the decision procedure decides in order)."""
+    last_leader = engine.log.last_with_provenance(InsertedBy.LEADER)
+    for index in range(1, last_leader + 1):
+        entry = engine.log.get(index)
+        if entry is None or entry.inserted_by is not InsertedBy.LEADER:
+            raise InvariantViolation(
+                f"{engine.name}: non-leader-approved slot {index} below "
+                f"lastLeaderIndex {last_leader}: {entry!r}")
+
+
+def check_commit_monotonic(commit_history: dict[str, list[int]]) -> None:
+    """commitIndex never regresses at a live site (between crashes)."""
+    for name, history in commit_history.items():
+        for before, after in zip(history, history[1:]):
+            if after < before:
+                raise InvariantViolation(
+                    f"{name}: commitIndex regressed {before} -> {after}")
+
+
+def run_safety_checks(servers: Iterable[ConsensusServer],
+                      trace: TraceRecorder | None = None) -> None:
+    """The standard post-run bundle."""
+    servers = list(servers)
+    engines = [s.engine for s in servers]
+    check_committed_prefix_agreement(engines)
+    check_log_matching(engines)
+    check_applied_consistency(servers)
+    if trace is not None:
+        check_election_safety(trace)

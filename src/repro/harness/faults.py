@@ -1,0 +1,95 @@
+"""Fault injection: the failure vocabulary of the paper's evaluation.
+
+- **crash / recover** -- a site stops and later restarts from stable
+  storage (Section II's crash-recovery model).
+- **silent leave** -- a site vanishes without a leave request (Fig. 4);
+  implemented as a network disconnect so the process state still exists
+  but nothing gets in or out.
+- **announced leave / join** -- membership churn through the protocol's
+  own request messages.
+
+Faults can be applied immediately or scheduled at absolute sim times.
+"""
+
+from __future__ import annotations
+
+from repro.consensus.messages import JoinRequest, LeaveRequest
+from repro.errors import ExperimentError
+from repro.harness.builder import Cluster
+
+
+class FaultInjector:
+    """Applies faults to a :class:`Cluster`."""
+
+    def __init__(self, cluster: Cluster) -> None:
+        self._cluster = cluster
+        #: (time, kind, site) tuples, for experiment reports.
+        self.injected: list[tuple[float, str, str]] = []
+
+    def _record(self, kind: str, site: str) -> None:
+        now = self._cluster.loop.now()
+        self.injected.append((now, kind, site))
+        self._cluster.trace.record(now, site, f"fault.{kind}")
+
+    def _server(self, site: str):
+        try:
+            return self._cluster.servers[site]
+        except KeyError:
+            raise ExperimentError(f"unknown site: {site!r}") from None
+
+    # ------------------------------------------------------------------
+    # Immediate faults
+    # ------------------------------------------------------------------
+    def crash(self, site: str) -> None:
+        """Stop a site; volatile state is lost, stable storage kept."""
+        self._server(site).crash()
+        self._record("crash", site)
+
+    def recover(self, site: str) -> None:
+        """Restart a crashed site from its stable storage."""
+        self._server(site).recover()
+        self._record("recover", site)
+
+    def silent_leave(self, site: str) -> None:
+        """The site leaves without telling anyone (Fig. 4's red line)."""
+        self._cluster.network.disconnect(site)
+        self._record("silent_leave", site)
+
+    def silent_return(self, site: str) -> None:
+        """Reconnect a silently departed site (it must rejoin via the
+        membership protocol to vote again)."""
+        self._cluster.network.reconnect(site)
+        self._record("silent_return", site)
+
+    def announced_leave(self, site: str) -> None:
+        """The site sends a leave request to the members."""
+        server = self._server(site)
+        members = server.engine.configuration.members
+        for member in members:
+            if member != site:
+                self._cluster.network.send(site, member,
+                                           LeaveRequest(site=site))
+        self._record("announced_leave", site)
+
+    def request_join(self, site: str, contact: str) -> None:
+        """A site asks ``contact`` to admit it to the configuration."""
+        self._cluster.network.send(site, contact, JoinRequest(site=site))
+        self._record("join_request", site)
+
+    def partition(self, groups: list[list[str]]) -> None:
+        self._cluster.network.partition(groups)
+        self._record("partition", "+".join(",".join(g) for g in groups))
+
+    def heal_partition(self) -> None:
+        self._cluster.network.heal_partition()
+        self._record("heal", "*")
+
+    # ------------------------------------------------------------------
+    # Scheduled faults
+    # ------------------------------------------------------------------
+    def schedule(self, at: float, kind: str, site: str, **kwargs) -> None:
+        """Schedule a named fault at absolute sim time ``at``."""
+        action = getattr(self, kind, None)
+        if action is None or kind.startswith("_"):
+            raise ExperimentError(f"unknown fault kind: {kind!r}")
+        self._cluster.loop.call_at(at, lambda: action(site, **kwargs))

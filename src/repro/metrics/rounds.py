@@ -1,0 +1,32 @@
+"""Message-round accounting for the Fig. 1 / Fig. 2 validation.
+
+Over a network with *constant* one-way delay ``d`` and instantaneous
+protocol processing, a commit that takes ``k`` one-way hops on its
+critical path completes in exactly ``k * d``. Running the protocols with
+all periodic timers made negligible therefore lets us read the hop count
+straight off the measured latency, validating the paper's message-flow
+diagrams (classic Raft: proposer->leader, AppendEntries out, ack back,
+notify = 4 hops, 3 of them leader-coordinated rounds; Fast Raft fast
+track: proposer->sites, votes->leader, notify = 3 hops, 2 rounds).
+"""
+
+from __future__ import annotations
+
+
+def hops_from_latency(latency: float, one_way_delay: float,
+                      tolerance: float = 0.25) -> int:
+    """Infer the hop count from a measured commit latency.
+
+    Raises ``ValueError`` when the latency is not close to an integer
+    multiple of the delay (within ``tolerance`` hops), which in tests
+    flags timer-driven waits contaminating the measurement.
+    """
+    if one_way_delay <= 0:
+        raise ValueError(f"delay must be positive: {one_way_delay!r}")
+    hops = latency / one_way_delay
+    nearest = round(hops)
+    if abs(hops - nearest) > tolerance:
+        raise ValueError(
+            f"latency {latency!r} is {hops:.3f} hops of {one_way_delay!r}; "
+            f"not within {tolerance} of an integer")
+    return int(nearest)

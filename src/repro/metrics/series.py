@@ -1,0 +1,100 @@
+"""Time-series recording with windowed aggregation.
+
+:class:`EventSeries` records instants (commits, message sends) and turns
+them into rates -- the throughput numbers of Fig. 5. :class:`ValueSeries`
+records timestamped values (per-proposal latencies) and supports windowed
+means -- the timeline of Fig. 4.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from repro.metrics.summary import SummaryStats, summarize
+
+
+class EventSeries:
+    """Monotonic timestamps of point events."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._times: list[float] = []
+
+    def record(self, time: float) -> None:
+        if self._times and time < self._times[-1]:
+            # Out-of-order recording is a harness bug worth failing fast on.
+            raise ValueError(
+                f"event at {time} precedes last event {self._times[-1]}")
+        self._times.append(time)
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    @property
+    def times(self) -> list[float]:
+        return self._times
+
+    def count_between(self, start: float, end: float) -> int:
+        lo = bisect.bisect_left(self._times, start)
+        hi = bisect.bisect_right(self._times, end)
+        return hi - lo
+
+    def rate_between(self, start: float, end: float) -> float:
+        """Events per second over ``[start, end]``."""
+        if end <= start:
+            raise ValueError(f"bad window [{start}, {end}]")
+        return self.count_between(start, end) / (end - start)
+
+    def rates_per_window(self, start: float, end: float,
+                         window: float) -> list[tuple[float, float]]:
+        """(window midpoint, events/s) pairs tiling ``[start, end)``."""
+        out = []
+        t = start
+        while t < end:
+            hi = min(t + window, end)
+            out.append(((t + hi) / 2, self.count_between(t, hi) / (hi - t)))
+            t += window
+        return out
+
+
+class ValueSeries:
+    """Timestamped measurements (time, value)."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._points: list[tuple[float, float]] = []
+
+    def record(self, time: float, value: float) -> None:
+        self._points.append((time, value))
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    @property
+    def points(self) -> list[tuple[float, float]]:
+        return self._points
+
+    def values(self) -> list[float]:
+        return [v for _, v in self._points]
+
+    def between(self, start: float, end: float) -> list[tuple[float, float]]:
+        return [(t, v) for t, v in self._points if start <= t < end]
+
+    def values_between(self, start: float, end: float) -> list[float]:
+        return [v for t, v in self._points if start <= t < end]
+
+    def summary(self) -> SummaryStats:
+        return summarize(self.values())
+
+    def window_means(self, start: float, end: float,
+                     window: float) -> list[tuple[float, float]]:
+        """(window midpoint, mean value) pairs; empty windows skipped."""
+        out = []
+        t = start
+        while t < end:
+            hi = min(t + window, end)
+            values = self.values_between(t, hi)
+            if values:
+                out.append(((t + hi) / 2, sum(values) / len(values)))
+            t += window
+        return out

@@ -1,0 +1,65 @@
+"""Dependency-free summary statistics for experiment reports."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Summary of a sample of measurements."""
+
+    count: int
+    mean: float
+    median: float
+    stdev: float
+    minimum: float
+    maximum: float
+    p5: float
+    p95: float
+
+    def format(self, unit: str = "", scale: float = 1.0) -> str:
+        """Human-readable one-liner, e.g. ``'52.1 ms (median 51.3, n=100)'``."""
+        return (f"{self.mean * scale:.1f}{unit} "
+                f"(median {self.median * scale:.1f}, n={self.count})")
+
+
+def percentile(sorted_values: list[float], fraction: float) -> float:
+    """Linear-interpolated percentile of pre-sorted values.
+
+    The interpolation is computed as ``lo + (hi - lo) * w`` and clamped
+    to ``[lo, hi]`` so floating-point rounding can never push the result
+    outside its bracketing pair (which would break monotonicity of
+    percentiles, e.g. p5 > p95 on constant data).
+    """
+    if not sorted_values:
+        raise ValueError("no values")
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    position = fraction * (len(sorted_values) - 1)
+    lower = int(math.floor(position))
+    upper = int(math.ceil(position))
+    if lower == upper:
+        return sorted_values[lower]
+    low_value, high_value = sorted_values[lower], sorted_values[upper]
+    value = low_value + (high_value - low_value) * (position - lower)
+    return min(max(value, low_value), high_value)
+
+
+def summarize(values: list[float]) -> SummaryStats:
+    """Compute :class:`SummaryStats`; raises on an empty sample."""
+    if not values:
+        raise ValueError("cannot summarize an empty sample")
+    ordered = sorted(values)
+    count = len(ordered)
+    mean = sum(ordered) / count
+    if count > 1:
+        variance = sum((v - mean) ** 2 for v in ordered) / (count - 1)
+        stdev = math.sqrt(variance)
+    else:
+        stdev = 0.0
+    return SummaryStats(
+        count=count, mean=mean, median=percentile(ordered, 0.5),
+        stdev=stdev, minimum=ordered[0], maximum=ordered[-1],
+        p5=percentile(ordered, 0.05), p95=percentile(ordered, 0.95))

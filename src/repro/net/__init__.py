@@ -1,0 +1,44 @@
+"""Simulated network substrate.
+
+Models the paper's testbed network: UDP-like (unordered, unreliable,
+asynchronous) messaging with configurable latency and loss.
+
+- Latency models (:mod:`repro.net.latency`): constant, uniform, and a
+  region matrix mirroring the paper's AWS inter-region RTTs.
+- Loss models (:mod:`repro.net.loss`): Bernoulli drop (the paper's ``tc``
+  settings), per-link overrides, and time-windowed schedules.
+- :class:`~repro.net.network.Network`: the switch fabric -- registration,
+  unicast/broadcast, partitions, disconnects, and per-type statistics.
+"""
+
+from repro.net.latency import (
+    ConstantLatency,
+    LatencyModel,
+    RegionLatencyModel,
+    UniformLatency,
+)
+from repro.net.loss import (
+    BernoulliLoss,
+    LossModel,
+    NoLoss,
+    PerLinkLoss,
+    ScheduledLoss,
+)
+from repro.net.network import Network
+from repro.net.stats import NetworkStats
+from repro.net.topology import Topology
+
+__all__ = [
+    "BernoulliLoss",
+    "ConstantLatency",
+    "LatencyModel",
+    "LossModel",
+    "Network",
+    "NetworkStats",
+    "NoLoss",
+    "PerLinkLoss",
+    "RegionLatencyModel",
+    "ScheduledLoss",
+    "Topology",
+    "UniformLatency",
+]

@@ -1,0 +1,114 @@
+"""One-way message latency models.
+
+The paper reports round-trip latencies of 10--300 ms between AWS regions
+and under 1 ms within a region; models here are parameterized in one-way
+seconds (half the RTT).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import NetworkError
+
+
+class LatencyModel:
+    """Samples the one-way delay for a message from ``src`` to ``dst``."""
+
+    def sample(self, rng: random.Random, src: str, dst: str) -> float:
+        raise NotImplementedError
+
+
+class ConstantLatency(LatencyModel):
+    """Every message takes exactly ``delay`` seconds.
+
+    Useful for tests and for the message-round validation experiment
+    (Figs. 1-2), where latency must be an exact multiple of hops.
+    """
+
+    def __init__(self, delay: float) -> None:
+        if delay < 0:
+            raise NetworkError(f"delay must be non-negative: {delay!r}")
+        self.delay = delay
+
+    def sample(self, rng: random.Random, src: str, dst: str) -> float:
+        return self.delay
+
+    def __repr__(self) -> str:
+        return f"ConstantLatency({self.delay!r})"
+
+
+class UniformLatency(LatencyModel):
+    """Delay drawn uniformly from ``[low, high)`` seconds."""
+
+    def __init__(self, low: float, high: float) -> None:
+        if not 0 <= low <= high:
+            raise NetworkError(f"invalid latency range [{low!r}, {high!r})")
+        self.low = low
+        self.high = high
+
+    def sample(self, rng: random.Random, src: str, dst: str) -> float:
+        return rng.uniform(self.low, self.high)
+
+    def __repr__(self) -> str:
+        return f"UniformLatency({self.low!r}, {self.high!r})"
+
+
+class RegionLatencyModel(LatencyModel):
+    """Latency determined by the (region(src), region(dst)) pair.
+
+    ``rtt_matrix`` maps unordered region pairs to round-trip seconds; the
+    sampled one-way delay is ``rtt/2`` scaled by multiplicative jitter
+    uniform in ``[1 - jitter, 1 + jitter]``. Nodes in the same region use
+    the ``intra_rtt`` default unless the matrix overrides the self-pair.
+    """
+
+    def __init__(self, node_regions: dict[str, str],
+                 rtt_matrix: dict[tuple[str, str], float],
+                 intra_rtt: float = 0.001,
+                 jitter: float = 0.1) -> None:
+        if not 0 <= jitter < 1:
+            raise NetworkError(f"jitter must be in [0, 1): {jitter!r}")
+        self._node_regions = dict(node_regions)
+        self._rtt: dict[tuple[str, str], float] = {}
+        for (a, b), rtt in rtt_matrix.items():
+            if rtt < 0:
+                raise NetworkError(f"negative RTT for ({a!r}, {b!r})")
+            self._rtt[self._key(a, b)] = rtt
+        self._intra_rtt = intra_rtt
+        self._jitter = jitter
+
+    @staticmethod
+    def _key(a: str, b: str) -> tuple[str, str]:
+        return (a, b) if a <= b else (b, a)
+
+    def region_of(self, node: str) -> str:
+        try:
+            return self._node_regions[node]
+        except KeyError:
+            raise NetworkError(f"node {node!r} has no region") from None
+
+    def add_node(self, node: str, region: str) -> None:
+        """Register a node that joined after model construction."""
+        self._node_regions[node] = region
+
+    def rtt_between(self, region_a: str, region_b: str) -> float:
+        if region_a == region_b:
+            return self._rtt.get(self._key(region_a, region_b),
+                                 self._intra_rtt)
+        key = self._key(region_a, region_b)
+        if key not in self._rtt:
+            raise NetworkError(f"no RTT configured for {key!r}")
+        return self._rtt[key]
+
+    def sample(self, rng: random.Random, src: str, dst: str) -> float:
+        rtt = self.rtt_between(self.region_of(src), self.region_of(dst))
+        one_way = rtt / 2.0
+        if self._jitter:
+            one_way *= rng.uniform(1.0 - self._jitter, 1.0 + self._jitter)
+        return one_way
+
+    def __repr__(self) -> str:
+        regions = sorted({r for r in self._node_regions.values()})
+        return (f"RegionLatencyModel(regions={regions}, "
+                f"intra_rtt={self._intra_rtt}, jitter={self._jitter})")

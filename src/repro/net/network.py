@@ -1,0 +1,210 @@
+"""The network fabric: registration, unicast/broadcast, partitions.
+
+Semantics mirror UDP over the paper's testbed:
+
+- no delivery guarantee (loss model),
+- no ordering guarantee (each message samples its own latency, so a later
+  message can overtake an earlier one),
+- no duplication (the models here never duplicate; duplication resilience
+  is still exercised by client retries).
+
+Silent leaves and crashes are modelled by :meth:`disconnect` or by killing
+the receiving actor; either way traffic to/from the site stops without any
+notification to peers -- exactly what the protocols must detect.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import NetworkError
+from repro.net.latency import LatencyModel
+from repro.net.loss import LossModel, NoLoss
+from repro.net.stats import NetworkStats
+from repro.sim.actor import Actor
+from repro.sim.loop import SimLoop
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import TraceRecorder
+
+
+class Network:
+    """Delivers messages between registered actors through the sim loop."""
+
+    def __init__(self, loop: SimLoop, rng: RngRegistry,
+                 latency: LatencyModel, loss: LossModel | None = None,
+                 trace: TraceRecorder | None = None) -> None:
+        self._loop = loop
+        self._latency_rng = rng.stream("net.latency")
+        self._loss_rng = rng.stream("net.loss")
+        self._latency = latency
+        self._loss = loss if loss is not None else NoLoss()
+        self._trace = trace
+        self._actors: dict[str, Actor] = {}
+        self._disconnected: set[str] = set()
+        self._partition_groups: dict[str, int] | None = None
+        self.stats = NetworkStats()
+
+    # ------------------------------------------------------------------
+    # Membership of the fabric
+    # ------------------------------------------------------------------
+    def register(self, actor: Actor) -> None:
+        """Attach an actor; its :attr:`Actor.name` becomes its address."""
+        if actor.name in self._actors:
+            raise NetworkError(f"address already registered: {actor.name!r}")
+        self._actors[actor.name] = actor
+
+    def replace(self, actor: Actor) -> None:
+        """Re-bind an address to a new actor object (crash recovery)."""
+        if actor.name not in self._actors:
+            raise NetworkError(f"address not registered: {actor.name!r}")
+        self._actors[actor.name] = actor
+
+    def unregister(self, name: str) -> None:
+        self._actors.pop(name, None)
+        self._disconnected.discard(name)
+
+    def is_registered(self, name: str) -> bool:
+        return name in self._actors
+
+    def actor(self, name: str) -> Actor:
+        try:
+            return self._actors[name]
+        except KeyError:
+            raise NetworkError(f"unknown address: {name!r}") from None
+
+    @property
+    def addresses(self) -> list[str]:
+        return sorted(self._actors)
+
+    # ------------------------------------------------------------------
+    # Faults
+    # ------------------------------------------------------------------
+    def disconnect(self, name: str) -> None:
+        """Silently cut a site off: nothing in, nothing out."""
+        self._disconnected.add(name)
+
+    def reconnect(self, name: str) -> None:
+        self._disconnected.discard(name)
+
+    def is_disconnected(self, name: str) -> bool:
+        return name in self._disconnected
+
+    def partition(self, groups: list[list[str]]) -> None:
+        """Install a partition: only same-group pairs can communicate.
+
+        Addresses not listed in any group are unreachable from everyone.
+        """
+        mapping: dict[str, int] = {}
+        for index, group in enumerate(groups):
+            for name in group:
+                if name in mapping:
+                    raise NetworkError(
+                        f"{name!r} appears in multiple partition groups")
+                mapping[name] = index
+        self._partition_groups = mapping
+
+    def heal_partition(self) -> None:
+        self._partition_groups = None
+
+    def set_loss(self, loss: LossModel) -> None:
+        """Swap the loss model mid-run (the paper's ``tc`` changes)."""
+        self._loss = loss
+
+    def set_latency(self, latency: LatencyModel) -> None:
+        self._latency = latency
+
+    @property
+    def latency_model(self) -> LatencyModel:
+        return self._latency
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(self, src: str, dst: str, message: Any) -> None:
+        """Unicast ``message``; delivery is scheduled on the sim loop.
+
+        Sending to an unknown destination is allowed (counts as a dead
+        letter at delivery time) because real systems can address departed
+        sites. Self-addressed messages use the loopback path: immediate
+        and lossless, exactly as ``tc``-shaped NIC traffic behaves on a
+        real host (the paper's loss shaping never touches loopback).
+        """
+        type_name = type(message).__name__
+        if src == dst:
+            self.stats.record_sent(type_name)
+            self._loop.call_soon(self._deliver_colocated, src, dst, message)
+            return
+        self.stats.record_sent(type_name)
+        if self._is_blocked(src, dst):
+            self.stats.record_blocked()
+            return
+        if self._loss.should_drop(self._loss_rng, src, dst,
+                                  self._loop.now()):
+            self.stats.record_dropped()
+            if self._trace is not None:
+                self._trace.record(self._loop.now(), src, "net.drop",
+                                   dst=dst, type=type_name)
+            return
+        delay = self._latency.sample(self._latency_rng, src, dst)
+        self._loop.call_later(delay, self._deliver, src, dst, message)
+
+    def broadcast(self, src: str, dsts: list[str], message: Any,
+                  include_self: bool = True) -> None:
+        """Send ``message`` to every destination (independent fates).
+
+        ``include_self=False`` skips ``src`` if it appears in ``dsts``.
+        Self-delivery still traverses the loss/latency models: the paper's
+        implementation uses real UDP to self, and keeping that uniform
+        avoids special-casing quorum math.
+        """
+        for dst in dsts:
+            if not include_self and dst == src:
+                continue
+            self.send(src, dst, message)
+
+    def send_local(self, src: str, dst: str, message: Any) -> None:
+        """Reliable same-instant delivery (co-located client <-> site).
+
+        Bypasses loss, latency, and partitions: the two endpoints share a
+        box. A crashed destination still drops the message.
+        """
+        type_name = type(message).__name__
+        self.stats.record_sent(type_name)
+        self._loop.call_soon(self._deliver_colocated, src, dst, message)
+
+    def _deliver_colocated(self, src: str, dst: str, message: Any) -> None:
+        actor = self._actors.get(dst)
+        if actor is None or not actor.alive:
+            self.stats.record_dead_letter()
+            return
+        self.stats.record_delivered(type(message).__name__)
+        actor.deliver(message, src)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _is_blocked(self, src: str, dst: str) -> bool:
+        if src in self._disconnected or dst in self._disconnected:
+            return True
+        if self._partition_groups is not None:
+            src_group = self._partition_groups.get(src)
+            dst_group = self._partition_groups.get(dst)
+            if src_group is None or dst_group is None:
+                return True
+            if src_group != dst_group:
+                return True
+        return False
+
+    def _deliver(self, src: str, dst: str, message: Any) -> None:
+        # Re-check blockage at delivery time: a partition installed while
+        # the message was in flight still cuts it off, matching how long
+        # one-way WAN delays interact with sudden failures.
+        if self._is_blocked(src, dst):
+            self.stats.record_blocked()
+            return
+        actor = self._actors.get(dst)
+        if actor is None or not actor.alive:
+            self.stats.record_dead_letter()
+            return
+        self.stats.record_delivered(type(message).__name__)
+        actor.deliver(message, src)

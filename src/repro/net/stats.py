@@ -1,0 +1,59 @@
+"""Network statistics: message counts by outcome and by message type."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+@dataclass
+class NetworkStats:
+    """Counters maintained by :class:`repro.net.network.Network`.
+
+    ``sent`` counts every ``send`` call; a message is then exactly one of
+    ``delivered``, ``dropped`` (loss model), ``blocked`` (partition or
+    disconnected endpoint), or ``dead_letter`` (receiver unknown/killed at
+    delivery time).
+    """
+
+    sent: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    blocked: int = 0
+    dead_letter: int = 0
+    by_type: Counter = field(default_factory=Counter)
+    delivered_by_type: Counter = field(default_factory=Counter)
+
+    def record_sent(self, type_name: str) -> None:
+        self.sent += 1
+        self.by_type[type_name] += 1
+
+    def record_delivered(self, type_name: str) -> None:
+        self.delivered += 1
+        self.delivered_by_type[type_name] += 1
+
+    def record_dropped(self) -> None:
+        self.dropped += 1
+
+    def record_blocked(self) -> None:
+        self.blocked += 1
+
+    def record_dead_letter(self) -> None:
+        self.dead_letter += 1
+
+    @property
+    def loss_fraction(self) -> float:
+        """Fraction of sent messages dropped by the loss model."""
+        if self.sent == 0:
+            return 0.0
+        return self.dropped / self.sent
+
+    def snapshot(self) -> dict[str, int]:
+        """Plain-dict summary (for printing in experiment reports)."""
+        return {
+            "sent": self.sent,
+            "delivered": self.delivered,
+            "dropped": self.dropped,
+            "blocked": self.blocked,
+            "dead_letter": self.dead_letter,
+        }

@@ -1,0 +1,95 @@
+"""Topology description: regions, clusters, and node placement.
+
+A :class:`Topology` assigns node names to regions (for the latency model)
+and to clusters (for C-Raft). The paper's Fig. 5 setup -- 20 sites split
+evenly over *c* clusters, one cluster per AWS region -- is produced by
+:meth:`Topology.even_clusters`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import NetworkError
+
+
+@dataclass
+class Topology:
+    """Mapping from node names to regions and clusters."""
+
+    node_regions: dict[str, str] = field(default_factory=dict)
+    node_clusters: dict[str, str] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def single_region(cls, node_names: list[str],
+                      region: str = "local") -> "Topology":
+        """All nodes in one region, one implicit cluster."""
+        return cls(node_regions={n: region for n in node_names},
+                   node_clusters={n: region for n in node_names})
+
+    @classmethod
+    def even_clusters(cls, total_sites: int, regions: list[str],
+                      name_prefix: str = "n") -> "Topology":
+        """Split ``total_sites`` evenly across ``regions``, one cluster per
+        region (the Fig. 5 layout). Site count must divide evenly so every
+        cluster has the same quorum structure, as in the paper."""
+        if not regions:
+            raise NetworkError("need at least one region")
+        if total_sites % len(regions) != 0:
+            raise NetworkError(
+                f"{total_sites} sites do not split evenly over "
+                f"{len(regions)} regions")
+        per_region = total_sites // len(regions)
+        topo = cls()
+        index = 0
+        for region in regions:
+            for _ in range(per_region):
+                name = f"{name_prefix}{index}"
+                topo.add_node(name, region=region, cluster=region)
+                index += 1
+        return topo
+
+    def add_node(self, name: str, region: str, cluster: str | None = None
+                 ) -> None:
+        if name in self.node_regions:
+            raise NetworkError(f"node already placed: {name!r}")
+        self.node_regions[name] = region
+        self.node_clusters[name] = cluster if cluster is not None else region
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> list[str]:
+        return sorted(self.node_regions)
+
+    @property
+    def regions(self) -> list[str]:
+        return sorted(set(self.node_regions.values()))
+
+    @property
+    def clusters(self) -> list[str]:
+        return sorted(set(self.node_clusters.values()))
+
+    def nodes_in_cluster(self, cluster: str) -> list[str]:
+        return sorted(n for n, c in self.node_clusters.items()
+                      if c == cluster)
+
+    def nodes_in_region(self, region: str) -> list[str]:
+        return sorted(n for n, r in self.node_regions.items()
+                      if r == region)
+
+    def region_of(self, node: str) -> str:
+        try:
+            return self.node_regions[node]
+        except KeyError:
+            raise NetworkError(f"unknown node: {node!r}") from None
+
+    def cluster_of(self, node: str) -> str:
+        try:
+            return self.node_clusters[node]
+        except KeyError:
+            raise NetworkError(f"unknown node: {node!r}") from None

@@ -1,0 +1,373 @@
+"""The classic Raft protocol engine.
+
+Faithful to the paper's Section III-A description (which follows Ongaro's
+dissertation): proposers send entries to the term's leader, the leader
+appends and replicates them through periodic AppendEntries, and commits
+once a classic quorum acknowledges. Conflicting follower suffixes are
+truncated. Membership changes are administrator-driven, one site at a
+time, with joiners caught up as non-voting members first.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.consensus.config import Configuration
+from repro.consensus.engine import BaseEngine, EngineContext, Role
+from repro.consensus.entry import (
+    ConfigPayload,
+    EntryKind,
+    InsertedBy,
+    LogEntry,
+)
+from repro.consensus.messages import (
+    AppendEntries,
+    AppendEntriesResponse,
+    ClientRequest,
+    CommitNotice,
+    JoinAccepted,
+    LeaveAccepted,
+    ProposeToLeader,
+    RequestVote,
+)
+from repro.errors import ConsensusError, NotLeaderError
+from repro.sim.timers import PeriodicTimer
+
+
+class ClassicRaftEngine(BaseEngine):
+    """Classic Raft over an injected transport."""
+
+    protocol_name = "raft"
+
+    def __init__(self, ctx: EngineContext,
+                 bootstrap_config: Configuration) -> None:
+        super().__init__(ctx, bootstrap_config)
+        # --- leader volatile state ---
+        self.next_index: dict[str, int] = {}
+        self.match_index: dict[str, int] = {}
+        self._heartbeat = PeriodicTimer(ctx.loop,
+                                        self.timing.heartbeat_interval,
+                                        self._broadcast_append_entries)
+        # --- membership bookkeeping (leader only) ---
+        self._catchup_targets: set[str] = set()
+        self._pending_config: dict[str, Any] | None = None
+        self._config_queue: list[dict[str, Any]] = []
+        self._internal_seq = 0
+
+    # ------------------------------------------------------------------
+    # Role transitions
+    # ------------------------------------------------------------------
+    def _stop_role_timers(self) -> None:
+        self._heartbeat.stop()
+        self._catchup_targets.clear()
+        self._extra_allowed.clear()
+        self._pending_config = None
+        self._config_queue.clear()
+
+    def _make_vote_request(self) -> RequestVote:
+        last_index = self.log.last_index
+        last_term = self.log.term_at(last_index) if last_index else 0
+        return RequestVote(term=self.current_term, candidate_id=self.name,
+                           last_log_index=last_index, last_log_term=last_term)
+
+    def _candidate_up_to_date(self, msg: RequestVote) -> bool:
+        """Classic rule: compare last entry term, then length."""
+        my_last_index = self.log.last_index
+        my_last_term = self.log.term_at(my_last_index) if my_last_index else 0
+        if msg.last_log_term != my_last_term:
+            return msg.last_log_term > my_last_term
+        return msg.last_log_index >= my_last_index
+
+    def _init_leader_state(self) -> None:
+        start = self.log.last_index + 1
+        self.next_index = {m: start for m in self._configuration.members}
+        self.match_index = {m: 0 for m in self._configuration.members}
+        # A term-opening no-op lets entries from earlier terms commit
+        # transitively (Raft never counts replicas of old-term entries).
+        self._append_as_leader(self._make_internal_entry(EntryKind.NOOP, None))
+        self._broadcast_append_entries()
+        self._heartbeat.start()
+
+    def _on_configuration_changed(self) -> None:
+        if self.role is not Role.LEADER:
+            return
+        for member in self._configuration.members:
+            self.next_index.setdefault(member, self.log.last_index + 1)
+            self.match_index.setdefault(member, 0)
+
+    # ------------------------------------------------------------------
+    # Proposals
+    # ------------------------------------------------------------------
+    def _handle_client_request(self, msg: ClientRequest, sender: str) -> None:
+        entry = LogEntry(entry_id=msg.request_id, kind=EntryKind.DATA,
+                         payload=msg.command, origin=self.name,
+                         term=0, inserted_by=InsertedBy.LEADER)
+        if self.role is Role.LEADER:
+            self._accept_proposal(entry)
+        elif self.leader_id is not None and self.leader_id != self.name:
+            self._send(self.leader_id, ProposeToLeader(entry=entry))
+        # No known leader: drop; the client's proposal timeout retries.
+
+    def _handle_propose_to_leader(self, msg: ProposeToLeader,
+                                  sender: str) -> None:
+        if self.role is not Role.LEADER:
+            # Stale redirect; forward once more if we know better.
+            if self.leader_id is not None and self.leader_id != self.name:
+                self._send(self.leader_id, msg)
+            return
+        self._accept_proposal(msg.entry)
+
+    def _accept_proposal(self, entry: LogEntry) -> None:
+        """Leader-side dedup + append."""
+        committed = self.log.committed_index_of(entry.entry_id,
+                                                self.commit_index)
+        if committed is not None:
+            self._notify_origin(self.log.get(committed), committed)
+            return
+        if self.log.indices_of(entry.entry_id):
+            return  # already in flight; commit will notify
+        self._append_as_leader(entry)
+
+    def _append_as_leader(self, entry: LogEntry) -> int:
+        stamped = entry.with_mark(self.current_term, InsertedBy.LEADER)
+        index = self.log.append(stamped)
+        if stamped.kind is EntryKind.CONFIG:
+            self._refresh_configuration()
+        if self.timing.eager_append:
+            self._broadcast_append_entries()
+        self._maybe_commit_single_member()
+        return index
+
+    def _maybe_commit_single_member(self) -> None:
+        """A single-member configuration commits its own appends."""
+        if self._configuration.size == 1 and self.role is Role.LEADER:
+            self._leader_advance_commit()
+
+    def _make_internal_entry(self, kind: EntryKind, payload: Any) -> LogEntry:
+        self._internal_seq += 1
+        entry_id = f"{self.name}:{kind.value}{self._internal_seq}.t{self.current_term}"
+        return LogEntry(entry_id=entry_id, kind=kind, payload=payload,
+                        origin=self.name, term=self.current_term,
+                        inserted_by=InsertedBy.LEADER)
+
+    # ------------------------------------------------------------------
+    # Replication: leader side
+    # ------------------------------------------------------------------
+    def _append_targets(self) -> list[str]:
+        targets = list(self._configuration.others(self.name))
+        targets.extend(sorted(self._catchup_targets))
+        return targets
+
+    def _broadcast_append_entries(self) -> None:
+        if self.role is not Role.LEADER:
+            return
+        for target in self._append_targets():
+            self._send_append_entries(target)
+
+    def _send_append_entries(self, target: str) -> None:
+        next_index = self.next_index.get(target, self.log.last_index + 1)
+        prev_index = next_index - 1
+        prev_term = self.log.term_at(prev_index) if prev_index > 0 else 0
+        hi = min(self.log.last_index,
+                 prev_index + self.timing.max_append_batch)
+        entries = tuple(self.log.entries_between(next_index, hi))
+        self._send(target, AppendEntries(
+            term=self.current_term, leader_id=self.name,
+            prev_log_index=prev_index, prev_log_term=prev_term,
+            entries=entries, leader_commit=self.commit_index))
+
+    def _handle_append_entries_response(self, msg: AppendEntriesResponse,
+                                        sender: str) -> None:
+        self._observe_term(msg.term)
+        if self.role is not Role.LEADER or msg.term < self.current_term:
+            return
+        follower = msg.follower
+        if msg.success:
+            self.match_index[follower] = max(
+                self.match_index.get(follower, 0), msg.match_index)
+            self.next_index[follower] = self.match_index[follower] + 1
+            self._leader_advance_commit()
+            self._check_catchup_complete(follower)
+        else:
+            current = self.next_index.get(follower, self.log.last_index + 1)
+            self.next_index[follower] = max(
+                1, min(current - 1, msg.last_log_index + 1))
+
+    def _leader_advance_commit(self) -> None:
+        """Commit the highest index replicated on a classic quorum whose
+        entry is from the current term."""
+        best = self.commit_index
+        for k in range(self.commit_index + 1, self.log.last_index + 1):
+            votes = 1  # the leader holds its own log
+            for member in self._configuration.members:
+                if member != self.name and self.match_index.get(member, 0) >= k:
+                    votes += 1
+            if not self._configuration.is_classic_quorum(votes):
+                break
+            if self.log.term_at(k) == self.current_term:
+                best = k
+        if best > self.commit_index:
+            self._advance_commit_index(best)
+
+    # ------------------------------------------------------------------
+    # Replication: follower side
+    # ------------------------------------------------------------------
+    def _handle_append_entries(self, msg: AppendEntries, sender: str) -> None:
+        self._observe_term(msg.term, leader_hint=msg.leader_id)
+        if msg.term < self.current_term:
+            self._send(sender, AppendEntriesResponse(
+                term=self.current_term, success=False, follower=self.name,
+                match_index=0, last_log_index=self.log.last_index))
+            return
+        # Same-term AppendEntries implies an elected leader: candidates
+        # convert to follower, followers refresh their timer.
+        if self.role is not Role.FOLLOWER:
+            self._become_follower(msg.leader_id)
+        else:
+            self.leader_id = msg.leader_id
+            self._arm_election_timer()
+        if not self._log_matches(msg.prev_log_index, msg.prev_log_term):
+            self._send(sender, AppendEntriesResponse(
+                term=self.current_term, success=False, follower=self.name,
+                match_index=0, last_log_index=self.log.last_index))
+            return
+        self._absorb_entries(msg.entries)
+        last_new = msg.prev_log_index + len(msg.entries)
+        if msg.leader_commit > self.commit_index:
+            self._advance_commit_index(min(msg.leader_commit,
+                                           max(last_new, self.commit_index)))
+        self._send(sender, AppendEntriesResponse(
+            term=self.current_term, success=True, follower=self.name,
+            match_index=last_new, last_log_index=self.log.last_index))
+
+    def _log_matches(self, prev_index: int, prev_term: int) -> bool:
+        if prev_index == 0:
+            return True
+        if prev_index <= self.commit_index:
+            return True  # committed prefixes agree (Invariant 1)
+        if not self.log.has(prev_index):
+            return False
+        return self.log.term_at(prev_index) == prev_term
+
+    def _absorb_entries(self, entries) -> None:
+        truncated = False
+        for index, entry in entries:
+            existing = self.log.get(index)
+            if existing is not None and existing.term == entry.term:
+                continue  # log matching: same index+term => same entry
+            if existing is not None and not truncated:
+                self.log.truncate_from(index)
+                truncated = True
+            self.log.insert(index, entry)
+        if entries:
+            self._refresh_configuration()
+
+    # ------------------------------------------------------------------
+    # Commit side effects (leader)
+    # ------------------------------------------------------------------
+    def _on_entry_committed(self, index: int, entry: LogEntry) -> None:
+        if self.role is not Role.LEADER:
+            return
+        self._notify_origin(entry, index)
+        if entry.kind is EntryKind.CONFIG:
+            self._finish_config_change(entry)
+
+    def _notify_origin(self, entry: LogEntry, index: int) -> None:
+        if entry.origin != self.name:
+            self._send(entry.origin, CommitNotice(
+                entry_id=entry.entry_id, index=index, term=entry.term))
+        # origin == self is handled by the base engine's on_origin_commit.
+
+    # ------------------------------------------------------------------
+    # Membership (administrator API, Section III-A)
+    # ------------------------------------------------------------------
+    def admin_add_site(self, site: str) -> None:
+        """Administrator asks the leader to add ``site`` (catch up first,
+        then commit the new configuration)."""
+        self._require_leader()
+        if site in self._configuration:
+            raise ConsensusError(f"{site!r} is already a member")
+        self._enqueue_config_change({"action": "add", "site": site})
+
+    def admin_remove_site(self, site: str) -> None:
+        """Administrator asks the leader to remove ``site``."""
+        self._require_leader()
+        if site not in self._configuration:
+            raise ConsensusError(f"{site!r} is not a member")
+        self._enqueue_config_change({"action": "remove", "site": site})
+
+    def _require_leader(self) -> None:
+        if self.role is not Role.LEADER:
+            raise NotLeaderError(leader_hint=self.leader_id)
+
+    def _enqueue_config_change(self, change: dict[str, Any]) -> None:
+        self._config_queue.append(change)
+        self._start_next_config_change()
+
+    def _start_next_config_change(self) -> None:
+        if self._pending_config is not None or not self._config_queue:
+            return
+        change = self._config_queue.pop(0)
+        self._pending_config = change
+        site = change["site"]
+        if change["action"] == "add":
+            # Catch the joiner up as a non-voting member before the
+            # configuration entry is appended.
+            self._catchup_targets.add(site)
+            self._extra_allowed.add(site)
+            self.next_index[site] = max(1, self.commit_index + 1)
+            self.match_index[site] = 0
+            self._send_append_entries(site)
+        else:
+            new_config = self._configuration.without_member(site)
+            self._append_config_entry(new_config, change)
+
+    def _check_catchup_complete(self, follower: str) -> None:
+        pending = self._pending_config
+        if (pending is None or pending["action"] != "add"
+                or pending["site"] != follower
+                or "entry_id" in pending):
+            return
+        if self.match_index.get(follower, 0) >= self.log.last_index:
+            new_config = self._configuration.with_member(follower)
+            self._append_config_entry(new_config, pending)
+
+    def _append_config_entry(self, new_config: Configuration,
+                             change: dict[str, Any]) -> None:
+        version = self.log.max_config_version() + 1
+        entry = self._make_internal_entry(
+            EntryKind.CONFIG, ConfigPayload(members=new_config.members,
+                                            version=version))
+        change["entry_id"] = entry.entry_id
+        self._append_as_leader(entry)
+        self._trace("config.proposed", action=change["action"],
+                    site=change["site"], members=new_config.members)
+
+    def _finish_config_change(self, entry: LogEntry) -> None:
+        pending = self._pending_config
+        if pending is None or pending.get("entry_id") != entry.entry_id:
+            return
+        site = pending["site"]
+        self._pending_config = None
+        if pending["action"] == "add":
+            self._catchup_targets.discard(site)
+            self._extra_allowed.discard(site)
+            self._send(site, JoinAccepted(
+                members=self._configuration.members, leader_id=self.name))
+        else:
+            self._send(site, LeaveAccepted(site=site))
+            self.next_index.pop(site, None)
+            self.match_index.pop(site, None)
+            if site == self.name:
+                # A leader that removed itself steps down after commit.
+                self._become_follower()
+                return
+        self._start_next_config_change()
+
+    # ------------------------------------------------------------------
+    # Dispatch additions
+    # ------------------------------------------------------------------
+    def _build_dispatch(self):
+        dispatch = super()._build_dispatch()
+        dispatch[ProposeToLeader] = self._handle_propose_to_leader
+        return dispatch

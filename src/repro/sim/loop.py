@@ -1,0 +1,179 @@
+"""The discrete-event simulation loop: a virtual clock plus a scheduler.
+
+Time is a float in **seconds**. Events scheduled for the same instant run
+in scheduling order (a monotonically increasing sequence number breaks
+ties), which keeps runs deterministic regardless of heap internals.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+
+#: Convenience unit: ``loop.call_later(100 * MS, fn)`` reads like the paper.
+MS = 1e-3
+
+
+class Handle:
+    """Cancellation handle returned by :meth:`SimLoop.call_later`.
+
+    Cancellation is lazy: the entry stays in the heap and is skipped when
+    popped. This makes ``cancel()`` O(1).
+    """
+
+    __slots__ = ("when", "_callback", "_args", "_cancelled", "seq")
+
+    def __init__(self, when: float, seq: int,
+                 callback: Callable[..., None], args: tuple) -> None:
+        self.when = when
+        self.seq = seq
+        self._callback = callback
+        self._args = args
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running. Idempotent."""
+        self._cancelled = True
+        # Drop references so cancelled closures can be collected early.
+        self._callback = None
+        self._args = ()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def _run(self) -> None:
+        if not self._cancelled:
+            self._callback(*self._args)
+
+    def __lt__(self, other: "Handle") -> bool:
+        return (self.when, self.seq) < (other.when, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self._cancelled else "pending"
+        return f"<Handle when={self.when:.6f} seq={self.seq} {state}>"
+
+
+class SimLoop:
+    """Virtual-time event loop.
+
+    The loop only advances time when asked to run; scheduling callbacks is
+    side-effect free until then. A typical experiment::
+
+        loop = SimLoop()
+        loop.call_later(0.5, do_something)
+        loop.run_until(60.0)
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[Handle] = []
+        self._seq = itertools.count()
+        self._events_processed = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of callbacks executed so far (for tests and stats)."""
+        return self._events_processed
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def call_later(self, delay: float, callback: Callable[..., None],
+                   *args: Any) -> Handle:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past: {delay!r}")
+        return self.call_at(self._now + delay, callback, *args)
+
+    def call_at(self, when: float, callback: Callable[..., None],
+                *args: Any) -> Handle:
+        """Schedule ``callback(*args)`` to run at absolute time ``when``."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule at {when!r}, now is {self._now!r}")
+        handle = Handle(when, next(self._seq), callback, args)
+        heapq.heappush(self._heap, handle)
+        return handle
+
+    def call_soon(self, callback: Callable[..., None], *args: Any) -> Handle:
+        """Schedule ``callback(*args)`` at the current instant."""
+        return self.call_at(self._now, callback, *args)
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def run_until(self, deadline: float) -> None:
+        """Run events until the clock reaches ``deadline``.
+
+        Time is advanced to ``deadline`` even if the heap drains earlier, so
+        subsequent ``now()`` calls reflect the elapsed interval.
+        """
+        if deadline < self._now:
+            raise SimulationError(
+                f"deadline {deadline!r} is before now {self._now!r}")
+        if self._running:
+            raise SimulationError("loop is already running (re-entrant run)")
+        self._running = True
+        try:
+            heap = self._heap
+            while heap and heap[0].when <= deadline:
+                handle = heapq.heappop(heap)
+                if handle.cancelled:
+                    continue
+                self._now = handle.when
+                self._events_processed += 1
+                handle._run()
+            self._now = deadline
+        finally:
+            self._running = False
+
+    def run_for(self, duration: float) -> None:
+        """Run events for ``duration`` seconds of virtual time."""
+        self.run_until(self._now + duration)
+
+    def run_until_idle(self, max_events: int | None = None) -> int:
+        """Run until no events remain; returns the number executed.
+
+        ``max_events`` bounds runaway simulations (e.g. a timer that
+        re-arms forever); exceeding it raises :class:`SimulationError`.
+        """
+        if self._running:
+            raise SimulationError("loop is already running (re-entrant run)")
+        self._running = True
+        executed = 0
+        try:
+            heap = self._heap
+            while heap:
+                handle = heapq.heappop(heap)
+                if handle.cancelled:
+                    continue
+                self._now = handle.when
+                self._events_processed += 1
+                executed += 1
+                if max_events is not None and executed > max_events:
+                    raise SimulationError(
+                        f"run_until_idle exceeded {max_events} events")
+                handle._run()
+        finally:
+            self._running = False
+        return executed
+
+    def pending_count(self) -> int:
+        """Number of scheduled, non-cancelled callbacks."""
+        return sum(1 for h in self._heap if not h.cancelled)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<SimLoop now={self._now:.6f} "
+                f"pending={self.pending_count()}>")

@@ -1,0 +1,147 @@
+"""Client sessions with the paper's proposal-timeout retry loop.
+
+A client is co-located with its attached site (the paper picks "a site at
+random to be the proposer"); client <-> site traffic uses the reliable
+local path while everything between sites goes over the lossy network.
+
+Latency is measured exactly as in Section VI: "the proposer started a
+timer when first proposing an entry and stopped the timer when the leader
+notified it that the entry was committed" -- i.e. from *first* submission,
+across retries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.consensus.messages import ClientReply, ClientRequest
+from repro.net.network import Network
+from repro.sim.actor import Actor
+from repro.sim.loop import SimLoop
+from repro.sim.timers import RestartableTimer
+
+
+@dataclass
+class RequestRecord:
+    """Lifecycle of one client request."""
+
+    request_id: str
+    command: Any
+    submitted_at: float
+    committed_at: float | None = None
+    commit_index: int | None = None
+    attempts: int = 1
+    callbacks: list[Callable[["RequestRecord"], None]] = field(
+        default_factory=list)
+
+    @property
+    def latency(self) -> float | None:
+        if self.committed_at is None:
+            return None
+        return self.committed_at - self.submitted_at
+
+    @property
+    def done(self) -> bool:
+        return self.committed_at is not None
+
+
+class Client(Actor):
+    """A proposer attached to one site."""
+
+    def __init__(self, name: str, loop: SimLoop, network: Network,
+                 site: str, proposal_timeout: float = 1.0,
+                 max_attempts: int | None = None) -> None:
+        super().__init__(loop, name)
+        self._network = network
+        self._site = site
+        self._proposal_timeout = proposal_timeout
+        self._max_attempts = max_attempts
+        self._sequence = 0
+        self._pending: dict[str, RequestRecord] = {}
+        self._timers: dict[str, RestartableTimer] = {}
+        #: Completed requests in completion order.
+        self.completed: list[RequestRecord] = []
+        #: Requests abandoned after ``max_attempts`` retries.
+        self.abandoned: list[RequestRecord] = []
+
+    @property
+    def site(self) -> str:
+        return self._site
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    def attach_to(self, site: str) -> None:
+        """Re-attach to a different site (e.g. after its site departed)."""
+        self._site = site
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, command: Any,
+               on_done: Callable[[RequestRecord], None] | None = None
+               ) -> RequestRecord:
+        """Propose ``command``; retries until committed (or max attempts)."""
+        self._sequence += 1
+        request_id = f"{self.name}.{self._sequence}"
+        record = RequestRecord(request_id=request_id, command=command,
+                               submitted_at=self.now())
+        if on_done is not None:
+            record.callbacks.append(on_done)
+        self._pending[request_id] = record
+        self._send_request(record)
+        timer = RestartableTimer(self.loop, lambda: self._on_timeout(request_id))
+        timer.reset(self._proposal_timeout)
+        self._timers[request_id] = timer
+        return record
+
+    def _send_request(self, record: RequestRecord) -> None:
+        self._network.send_local(self.name, self._site, ClientRequest(
+            request_id=record.request_id, command=record.command))
+
+    def _on_timeout(self, request_id: str) -> None:
+        record = self._pending.get(request_id)
+        if record is None or record.done:
+            return
+        if (self._max_attempts is not None
+                and record.attempts >= self._max_attempts):
+            self._pending.pop(request_id, None)
+            self._timers.pop(request_id, None)
+            self.abandoned.append(record)
+            return
+        record.attempts += 1
+        self._send_request(record)
+        self._timers[request_id].reset(self._proposal_timeout)
+
+    # ------------------------------------------------------------------
+    # Replies
+    # ------------------------------------------------------------------
+    def on_message(self, message: Any, sender: str) -> None:
+        if not isinstance(message, ClientReply):
+            return
+        record = self._pending.pop(message.request_id, None)
+        if record is None:
+            return  # duplicate reply after completion
+        timer = self._timers.pop(message.request_id, None)
+        if timer is not None:
+            timer.cancel()
+        record.committed_at = self.now()
+        record.commit_index = message.index
+        self.completed.append(record)
+        for callback in record.callbacks:
+            callback(record)
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def latencies(self) -> list[float]:
+        """Commit latencies of completed requests, in completion order."""
+        return [r.latency for r in self.completed if r.latency is not None]
+
+    def kill(self) -> None:
+        for timer in self._timers.values():
+            timer.cancel()
+        self._timers.clear()
+        super().kill()

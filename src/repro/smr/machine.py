@@ -1,0 +1,53 @@
+"""State-machine interface and two simple reference machines.
+
+A state machine is deterministic: applying the same command sequence
+yields the same state everywhere, which together with the consensus
+layer's total order gives replicated consistency.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class StateMachine:
+    """Deterministic application state."""
+
+    def apply(self, command: Any) -> Any:
+        """Apply one committed command; returns a command-specific result."""
+        raise NotImplementedError
+
+    def snapshot(self) -> Any:
+        """A comparable representation of the full state (for checkers)."""
+        raise NotImplementedError
+
+
+class AppendOnlyLog(StateMachine):
+    """Records every command in order -- the minimal observable machine,
+    used by tests to compare apply sequences across sites."""
+
+    def __init__(self) -> None:
+        self.commands: list[Any] = []
+
+    def apply(self, command: Any) -> Any:
+        self.commands.append(command)
+        return len(self.commands)
+
+    def snapshot(self) -> Any:
+        return tuple(self.commands)
+
+
+class CounterMachine(StateMachine):
+    """A counter supporting ``{"op": "add", "amount": n}`` commands."""
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def apply(self, command: Any) -> Any:
+        if not isinstance(command, dict) or command.get("op") != "add":
+            raise ValueError(f"unknown counter command: {command!r}")
+        self.value += command.get("amount", 1)
+        return self.value
+
+    def snapshot(self) -> Any:
+        return self.value

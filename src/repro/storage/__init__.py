@@ -1,0 +1,11 @@
+"""Stable-storage substrate with crash/recovery semantics.
+
+The paper assumes "each site has a means of stable storage that can be
+read from upon recovery". :class:`~repro.storage.stable.StableStore`
+models exactly that boundary: values written to the store survive a
+crash; everything else a node holds is volatile and lost.
+"""
+
+from repro.storage.stable import StableStore, StorageFabric
+
+__all__ = ["StableStore", "StorageFabric"]

@@ -1,0 +1,91 @@
+"""In-memory stable storage with crash/recovery semantics.
+
+Model: a write to the store is durable the instant it returns (write-
+through, fsync-per-write). Mutable objects placed in the store (e.g. the
+replicated log) are held by reference, so in-place mutations are durable
+immediately too -- a *conservative* durability model: nothing a node did
+before crashing is ever lost, matching the paper's assumption that
+persistent state "can be read from upon recovery". The paper's
+``commitIndex`` is explicitly volatile ("if a site crashes and recovers,
+it will need to relearn which log entries are committed"), so nodes must
+simply not store it here.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import StorageError
+
+
+class StableStore:
+    """Per-site durable key/value store."""
+
+    def __init__(self, owner: str) -> None:
+        self._owner = owner
+        self._values: dict[str, Any] = {}
+        self._writes = 0
+
+    @property
+    def owner(self) -> str:
+        return self._owner
+
+    @property
+    def write_count(self) -> int:
+        """Total durable writes (a cheap proxy for fsync cost in reports)."""
+        return self._writes
+
+    def set(self, key: str, value: Any) -> None:
+        """Durably store ``value`` under ``key``."""
+        self._values[key] = value
+        self._writes += 1
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self._values.get(key, default)
+
+    def require(self, key: str) -> Any:
+        """Like :meth:`get` but raises if the key was never written."""
+        try:
+            return self._values[key]
+        except KeyError:
+            raise StorageError(
+                f"{self._owner}: no stable value for {key!r}") from None
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._values
+
+    def keys(self) -> list[str]:
+        return sorted(self._values)
+
+    def wipe(self) -> None:
+        """Destroy the stored state (models disk loss, NOT a crash)."""
+        self._values.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<StableStore {self._owner} keys={self.keys()}>"
+
+
+class StorageFabric:
+    """Registry of per-site stores that outlives node objects.
+
+    Crash recovery builds a *new* node object for the same name; handing
+    both the old and new object the same :class:`StableStore` via this
+    fabric is what makes persistent state survive.
+    """
+
+    def __init__(self) -> None:
+        self._stores: dict[str, StableStore] = {}
+
+    def store_for(self, name: str) -> StableStore:
+        store = self._stores.get(name)
+        if store is None:
+            store = StableStore(name)
+            self._stores[name] = store
+        return store
+
+    def forget(self, name: str) -> None:
+        """Drop a site's storage entirely (permanent departure)."""
+        self._stores.pop(name, None)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._stores

@@ -1,0 +1,48 @@
+"""Shared fixtures and helpers for the protocol test suites."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fastraft.server import FastRaftServer
+from repro.harness.builder import Cluster, build_cluster
+from repro.harness.checkers import run_safety_checks
+from repro.raft.server import RaftServer
+from repro.smr.kv import KVStateMachine
+
+
+def make_cluster(server_cls, n_sites=5, seed=0, **kwargs) -> Cluster:
+    kwargs.setdefault("state_machine_factory", KVStateMachine)
+    cluster = build_cluster(server_cls, n_sites=n_sites, seed=seed, **kwargs)
+    return cluster
+
+
+def started_cluster(server_cls, n_sites=5, seed=0, **kwargs) -> Cluster:
+    cluster = make_cluster(server_cls, n_sites=n_sites, seed=seed, **kwargs)
+    cluster.start_all()
+    cluster.run_until_leader()
+    return cluster
+
+
+def commit_n(cluster: Cluster, client, n: int, timeout=30.0):
+    """Commit n puts through the client; returns the records."""
+    records = []
+    for i in range(n):
+        records.append(cluster.propose_and_wait(
+            client, {"op": "put", "key": f"k{i}", "value": i},
+            timeout=timeout))
+    return records
+
+
+def assert_safe(cluster: Cluster) -> None:
+    run_safety_checks(cluster.servers.values(), cluster.trace)
+
+
+@pytest.fixture
+def raft_cluster():
+    return started_cluster(RaftServer, seed=1)
+
+
+@pytest.fixture
+def fast_cluster():
+    return started_cluster(FastRaftServer, seed=1)

@@ -1,0 +1,165 @@
+"""Tests for the replicated log (holes, overwrite, provenance)."""
+
+import pytest
+
+from repro.consensus.entry import EntryKind, InsertedBy, LogEntry, ConfigPayload
+from repro.consensus.log import RaftLog
+from repro.errors import LogError
+
+
+def entry(entry_id, term=1, inserted_by=InsertedBy.SELF,
+          kind=EntryKind.DATA, payload=None):
+    return LogEntry(entry_id=entry_id, kind=kind, payload=payload,
+                    origin="n0", term=term, inserted_by=inserted_by)
+
+
+class TestBasics:
+    def test_empty_log(self):
+        log = RaftLog()
+        assert log.last_index == 0
+        assert len(log) == 0
+        assert log.get(1) is None
+        assert not log.has(1)
+
+    def test_append_assigns_sequential_indices(self):
+        log = RaftLog()
+        assert log.append(entry("a")) == 1
+        assert log.append(entry("b")) == 2
+        assert log.last_index == 2
+
+    def test_insert_at_arbitrary_index_leaves_hole(self):
+        log = RaftLog()
+        log.insert(5, entry("e5"))
+        assert log.last_index == 5
+        assert log.get(5).entry_id == "e5"
+        assert log.get(3) is None
+        assert len(log) == 1
+
+    def test_insert_below_one_rejected(self):
+        with pytest.raises(LogError):
+            RaftLog().insert(0, entry("x"))
+
+    def test_overwrite_replaces(self):
+        log = RaftLog()
+        log.insert(1, entry("old"))
+        log.insert(1, entry("new"))
+        assert log.get(1).entry_id == "new"
+        assert log.indices_of("old") == set()
+
+    def test_term_at_sentinel(self):
+        assert RaftLog().term_at(0) == 0
+
+    def test_term_at_hole_raises(self):
+        log = RaftLog()
+        log.insert(3, entry("x"))
+        with pytest.raises(LogError):
+            log.term_at(2)
+
+    def test_iteration_in_index_order(self):
+        log = RaftLog()
+        log.insert(3, entry("c"))
+        log.insert(1, entry("a"))
+        assert [i for i, _ in log] == [1, 3]
+
+
+class TestTruncate:
+    def test_truncate_removes_suffix(self):
+        log = RaftLog()
+        for name in ("a", "b", "c"):
+            log.append(entry(name))
+        log.truncate_from(2)
+        assert log.last_index == 1
+        assert log.get(2) is None
+        assert log.indices_of("b") == set()
+
+    def test_truncate_with_holes(self):
+        log = RaftLog()
+        log.insert(1, entry("a"))
+        log.insert(5, entry("e"))
+        log.truncate_from(3)
+        assert log.last_index == 1
+
+    def test_truncate_everything(self):
+        log = RaftLog()
+        log.append(entry("a"))
+        log.truncate_from(1)
+        assert log.last_index == 0
+        assert len(log) == 0
+
+    def test_truncate_invalid_index(self):
+        with pytest.raises(LogError):
+            RaftLog().truncate_from(0)
+
+
+class TestRangesAndProvenance:
+    def test_entries_between_skips_holes(self):
+        log = RaftLog()
+        log.insert(1, entry("a"))
+        log.insert(3, entry("c"))
+        got = log.entries_between(1, 3)
+        assert [i for i, _ in got] == [1, 3]
+
+    def test_contiguous_from(self):
+        log = RaftLog()
+        log.insert(1, entry("a"))
+        log.insert(2, entry("b"))
+        log.insert(4, entry("d"))
+        assert log.contiguous_from(1, 2)
+        assert not log.contiguous_from(1, 4)
+
+    def test_last_with_provenance(self):
+        log = RaftLog()
+        log.insert(1, entry("a", inserted_by=InsertedBy.LEADER))
+        log.insert(2, entry("b", inserted_by=InsertedBy.SELF))
+        log.insert(3, entry("c", inserted_by=InsertedBy.LEADER))
+        log.insert(4, entry("d", inserted_by=InsertedBy.SELF))
+        assert log.last_with_provenance(InsertedBy.LEADER) == 3
+        assert log.last_with_provenance(InsertedBy.SELF) == 4
+
+    def test_last_with_provenance_empty(self):
+        assert RaftLog().last_with_provenance(InsertedBy.LEADER) == 0
+
+    def test_entries_with_provenance(self):
+        log = RaftLog()
+        log.insert(1, entry("a", inserted_by=InsertedBy.LEADER))
+        log.insert(2, entry("b", inserted_by=InsertedBy.SELF))
+        self_entries = log.entries_with_provenance(InsertedBy.SELF)
+        assert [(i, e.entry_id) for i, e in self_entries] == [(2, "b")]
+
+    def test_latest_config_entry(self):
+        log = RaftLog()
+        log.insert(1, entry("c1", kind=EntryKind.CONFIG,
+                            payload=ConfigPayload(("a",))))
+        log.insert(2, entry("d1"))
+        log.insert(3, entry("c2", kind=EntryKind.CONFIG,
+                            payload=ConfigPayload(("a", "b"))))
+        index, config_entry = log.latest_config_entry()
+        assert index == 3
+        assert config_entry.payload.members == ("a", "b")
+
+    def test_latest_config_entry_none(self):
+        assert RaftLog().latest_config_entry() is None
+
+
+class TestDuplicateDetection:
+    def test_indices_of_tracks_multiple(self):
+        log = RaftLog()
+        log.insert(1, entry("dup"))
+        log.insert(4, entry("dup"))
+        assert log.indices_of("dup") == {1, 4}
+
+    def test_committed_index_of(self):
+        log = RaftLog()
+        log.insert(1, entry("a"))
+        log.insert(3, entry("a"))
+        assert log.committed_index_of("a", commit_index=0) is None
+        assert log.committed_index_of("a", commit_index=1) == 1
+        assert log.committed_index_of("a", commit_index=5) == 1
+        assert log.committed_index_of("missing", commit_index=5) is None
+
+    def test_overwrite_updates_id_index(self):
+        log = RaftLog()
+        log.insert(2, entry("a"))
+        log.insert(2, entry("b"))
+        assert log.indices_of("a") == set()
+        assert log.indices_of("b") == {2}

@@ -1,0 +1,112 @@
+"""Tests for quorum arithmetic and configurations."""
+
+import pytest
+
+from repro.consensus.config import Configuration
+from repro.consensus.quorum import (
+    classic_quorum_size,
+    fast_quorum_size,
+    quorum_intersection_ok,
+)
+from repro.errors import ConfigurationError
+
+
+class TestQuorumSizes:
+    def test_classic_majority(self):
+        assert classic_quorum_size(1) == 1
+        assert classic_quorum_size(2) == 2
+        assert classic_quorum_size(3) == 2
+        assert classic_quorum_size(4) == 3
+        assert classic_quorum_size(5) == 3
+        assert classic_quorum_size(20) == 11
+
+    def test_fast_quorum_paper_values(self):
+        # ceil(3M/4); the paper's 5-site example gives 4.
+        assert fast_quorum_size(5) == 4
+        assert fast_quorum_size(4) == 3
+        assert fast_quorum_size(3) == 3
+        assert fast_quorum_size(20) == 15
+
+    def test_fast_at_least_classic(self):
+        for m in range(1, 100):
+            assert fast_quorum_size(m) >= classic_quorum_size(m)
+
+    def test_intersection_condition_holds_for_all_sizes(self):
+        """Zhao's plurality condition holds for ceil(3M/4) at every M."""
+        for m in range(1, 500):
+            assert quorum_intersection_ok(m), f"fails at M={m}"
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ConfigurationError):
+            classic_quorum_size(0)
+        with pytest.raises(ConfigurationError):
+            fast_quorum_size(-1)
+
+
+class TestConfiguration:
+    def test_members_sorted_unique(self):
+        config = Configuration(("c", "a", "b"))
+        assert config.members == ("a", "b", "c")
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Configuration(("a", "a"))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Configuration(())
+
+    def test_quorum_properties(self):
+        config = Configuration(("a", "b", "c", "d", "e"))
+        assert config.size == 5
+        assert config.classic_quorum == 3
+        assert config.fast_quorum == 4
+
+    def test_is_classic_quorum_with_set(self):
+        config = Configuration(("a", "b", "c", "d", "e"))
+        assert config.is_classic_quorum({"a", "b", "c"})
+        assert not config.is_classic_quorum({"a", "b"})
+        # non-members do not count
+        assert not config.is_classic_quorum({"a", "b", "zz"})
+
+    def test_is_quorum_with_int(self):
+        config = Configuration(("a", "b", "c", "d", "e"))
+        assert config.is_classic_quorum(3)
+        assert config.is_fast_quorum(4)
+        assert not config.is_fast_quorum(3)
+
+    def test_contains(self):
+        config = Configuration(("a", "b"))
+        assert "a" in config
+        assert "z" not in config
+
+    def test_others(self):
+        config = Configuration(("a", "b", "c"))
+        assert config.others("b") == ("a", "c")
+
+    def test_with_member(self):
+        config = Configuration(("a", "b"))
+        bigger = config.with_member("c")
+        assert bigger.members == ("a", "b", "c")
+        assert config.members == ("a", "b")  # immutable
+        with pytest.raises(ConfigurationError):
+            config.with_member("a")
+
+    def test_without_member(self):
+        config = Configuration(("a", "b", "c"))
+        smaller = config.without_member("b")
+        assert smaller.members == ("a", "c")
+        with pytest.raises(ConfigurationError):
+            config.without_member("z")
+
+    def test_cannot_remove_last_member(self):
+        with pytest.raises(ConfigurationError):
+            Configuration(("a",)).without_member("a")
+
+    def test_single_change_from(self):
+        base = Configuration(("a", "b", "c"))
+        assert base.single_change_from(base)
+        assert base.with_member("d").single_change_from(base)
+        assert base.without_member("c").single_change_from(base)
+        two_changes = Configuration(("a", "b", "d", "e"))
+        assert not two_changes.single_change_from(base)

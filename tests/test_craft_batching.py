@@ -1,0 +1,120 @@
+"""Tests for the C-Raft batcher (pure logic)."""
+
+from repro.consensus.entry import EntryKind, InsertedBy, LogEntry
+from repro.craft.batching import Batcher, BatchPolicy
+
+
+def data_entry(entry_id):
+    return LogEntry(entry_id=entry_id, kind=EntryKind.DATA, payload=None,
+                    origin="n0", term=1, inserted_by=InsertedBy.LEADER)
+
+
+def state_entry(entry_id):
+    return LogEntry(entry_id=entry_id, kind=EntryKind.GLOBAL_STATE,
+                    payload=None, origin="n0", term=1,
+                    inserted_by=InsertedBy.LEADER)
+
+
+def feed(batcher, start, count, now=0.0):
+    for i in range(start, start + count):
+        batcher.observe_local_commit(i, data_entry(f"e{i}"), now)
+
+
+class TestReadiness:
+    def test_not_ready_below_batch_size(self):
+        batcher = Batcher("c", BatchPolicy(batch_size=10))
+        feed(batcher, 1, 9)
+        assert not batcher.ready(0.0)
+
+    def test_ready_at_batch_size(self):
+        batcher = Batcher("c", BatchPolicy(batch_size=10))
+        feed(batcher, 1, 10)
+        assert batcher.ready(0.0)
+
+    def test_outstanding_limit_blocks(self):
+        batcher = Batcher("c", BatchPolicy(batch_size=5, max_outstanding=1))
+        feed(batcher, 1, 10)
+        batcher.take_batch(0.0)
+        assert not batcher.ready(0.0)
+        batcher.batch_done()
+        assert batcher.ready(0.0)
+
+    def test_age_flush(self):
+        batcher = Batcher("c", BatchPolicy(batch_size=10, max_age=2.0))
+        feed(batcher, 1, 3, now=5.0)
+        assert not batcher.ready(6.0)
+        assert batcher.ready(7.5)
+
+    def test_no_age_flush_when_disabled(self):
+        batcher = Batcher("c", BatchPolicy(batch_size=10, max_age=None))
+        feed(batcher, 1, 3, now=0.0)
+        assert not batcher.ready(1e9)
+
+
+class TestTakeBatch:
+    def test_batch_contents_and_range(self):
+        batcher = Batcher("c", BatchPolicy(batch_size=3))
+        feed(batcher, 4, 5)
+        payload = batcher.take_batch(0.0)
+        assert payload.cluster == "c"
+        assert payload.sequence == 1
+        assert [e.entry_id for e in payload.entries] == ["e4", "e5", "e6"]
+        assert payload.local_range == (4, 6)
+        assert batcher.pending_count == 2
+        assert batcher.next_unbatched == 7
+
+    def test_sequences_increment(self):
+        batcher = Batcher("c", BatchPolicy(batch_size=2, max_outstanding=5))
+        feed(batcher, 1, 4)
+        assert batcher.take_batch(0.0).sequence == 1
+        assert batcher.take_batch(0.0).sequence == 2
+
+    def test_interleaved_non_data_skipped(self):
+        batcher = Batcher("c", BatchPolicy(batch_size=2))
+        batcher.observe_local_commit(1, data_entry("a"), 0.0)
+        batcher.observe_local_commit(2, state_entry("s"), 0.0)
+        batcher.observe_local_commit(3, data_entry("b"), 0.0)
+        payload = batcher.take_batch(0.0)
+        assert [e.entry_id for e in payload.entries] == ["a", "b"]
+        assert payload.local_range == (1, 3)
+
+
+class TestCoverage:
+    def test_advance_covered_drops_pending(self):
+        batcher = Batcher("c", BatchPolicy(batch_size=10))
+        feed(batcher, 1, 6)
+        batcher.advance_covered(4)
+        assert batcher.pending_count == 2
+        assert batcher.next_unbatched == 5
+
+    def test_advance_covered_ignores_stale(self):
+        batcher = Batcher("c", BatchPolicy(batch_size=10))
+        feed(batcher, 10, 3)
+        batcher.advance_covered(12)
+        batcher.advance_covered(5)  # stale, no effect
+        assert batcher.next_unbatched == 13
+
+    def test_entries_below_next_unbatched_ignored(self):
+        batcher = Batcher("c", BatchPolicy(batch_size=10))
+        batcher.advance_covered(5)
+        batcher.observe_local_commit(3, data_entry("old"), 0.0)
+        assert batcher.pending_count == 0
+
+
+class TestRebuild:
+    def test_rebuild_from_applied_log(self):
+        batcher = Batcher("c", BatchPolicy(batch_size=10))
+        applied = [(i, data_entry(f"e{i}")) for i in range(1, 8)]
+        applied.insert(3, (99, state_entry("s")))  # non-data ignored
+        batcher.rebuild(applied, next_unbatched=4, now=0.0)
+        assert batcher.pending_count == 4  # e4..e7
+        assert batcher.outstanding == 0
+        assert batcher.next_unbatched == 4
+
+    def test_rebuild_resets_outstanding(self):
+        batcher = Batcher("c", BatchPolicy(batch_size=2))
+        feed(batcher, 1, 2)
+        batcher.take_batch(0.0)
+        assert batcher.outstanding == 1
+        batcher.rebuild([], next_unbatched=1, now=0.0)
+        assert batcher.outstanding == 0

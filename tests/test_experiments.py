@@ -1,0 +1,129 @@
+"""Integration tests: every paper experiment runs at quick scale and
+reproduces the expected shape."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.base import ResultTable, cell_seed
+from repro.experiments.fig3_latency import Fig3Config, run_fig3
+from repro.experiments.fig4_churn import Fig4Config, run_fig4
+from repro.experiments.fig5_throughput import Fig5Config, run_fig5
+from repro.experiments.regions import (
+    REGIONS,
+    RTT_MATRIX,
+    latency_model_for,
+    regions_for,
+)
+from repro.experiments.rounds import RoundsConfig, run_rounds
+from repro.net.topology import Topology
+
+
+class TestBase:
+    def test_cell_seed_stable_and_distinct(self):
+        assert cell_seed(1, "a", 2) == cell_seed(1, "a", 2)
+        assert cell_seed(1, "a", 2) != cell_seed(1, "a", 3)
+        assert cell_seed(1, "a") != cell_seed(2, "a")
+
+    def test_table_formatting(self):
+        table = ResultTable("T", ["col a", "b"])
+        table.add_row(1.234567, "x")
+        table.add_note("hello")
+        text = table.format()
+        assert "1.23" in text
+        assert "note: hello" in text
+
+    def test_table_rejects_wrong_arity(self):
+        table = ResultTable("T", ["a", "b"])
+        with pytest.raises(ExperimentError):
+            table.add_row(1)
+
+
+class TestRegions:
+    def test_full_matrix_coverage(self):
+        """Every region pair in the pool has an RTT (either ordering --
+        RegionLatencyModel normalizes keys)."""
+        for i, a in enumerate(REGIONS):
+            for b in REGIONS[i + 1:]:
+                assert ((a, b) in RTT_MATRIX or (b, a) in RTT_MATRIX), \
+                    f"missing ({a}, {b})"
+
+    def test_rtts_in_paper_envelope(self):
+        """Paper: 10 to 300 ms between regions."""
+        for rtt in RTT_MATRIX.values():
+            assert 0.010 <= rtt <= 0.300
+
+    def test_regions_for_bounds(self):
+        assert len(regions_for(10)) == 10
+        with pytest.raises(ExperimentError):
+            regions_for(0)
+        with pytest.raises(ExperimentError):
+            regions_for(99)
+
+    def test_latency_model_covers_topology(self):
+        topo = Topology.even_clusters(20, regions_for(10))
+        model = latency_model_for(topo)
+        import random
+        rng = random.Random(0)
+        for node in topo.nodes:
+            assert model.sample(rng, node, topo.nodes[0]) >= 0
+
+
+class TestRounds:
+    def test_reproduces_figs_1_2(self):
+        result = run_rounds(RoundsConfig.quick())
+        result.check_shape()
+        assert result.classic_commit_hops == 3
+        assert result.fast_commit_hops == 2
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig3(Fig3Config.quick())
+
+    def test_shape(self, result):
+        result.check_shape()
+
+    def test_headline_speedup(self, result):
+        assert result.points[0].speedup == pytest.approx(2.0, abs=0.5)
+
+    def test_table_has_all_points(self, result):
+        table = result.table()
+        assert len(table.rows) == len(result.config.loss_rates)
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig4(Fig4Config.quick())
+
+    def test_shape(self, result):
+        result.check_shape()
+
+    def test_configuration_shrinks(self, result):
+        assert len(result.final_members) == 3
+        assert result.final_fast_quorum == 3
+
+    def test_pre_leave_band_matches_paper(self, result):
+        """Paper: 50-100 ms proposals before the leave."""
+        pre, _, _ = result.phase_latencies()
+        mean = sum(pre) / len(pre)
+        assert 0.030 <= mean <= 0.110
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig5(Fig5Config(cluster_counts=(1, 10),
+                                   trial_duration=30.0, trials=1,
+                                   warmup=10.0))
+
+    def test_craft_wins_at_ten_clusters(self, result):
+        assert result.points[-1].speedup >= 3.0
+
+    def test_comparable_at_one_cluster(self, result):
+        assert 0.4 <= result.points[0].speedup <= 2.5
+
+    def test_table(self, result):
+        table = result.table()
+        assert len(table.rows) == 2

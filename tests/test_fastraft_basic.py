@@ -1,0 +1,159 @@
+"""Fast Raft: fast track, classic fallback, latency shape."""
+
+import pytest
+
+from repro.consensus.engine import Role
+from repro.consensus.entry import InsertedBy
+from repro.fastraft.server import FastRaftServer
+from repro.harness.checkers import check_leader_approved_prefix
+from repro.harness.workload import ClosedLoopWorkload
+from repro.net.loss import BernoulliLoss
+from repro.raft.server import RaftServer
+from tests.conftest import assert_safe, commit_n, started_cluster
+
+
+def trace_count(cluster, category):
+    return len([e for e in cluster.trace.events if e.category == category])
+
+
+class TestFastTrack:
+    def test_commits_use_fast_track_without_loss(self, fast_cluster):
+        client = fast_cluster.add_client(site="n0")
+        records = commit_n(fast_cluster, client, 10)
+        assert all(r.done for r in records)
+        assert trace_count(fast_cluster, "fastraft.fast_commit") >= 10
+        assert trace_count(fast_cluster, "fastraft.classic_commit") == 0
+        assert_safe(fast_cluster)
+
+    def test_entries_leader_approved_after_commit(self, fast_cluster):
+        client = fast_cluster.add_client(site="n0")
+        commit_n(fast_cluster, client, 3)
+        fast_cluster.run_for(0.5)
+        leader = fast_cluster.servers[fast_cluster.leader()].engine
+        for index in range(1, leader.commit_index + 1):
+            assert leader.log.get(index).inserted_by is InsertedBy.LEADER
+        check_leader_approved_prefix(leader)
+
+    def test_followers_receive_leader_approved_via_append(self, fast_cluster):
+        client = fast_cluster.add_client(site="n0")
+        commit_n(fast_cluster, client, 3)
+        fast_cluster.run_for(1.0)
+        for server in fast_cluster.servers.values():
+            engine = server.engine
+            assert engine.commit_index == 3
+            for index in range(1, 4):
+                assert engine.log.get(index).inserted_by is InsertedBy.LEADER
+
+    def test_state_machines_converge(self, fast_cluster):
+        client = fast_cluster.add_client(site="n2")
+        commit_n(fast_cluster, client, 5)
+        fast_cluster.run_for(1.0)
+        snapshots = {name: s.state_machine.snapshot()
+                     for name, s in fast_cluster.servers.items()}
+        assert all(s == {f"k{i}": i for i in range(5)}
+                   for s in snapshots.values())
+
+    def test_single_site_cluster(self):
+        cluster = started_cluster(FastRaftServer, n_sites=1, seed=3)
+        client = cluster.add_client(site="n0")
+        records = commit_n(cluster, client, 3)
+        assert all(r.done for r in records)
+
+
+class TestLatencyShape:
+    """The Fig. 3 headline: fast track halves commit latency."""
+
+    def mean_latency(self, server_cls, seed=13, n=20, loss=None):
+        cluster = started_cluster(server_cls, seed=seed, loss=loss)
+        client = cluster.add_client(site="n0")
+        workload = ClosedLoopWorkload(client, max_requests=n)
+        workload.start()
+        assert cluster.run_until(lambda: workload.done, timeout=90.0)
+        latencies = workload.latencies()
+        return sum(latencies) / len(latencies)
+
+    def test_fast_raft_roughly_half_classic_latency(self):
+        classic = self.mean_latency(RaftServer)
+        fast = self.mean_latency(FastRaftServer)
+        assert fast < 0.7 * classic
+        assert fast > 0.25 * classic  # not an order-of-magnitude artifact
+
+    def test_fast_raft_degrades_with_loss(self):
+        clean = self.mean_latency(FastRaftServer, loss=None)
+        lossy = self.mean_latency(FastRaftServer, loss=BernoulliLoss(0.10))
+        assert lossy > clean * 1.15
+
+
+class TestClassicTrackFallback:
+    def test_loss_triggers_classic_track(self):
+        cluster = started_cluster(FastRaftServer, seed=21,
+                                  loss=BernoulliLoss(0.10))
+        client = cluster.add_client(site="n0")
+        workload = ClosedLoopWorkload(client, max_requests=30)
+        workload.start()
+        assert cluster.run_until(lambda: workload.done, timeout=120.0)
+        assert trace_count(cluster, "fastraft.classic_commit") > 0
+        assert_safe(cluster)
+
+    def test_fast_track_unavailable_below_fast_quorum(self):
+        """With 2 of 5 sites down, only the classic track can commit."""
+        cluster = started_cluster(FastRaftServer, seed=23)
+        from repro.harness.faults import FaultInjector
+        faults = FaultInjector(cluster)
+        victims = [n for n in cluster.servers if n != cluster.leader()][:2]
+        # Crash (not silent-leave detection): keep membership at 5.
+        faults.crash(victims[0])
+        faults.crash(victims[1])
+        # Commit a couple of entries before the member timeout fires.
+        client = cluster.add_client(site=cluster.leader())
+        records = []
+        for i in range(2):
+            records.append(cluster.propose_and_wait(
+                client, {"op": "put", "key": f"x{i}", "value": i},
+                timeout=5.0))
+        assert all(r.done for r in records)
+        assert trace_count(cluster, "fastraft.classic_commit") >= 1
+        assert_safe(cluster)
+
+
+class TestConcurrentProposals:
+    def test_conflicting_proposals_serialize(self):
+        cluster = started_cluster(FastRaftServer, seed=17)
+        clients = [cluster.add_client(site=f"n{i}") for i in range(5)]
+        records = [c.submit({"op": "put", "key": f"c{i}", "value": i})
+                   for i, c in enumerate(clients)]
+        assert cluster.run_until(lambda: all(r.done for r in records),
+                                 timeout=30.0)
+        cluster.run_for(1.0)
+        assert_safe(cluster)
+        kv = cluster.servers["n0"].state_machine.snapshot()
+        assert kv == {f"c{i}": i for i in range(5)}
+
+    def test_two_writers_same_key_last_write_wins_consistently(self):
+        cluster = started_cluster(FastRaftServer, seed=18)
+        a = cluster.add_client(site="n0")
+        b = cluster.add_client(site="n3")
+        ra = a.submit({"op": "put", "key": "k", "value": "A"})
+        rb = b.submit({"op": "put", "key": "k", "value": "B"})
+        assert cluster.run_until(lambda: ra.done and rb.done, timeout=10.0)
+        cluster.run_for(1.0)
+        values = {s.state_machine.get("k")
+                  for s in cluster.servers.values()}
+        assert len(values) == 1  # same winner everywhere
+        assert_safe(cluster)
+
+
+class TestVoteFlow:
+    def test_leader_collects_votes_from_all(self, fast_cluster):
+        client = fast_cluster.add_client(site="n0")
+        commit_n(fast_cluster, client, 1)
+        stats = fast_cluster.network.stats
+        assert stats.by_type["ProposeEntry"] >= 5
+        assert stats.by_type["VoteEntry"] >= 3
+
+    def test_commit_notice_sent_to_remote_origin(self, fast_cluster):
+        origin = next(n for n in fast_cluster.servers
+                      if n != fast_cluster.leader())
+        client = fast_cluster.add_client(site=origin)
+        commit_n(fast_cluster, client, 1)
+        assert fast_cluster.network.stats.by_type["CommitNotice"] >= 1

@@ -1,0 +1,114 @@
+"""Tests for the possibleEntries vote books."""
+
+from repro.consensus.entry import EntryKind, InsertedBy, LogEntry
+from repro.fastraft.votes import NULL_ID, PossibleEntries
+
+
+def entry(entry_id):
+    return LogEntry(entry_id=entry_id, kind=EntryKind.DATA, payload=None,
+                    origin="n0", term=1, inserted_by=InsertedBy.SELF)
+
+
+class TestVoting:
+    def test_votes_accumulate(self):
+        book = PossibleEntries()
+        book.add_vote(1, entry("a"), "n1")
+        book.add_vote(1, entry("a"), "n2")
+        record = book.record_for(1, "a")
+        assert record.count == 2
+        assert record.voters == {"n1", "n2"}
+
+    def test_revote_same_entry_not_double_counted(self):
+        book = PossibleEntries()
+        book.add_vote(1, entry("a"), "n1")
+        book.add_vote(1, entry("a"), "n1")
+        assert book.record_for(1, "a").count == 1
+
+    def test_revote_different_entry_moves_vote(self):
+        """A site whose slot was overwritten revotes; old vote removed."""
+        book = PossibleEntries()
+        book.add_vote(1, entry("a"), "n1")
+        book.add_vote(1, entry("b"), "n1")
+        assert book.record_for(1, "a").count == 0
+        assert book.record_for(1, "b").count == 1
+
+    def test_voters_at_union(self):
+        book = PossibleEntries()
+        book.add_vote(1, entry("a"), "n1")
+        book.add_vote(1, entry("b"), "n2")
+        assert book.voters_at(1) == {"n1", "n2"}
+
+    def test_indices(self):
+        book = PossibleEntries()
+        book.add_vote(3, entry("a"), "n1")
+        book.add_vote(1, entry("b"), "n2")
+        assert book.indices() == [1, 3]
+
+
+class TestCandidates:
+    def test_ordered_by_votes(self):
+        book = PossibleEntries()
+        book.add_vote(1, entry("a"), "n1")
+        book.add_vote(1, entry("b"), "n2")
+        book.add_vote(1, entry("b"), "n3")
+        candidates = book.candidates(1)
+        assert candidates[0].entry.entry_id == "b"
+        assert candidates[1].entry.entry_id == "a"
+
+    def test_tie_breaks_deterministic(self):
+        book = PossibleEntries()
+        book.add_vote(1, entry("zz"), "n1")
+        book.add_vote(1, entry("aa"), "n2")
+        assert book.candidates(1)[0].entry.entry_id == "aa"
+
+    def test_null_loses_ties(self):
+        book = PossibleEntries()
+        book.add_vote(1, entry("a"), "n1")
+        book.add_vote(2, entry("a"), "n2")  # same entry at another index
+        book.add_vote(2, entry("b"), "n3")
+        book.null_out("a", except_index=1)
+        candidates = book.candidates(2)
+        assert candidates[0].entry.entry_id == "b"
+        assert candidates[1].is_null
+
+
+class TestNullOut:
+    def test_null_out_moves_other_indices_to_null(self):
+        book = PossibleEntries()
+        book.add_vote(1, entry("dup"), "n1")
+        book.add_vote(3, entry("dup"), "n2")
+        book.add_vote(3, entry("dup"), "n3")
+        book.null_out("dup", except_index=1)
+        assert book.record_for(1, "dup").count == 1  # untouched
+        assert book.record_for(3, "dup") is None
+        null_record = book.record_for(3, NULL_ID)
+        assert null_record.voters == {"n2", "n3"}
+
+    def test_null_votes_count_toward_quorum(self):
+        book = PossibleEntries()
+        book.add_vote(2, entry("x"), "n1")
+        book.null_out("x", except_index=9)
+        assert book.voters_at(2) == {"n1"}
+
+
+class TestMaintenance:
+    def test_drop_through(self):
+        book = PossibleEntries()
+        book.add_vote(1, entry("a"), "n1")
+        book.add_vote(2, entry("b"), "n1")
+        book.add_vote(5, entry("c"), "n1")
+        book.drop_through(2)
+        assert book.indices() == [5]
+
+    def test_forget_voter(self):
+        book = PossibleEntries()
+        book.add_vote(1, entry("a"), "n1")
+        book.add_vote(1, entry("a"), "n2")
+        book.forget_voter("n1")
+        assert book.record_for(1, "a").voters == {"n2"}
+
+    def test_clear(self):
+        book = PossibleEntries()
+        book.add_vote(1, entry("a"), "n1")
+        book.clear()
+        assert book.indices() == []

@@ -1,0 +1,105 @@
+"""Tests for metrics: summaries, series, round accounting."""
+
+import pytest
+
+from repro.metrics.rounds import hops_from_latency
+from repro.metrics.series import EventSeries, ValueSeries
+from repro.metrics.summary import percentile, summarize
+
+
+class TestSummary:
+    def test_basic_stats(self):
+        stats = summarize([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert stats.count == 5
+        assert stats.mean == 3.0
+        assert stats.median == 3.0
+        assert stats.minimum == 1.0
+        assert stats.maximum == 5.0
+
+    def test_single_value(self):
+        stats = summarize([7.0])
+        assert stats.stdev == 0.0
+        assert stats.p95 == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_percentile_interpolates(self):
+        values = sorted([0.0, 10.0])
+        assert percentile(values, 0.5) == 5.0
+        assert percentile(values, 0.25) == 2.5
+
+    def test_stdev_sample(self):
+        stats = summarize([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+        assert stats.stdev == pytest.approx(2.138, abs=0.01)
+
+    def test_format(self):
+        stats = summarize([0.050, 0.060])
+        text = stats.format(unit="ms", scale=1000)
+        assert "55.0ms" in text
+        assert "n=2" in text
+
+
+class TestEventSeries:
+    def test_counts_and_rates(self):
+        series = EventSeries("commits")
+        for t in (0.1, 0.5, 0.9, 1.5, 2.5):
+            series.record(t)
+        assert len(series) == 5
+        assert series.count_between(0.0, 1.0) == 3
+        assert series.rate_between(0.0, 1.0) == pytest.approx(3.0)
+
+    def test_out_of_order_rejected(self):
+        series = EventSeries()
+        series.record(1.0)
+        with pytest.raises(ValueError):
+            series.record(0.5)
+
+    def test_rates_per_window(self):
+        series = EventSeries()
+        for t in (0.1, 0.2, 1.1):
+            series.record(t)
+        windows = series.rates_per_window(0.0, 2.0, 1.0)
+        assert windows[0] == (0.5, pytest.approx(2.0))
+        assert windows[1] == (1.5, pytest.approx(1.0))
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValueError):
+            EventSeries().rate_between(1.0, 1.0)
+
+
+class TestValueSeries:
+    def test_record_and_summary(self):
+        series = ValueSeries("latency")
+        series.record(0.1, 0.050)
+        series.record(0.2, 0.070)
+        assert series.summary().mean == pytest.approx(0.060)
+
+    def test_between(self):
+        series = ValueSeries()
+        for t in range(5):
+            series.record(float(t), float(t) * 10)
+        assert series.values_between(1.0, 3.0) == [10.0, 20.0]
+
+    def test_window_means_skip_empty(self):
+        series = ValueSeries()
+        series.record(0.5, 1.0)
+        series.record(2.5, 3.0)
+        means = series.window_means(0.0, 3.0, 1.0)
+        assert len(means) == 2  # the window [1,2) is empty
+        assert means[0] == (0.5, 1.0)
+
+
+class TestRounds:
+    def test_exact_multiples(self):
+        assert hops_from_latency(0.03, 0.01) == 3
+        assert hops_from_latency(0.0201, 0.01, tolerance=0.25) == 2
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(ValueError):
+            hops_from_latency(0.025, 0.01, tolerance=0.1)
+
+    def test_bad_delay_rejected(self):
+        with pytest.raises(ValueError):
+            hops_from_latency(0.03, 0.0)

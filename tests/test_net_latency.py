@@ -1,0 +1,98 @@
+"""Tests for latency models."""
+
+import random
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.latency import (
+    ConstantLatency,
+    RegionLatencyModel,
+    UniformLatency,
+)
+
+
+class TestConstantLatency:
+    def test_sample_is_constant(self):
+        model = ConstantLatency(0.01)
+        rng = random.Random(0)
+        assert model.sample(rng, "a", "b") == 0.01
+        assert model.sample(rng, "b", "a") == 0.01
+
+    def test_negative_rejected(self):
+        with pytest.raises(NetworkError):
+            ConstantLatency(-1)
+
+
+class TestUniformLatency:
+    def test_samples_within_range(self):
+        model = UniformLatency(0.001, 0.005)
+        rng = random.Random(0)
+        for _ in range(200):
+            assert 0.001 <= model.sample(rng, "a", "b") < 0.005
+
+    def test_bad_range_rejected(self):
+        with pytest.raises(NetworkError):
+            UniformLatency(0.005, 0.001)
+        with pytest.raises(NetworkError):
+            UniformLatency(-0.001, 0.005)
+
+
+class TestRegionLatencyModel:
+    def make(self, jitter=0.0):
+        return RegionLatencyModel(
+            node_regions={"n0": "us", "n1": "us", "n2": "eu"},
+            rtt_matrix={("us", "eu"): 0.080},
+            intra_rtt=0.001, jitter=jitter)
+
+    def test_intra_region_uses_intra_rtt(self):
+        model = self.make()
+        rng = random.Random(0)
+        assert model.sample(rng, "n0", "n1") == pytest.approx(0.0005)
+
+    def test_inter_region_is_half_rtt(self):
+        model = self.make()
+        rng = random.Random(0)
+        assert model.sample(rng, "n0", "n2") == pytest.approx(0.040)
+
+    def test_symmetric(self):
+        model = self.make()
+        rng = random.Random(0)
+        assert (model.sample(rng, "n0", "n2")
+                == model.sample(rng, "n2", "n0"))
+
+    def test_jitter_bounds(self):
+        model = self.make(jitter=0.1)
+        rng = random.Random(0)
+        for _ in range(200):
+            delay = model.sample(rng, "n0", "n2")
+            assert 0.036 <= delay <= 0.044
+
+    def test_unknown_node_rejected(self):
+        model = self.make()
+        with pytest.raises(NetworkError):
+            model.sample(random.Random(0), "nX", "n0")
+
+    def test_missing_pair_rejected(self):
+        model = RegionLatencyModel({"a": "r1", "b": "r2"}, {},
+                                   intra_rtt=0.001)
+        with pytest.raises(NetworkError):
+            model.sample(random.Random(0), "a", "b")
+
+    def test_add_node_later(self):
+        model = self.make()
+        model.add_node("n9", "eu")
+        rng = random.Random(0)
+        assert model.sample(rng, "n9", "n2") == pytest.approx(0.0005)
+
+    def test_region_of(self):
+        model = self.make()
+        assert model.region_of("n2") == "eu"
+
+    def test_negative_rtt_rejected(self):
+        with pytest.raises(NetworkError):
+            RegionLatencyModel({"a": "x"}, {("x", "y"): -1.0})
+
+    def test_bad_jitter_rejected(self):
+        with pytest.raises(NetworkError):
+            RegionLatencyModel({"a": "x"}, {}, jitter=1.5)

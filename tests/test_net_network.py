@@ -1,0 +1,195 @@
+"""Tests for the network fabric."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.latency import ConstantLatency
+from repro.net.loss import BernoulliLoss
+from repro.net.network import Network
+from repro.sim.actor import Actor
+from repro.sim.loop import SimLoop
+from repro.sim.rng import RngRegistry
+
+
+class Sink(Actor):
+    def __init__(self, loop, name):
+        super().__init__(loop, name)
+        self.received = []
+
+    def on_message(self, message, sender):
+        self.received.append((self.now(), message, sender))
+
+
+def make_net(loss=None, delay=0.01):
+    loop = SimLoop()
+    net = Network(loop, RngRegistry(0), ConstantLatency(delay), loss)
+    actors = {}
+    for name in ("a", "b", "c"):
+        actor = Sink(loop, name)
+        net.register(actor)
+        actors[name] = actor
+    return loop, net, actors
+
+
+class TestDelivery:
+    def test_unicast_delivers_after_latency(self):
+        loop, net, actors = make_net()
+        net.send("a", "b", "hello")
+        loop.run_until(0.005)
+        assert actors["b"].received == []
+        loop.run_until(0.02)
+        assert actors["b"].received == [(0.01, "hello", "a")]
+
+    def test_broadcast_reaches_all(self):
+        loop, net, actors = make_net()
+        net.broadcast("a", ["a", "b", "c"], "ping")
+        loop.run_until(0.02)
+        assert all(len(actors[n].received) == 1 for n in ("a", "b", "c"))
+
+    def test_broadcast_exclude_self(self):
+        loop, net, actors = make_net()
+        net.broadcast("a", ["a", "b"], "ping", include_self=False)
+        loop.run_until(0.02)
+        assert actors["a"].received == []
+        assert len(actors["b"].received) == 1
+
+    def test_send_local_is_immediate_and_lossless(self):
+        loop, net, actors = make_net(loss=BernoulliLoss(1.0))
+        net.send_local("a", "b", "direct")
+        loop.run_until(0.001)
+        assert len(actors["b"].received) == 1
+
+    def test_unknown_destination_is_dead_letter(self):
+        loop, net, actors = make_net()
+        net.send("a", "ghost", "boo")
+        loop.run_until(1.0)
+        assert net.stats.dead_letter == 1
+
+    def test_dead_actor_counts_dead_letter(self):
+        loop, net, actors = make_net()
+        actors["b"].kill()
+        net.send("a", "b", "hi")
+        loop.run_until(1.0)
+        assert actors["b"].received == []
+        assert net.stats.dead_letter == 1
+
+    def test_duplicate_registration_rejected(self):
+        loop, net, actors = make_net()
+        with pytest.raises(NetworkError):
+            net.register(Sink(loop, "a"))
+
+    def test_replace_rebinds_address(self):
+        loop, net, actors = make_net()
+        fresh = Sink(loop, "b")
+        net.replace(fresh)
+        net.send("a", "b", "hi")
+        loop.run_until(1.0)
+        assert len(fresh.received) == 1
+        assert actors["b"].received == []
+
+
+class TestLoss:
+    def test_full_loss_drops_everything(self):
+        loop, net, actors = make_net(loss=BernoulliLoss(1.0))
+        for _ in range(10):
+            net.send("a", "b", "x")
+        loop.run_until(1.0)
+        assert actors["b"].received == []
+        assert net.stats.dropped == 10
+
+    def test_loss_statistics(self):
+        loop, net, actors = make_net(loss=BernoulliLoss(0.2))
+        for _ in range(2000):
+            net.send("a", "b", "x")
+        loop.run_until(1.0)
+        assert net.stats.loss_fraction == pytest.approx(0.2, abs=0.03)
+
+    def test_set_loss_mid_run(self):
+        loop, net, actors = make_net()
+        net.send("a", "b", "1")
+        loop.run_until(0.02)
+        net.set_loss(BernoulliLoss(1.0))
+        net.send("a", "b", "2")
+        loop.run_until(0.05)
+        assert len(actors["b"].received) == 1
+
+
+class TestDisconnect:
+    def test_disconnected_receives_nothing(self):
+        loop, net, actors = make_net()
+        net.disconnect("b")
+        net.send("a", "b", "x")
+        loop.run_until(1.0)
+        assert actors["b"].received == []
+        assert net.stats.blocked == 1
+
+    def test_disconnected_sends_nothing(self):
+        loop, net, actors = make_net()
+        net.disconnect("b")
+        net.send("b", "a", "x")
+        loop.run_until(1.0)
+        assert actors["a"].received == []
+
+    def test_reconnect_restores(self):
+        loop, net, actors = make_net()
+        net.disconnect("b")
+        net.reconnect("b")
+        net.send("a", "b", "x")
+        loop.run_until(1.0)
+        assert len(actors["b"].received) == 1
+
+    def test_in_flight_message_cut_by_disconnect(self):
+        loop, net, actors = make_net(delay=0.1)
+        net.send("a", "b", "x")
+        loop.run_until(0.05)
+        net.disconnect("b")
+        loop.run_until(1.0)
+        assert actors["b"].received == []
+
+
+class TestPartition:
+    def test_cross_group_blocked(self):
+        loop, net, actors = make_net()
+        net.partition([["a", "b"], ["c"]])
+        net.send("a", "b", "in-group")
+        net.send("a", "c", "cross")
+        loop.run_until(1.0)
+        assert len(actors["b"].received) == 1
+        assert actors["c"].received == []
+
+    def test_unlisted_node_is_isolated(self):
+        loop, net, actors = make_net()
+        net.partition([["a"]])
+        net.send("a", "b", "x")
+        loop.run_until(1.0)
+        assert actors["b"].received == []
+
+    def test_heal_partition(self):
+        loop, net, actors = make_net()
+        net.partition([["a"], ["b"]])
+        net.heal_partition()
+        net.send("a", "b", "x")
+        loop.run_until(1.0)
+        assert len(actors["b"].received) == 1
+
+    def test_node_in_two_groups_rejected(self):
+        loop, net, actors = make_net()
+        with pytest.raises(NetworkError):
+            net.partition([["a", "b"], ["b", "c"]])
+
+
+class TestStats:
+    def test_by_type_counting(self):
+        loop, net, actors = make_net()
+        net.send("a", "b", "text")
+        net.send("a", "b", 42)
+        loop.run_until(1.0)
+        assert net.stats.by_type["str"] == 1
+        assert net.stats.by_type["int"] == 1
+        assert net.stats.delivered == 2
+
+    def test_snapshot_keys(self):
+        loop, net, actors = make_net()
+        snap = net.stats.snapshot()
+        assert set(snap) == {"sent", "delivered", "dropped", "blocked",
+                             "dead_letter"}

@@ -1,0 +1,172 @@
+"""Property-based tests (hypothesis) for core data structures."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.consensus.config import Configuration
+from repro.consensus.entry import EntryKind, InsertedBy, LogEntry
+from repro.consensus.log import RaftLog
+from repro.consensus.quorum import (
+    classic_quorum_size,
+    fast_quorum_size,
+    quorum_intersection_ok,
+)
+from repro.fastraft.votes import PossibleEntries
+from repro.metrics.summary import percentile, summarize
+from repro.sim.loop import SimLoop
+from repro.sim.rng import RngRegistry
+
+
+def entry(entry_id: str) -> LogEntry:
+    return LogEntry(entry_id=entry_id, kind=EntryKind.DATA, payload=None,
+                    origin="n0", term=1, inserted_by=InsertedBy.SELF)
+
+
+class TestQuorumProperties:
+    @given(st.integers(min_value=1, max_value=2000))
+    def test_two_classic_quorums_intersect(self, members):
+        assert 2 * classic_quorum_size(members) > members
+
+    @given(st.integers(min_value=1, max_value=2000))
+    def test_fast_quorum_plurality_condition(self, members):
+        """Zhao's condition (Lemma 2) for every configuration size."""
+        assert quorum_intersection_ok(members)
+
+    @given(st.integers(min_value=1, max_value=2000))
+    def test_fast_quorum_bounds(self, members):
+        fq = fast_quorum_size(members)
+        assert classic_quorum_size(members) <= fq <= members
+
+    @given(st.sets(st.text(min_size=1, max_size=4), min_size=1,
+                   max_size=12))
+    def test_configuration_quorum_checks_consistent(self, names):
+        config = Configuration(tuple(names))
+        assert config.is_classic_quorum(set(config.members))
+        assert config.is_fast_quorum(set(config.members))
+        below = set(list(config.members)[:config.classic_quorum - 1])
+        assert not config.is_classic_quorum(below)
+
+
+class TestLogProperties:
+    @given(st.lists(st.tuples(st.integers(min_value=1, max_value=30),
+                              st.text(min_size=1, max_size=3)),
+                    max_size=40))
+    def test_insert_sequence_invariants(self, operations):
+        """After arbitrary inserts/overwrites: last_index is the max
+        occupied slot; the id index matches slot contents exactly."""
+        log = RaftLog()
+        expected: dict[int, str] = {}
+        for index, entry_id in operations:
+            log.insert(index, entry(entry_id))
+            expected[index] = entry_id
+        assert log.last_index == (max(expected) if expected else 0)
+        assert len(log) == len(expected)
+        for index, entry_id in expected.items():
+            assert log.get(index).entry_id == entry_id
+        for index, entry_id in expected.items():
+            assert index in log.indices_of(entry_id)
+
+    @given(st.lists(st.tuples(st.integers(min_value=1, max_value=30),
+                              st.text(min_size=1, max_size=3)),
+                    max_size=40),
+           st.integers(min_value=1, max_value=31))
+    def test_truncate_removes_exactly_suffix(self, operations, cut):
+        log = RaftLog()
+        expected: dict[int, str] = {}
+        for index, entry_id in operations:
+            log.insert(index, entry(entry_id))
+            expected[index] = entry_id
+        log.truncate_from(cut)
+        survivors = {i: e for i, e in expected.items() if i < cut}
+        assert len(log) == len(survivors)
+        for index in expected:
+            if index >= cut:
+                assert log.get(index) is None
+        # id index consistent after truncation
+        for index, entry_id in survivors.items():
+            assert index in log.indices_of(entry_id)
+
+    @given(st.lists(st.integers(min_value=1, max_value=20), min_size=1,
+                    max_size=30))
+    def test_committed_index_of_monotone(self, indices):
+        """Raising the commit index never hides a committed duplicate."""
+        log = RaftLog()
+        for index in indices:
+            log.insert(index, entry("dup"))
+        results = [log.committed_index_of("dup", c) for c in range(0, 22)]
+        seen = None
+        for result in results:
+            if result is not None:
+                seen = result
+                assert result == min(log.indices_of("dup"))
+        assert seen is not None
+
+
+class TestVoteBookProperties:
+    @given(st.lists(st.tuples(st.integers(min_value=1, max_value=6),
+                              st.sampled_from(["a", "b", "c"]),
+                              st.sampled_from(["n1", "n2", "n3", "n4"])),
+                    max_size=40))
+    def test_one_vote_per_site_per_index(self, votes):
+        """However votes arrive (including revotes), a site holds at most
+        one live vote per index."""
+        book = PossibleEntries()
+        for index, value, voter in votes:
+            book.add_vote(index, entry(value), voter)
+        for index in book.indices():
+            seen: set[str] = set()
+            for record in book.candidates(index):
+                assert not (record.voters & seen), "double-counted voter"
+                seen |= record.voters
+
+    @given(st.lists(st.tuples(st.integers(min_value=1, max_value=6),
+                              st.sampled_from(["a", "b", "c"]),
+                              st.sampled_from(["n1", "n2", "n3"])),
+                    max_size=30),
+           st.sampled_from(["a", "b", "c"]),
+           st.integers(min_value=1, max_value=6))
+    def test_null_out_preserves_voter_counts(self, votes, chosen_id, keep):
+        book = PossibleEntries()
+        for index, value, voter in votes:
+            book.add_vote(index, entry(value), voter)
+        before = {i: book.voters_at(i) for i in book.indices()}
+        book.null_out(chosen_id, except_index=keep)
+        for index, voters in before.items():
+            assert book.voters_at(index) == voters
+
+
+class TestSummaryProperties:
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=200))
+    def test_summary_bounds(self, values):
+        stats = summarize(values)
+        assert stats.minimum <= stats.median <= stats.maximum
+        assert stats.minimum <= stats.mean <= stats.maximum
+        assert stats.p5 <= stats.p95
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6,
+                              allow_nan=False), min_size=2, max_size=50),
+           st.floats(min_value=0, max_value=1))
+    def test_percentile_within_range(self, values, fraction):
+        ordered = sorted(values)
+        result = percentile(ordered, fraction)
+        assert ordered[0] <= result <= ordered[-1]
+
+
+class TestSchedulerProperties:
+    @given(st.lists(st.floats(min_value=0, max_value=100,
+                              allow_nan=False), max_size=50))
+    def test_events_fire_in_time_order(self, delays):
+        loop = SimLoop()
+        fired: list[float] = []
+        for delay in delays:
+            loop.call_later(delay, lambda d=delay: fired.append(loop.now()))
+        loop.run_until_idle()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+    @given(st.integers(), st.text(min_size=1, max_size=8))
+    def test_rng_streams_deterministic(self, seed, name):
+        a = RngRegistry(seed).stream(name).random()
+        b = RngRegistry(seed).stream(name).random()
+        assert a == b

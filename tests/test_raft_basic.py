@@ -1,0 +1,114 @@
+"""Classic Raft: election, replication, commits, heartbeats."""
+
+import pytest
+
+from repro.consensus.engine import Role
+from repro.consensus.entry import EntryKind
+from repro.raft.server import RaftServer
+from tests.conftest import assert_safe, commit_n, make_cluster, started_cluster
+
+
+class TestElection:
+    def test_exactly_one_leader_elected(self, raft_cluster):
+        leaders = [s for s in raft_cluster.servers.values()
+                   if s.engine.role is Role.LEADER]
+        assert len(leaders) == 1
+
+    def test_leader_known_to_followers(self, raft_cluster):
+        leader = raft_cluster.leader()
+        raft_cluster.run_for(0.5)
+        for server in raft_cluster.servers.values():
+            assert server.engine.leader_id == leader
+
+    def test_single_site_elects_itself(self):
+        cluster = started_cluster(RaftServer, n_sites=1, seed=3)
+        assert cluster.leader() == "n0"
+
+    def test_leader_appends_noop_on_election(self, raft_cluster):
+        leader = raft_cluster.servers[raft_cluster.leader()]
+        first = leader.engine.log.get(1)
+        assert first is not None and first.kind is EntryKind.NOOP
+
+    def test_different_seeds_can_elect_different_leaders(self):
+        leaders = {started_cluster(RaftServer, seed=s).leader()
+                   for s in range(8)}
+        assert len(leaders) > 1
+
+    def test_election_safety_in_trace(self, raft_cluster):
+        raft_cluster.run_for(2.0)
+        assert_safe(raft_cluster)
+
+
+class TestCommit:
+    def test_commit_replicates_everywhere(self, raft_cluster):
+        client = raft_cluster.add_client(site="n0")
+        commit_n(raft_cluster, client, 3)
+        raft_cluster.run_for(0.5)
+        indices = set(raft_cluster.commit_indices().values())
+        assert indices == {4}  # noop + 3 data entries
+        assert_safe(raft_cluster)
+
+    def test_state_machine_applies_in_order(self, raft_cluster):
+        client = raft_cluster.add_client(site="n1")
+        commit_n(raft_cluster, client, 5)
+        raft_cluster.run_for(0.5)
+        for server in raft_cluster.servers.values():
+            snapshot = server.state_machine.snapshot()
+            assert snapshot == {f"k{i}": i for i in range(5)}
+
+    def test_client_latency_within_heartbeat_bound(self, raft_cluster):
+        client = raft_cluster.add_client(site="n0")
+        records = commit_n(raft_cluster, client, 10)
+        latencies = [r.latency for r in records]
+        # proposal waits at most one heartbeat for dispatch plus rtt slack
+        assert max(latencies) < 0.150
+        assert min(latencies) > 0.0
+
+    def test_proposer_on_leader_site(self, raft_cluster):
+        leader = raft_cluster.leader()
+        client = raft_cluster.add_client(site=leader)
+        records = commit_n(raft_cluster, client, 3)
+        assert all(r.done for r in records)
+
+    def test_duplicate_request_commits_once(self, raft_cluster):
+        client = raft_cluster.add_client(site="n0")
+        record = raft_cluster.propose_and_wait(client, {"op": "put",
+                                                        "key": "a",
+                                                        "value": 1})
+        leader_engine = raft_cluster.servers[raft_cluster.leader()].engine
+        before = leader_engine.log.last_index
+        # Simulate a duplicate arriving at the leader (client retry race).
+        from repro.consensus.messages import ClientRequest
+        leader_engine.handle(ClientRequest(request_id=record.request_id,
+                                           command={"op": "put", "key": "a",
+                                                    "value": 1}),
+                             "client.retry")
+        raft_cluster.run_for(0.5)
+        assert leader_engine.log.last_index == before
+        assert_safe(raft_cluster)
+
+    def test_concurrent_proposers_all_commit(self):
+        cluster = started_cluster(RaftServer, seed=5)
+        clients = [cluster.add_client(site=f"n{i}") for i in range(5)]
+        records = [c.submit({"op": "put", "key": f"c{i}", "value": i})
+                   for i, c in enumerate(clients)]
+        assert cluster.run_until(lambda: all(r.done for r in records), 10.0)
+        cluster.run_for(0.5)
+        assert_safe(cluster)
+        kv = cluster.servers["n0"].state_machine.snapshot()
+        assert len(kv) == 5
+
+
+class TestHeartbeat:
+    def test_no_election_while_leader_alive(self, raft_cluster):
+        term_before = raft_cluster.servers[raft_cluster.leader()].engine.current_term
+        raft_cluster.run_for(5.0)
+        term_after = raft_cluster.servers[raft_cluster.leader()].engine.current_term
+        assert term_before == term_after
+
+    def test_empty_heartbeats_flow(self, raft_cluster):
+        sent_before = raft_cluster.network.stats.by_type["AppendEntries"]
+        raft_cluster.run_for(1.0)
+        sent_after = raft_cluster.network.stats.by_type["AppendEntries"]
+        # 4 followers x ~10 heartbeats/s
+        assert sent_after - sent_before >= 30

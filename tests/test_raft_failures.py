@@ -1,0 +1,165 @@
+"""Classic Raft under faults: crashes, partitions, recovery, loss."""
+
+from repro.consensus.engine import Role
+from repro.harness.faults import FaultInjector
+from repro.harness.workload import ClosedLoopWorkload
+from repro.net.loss import BernoulliLoss
+from repro.raft.server import RaftServer
+from tests.conftest import assert_safe, commit_n, started_cluster
+
+
+class TestLeaderFailure:
+    def test_new_leader_after_crash(self):
+        cluster = started_cluster(RaftServer, seed=2)
+        old = cluster.leader()
+        FaultInjector(cluster).crash(old)
+        new = cluster.run_until_leader(timeout=5.0)
+        assert new != old
+        assert_safe(cluster)
+
+    def test_commits_continue_after_leader_crash(self):
+        cluster = started_cluster(RaftServer, seed=2)
+        client = cluster.add_client(site="n2" if cluster.leader() != "n2"
+                                    else "n3")
+        commit_n(cluster, client, 3)
+        FaultInjector(cluster).crash(cluster.leader())
+        cluster.run_until_leader(timeout=5.0)
+        records = commit_n(cluster, client, 3)
+        assert all(r.done for r in records)
+        assert_safe(cluster)
+
+    def test_crashed_leader_recovers_as_follower(self):
+        cluster = started_cluster(RaftServer, seed=2)
+        old = cluster.leader()
+        faults = FaultInjector(cluster)
+        faults.crash(old)
+        cluster.run_until_leader(timeout=5.0)
+        client = cluster.add_client(site=cluster.leader())
+        commit_n(cluster, client, 2)
+        faults.recover(old)
+        cluster.run_for(2.0)
+        server = cluster.servers[old]
+        assert server.engine.role is Role.FOLLOWER
+        # Caught up on entries committed while it was down.
+        assert server.engine.commit_index >= 3
+        assert_safe(cluster)
+
+    def test_term_increases_after_election(self):
+        cluster = started_cluster(RaftServer, seed=2)
+        term_before = cluster.servers[cluster.leader()].engine.current_term
+        FaultInjector(cluster).crash(cluster.leader())
+        cluster.run_until_leader(timeout=5.0)
+        term_after = cluster.servers[cluster.leader()].engine.current_term
+        assert term_after > term_before
+
+
+class TestFollowerFailure:
+    def test_minority_crash_does_not_block(self):
+        cluster = started_cluster(RaftServer, seed=4)
+        followers = [n for n in cluster.servers if n != cluster.leader()]
+        faults = FaultInjector(cluster)
+        faults.crash(followers[0])
+        faults.crash(followers[1])
+        client = cluster.add_client(site=cluster.leader())
+        records = commit_n(cluster, client, 3)
+        assert all(r.done for r in records)
+        assert_safe(cluster)
+
+    def test_majority_crash_blocks_commits(self):
+        cluster = started_cluster(RaftServer, seed=4)
+        followers = [n for n in cluster.servers if n != cluster.leader()]
+        faults = FaultInjector(cluster)
+        for follower in followers[:3]:
+            faults.crash(follower)
+        client = cluster.add_client(site=cluster.leader(),
+                                    proposal_timeout=0.4)
+        record = client.submit({"op": "put", "key": "x", "value": 1})
+        cluster.run_for(3.0)
+        assert not record.done
+
+    def test_recovered_follower_catches_up(self):
+        cluster = started_cluster(RaftServer, seed=4)
+        followers = [n for n in cluster.servers if n != cluster.leader()]
+        faults = FaultInjector(cluster)
+        faults.crash(followers[0])
+        client = cluster.add_client(site=cluster.leader())
+        commit_n(cluster, client, 5)
+        faults.recover(followers[0])
+        cluster.run_for(2.0)
+        recovered = cluster.servers[followers[0]]
+        assert recovered.engine.commit_index >= 6
+        assert recovered.state_machine.snapshot() == {
+            f"k{i}": i for i in range(5)}
+        assert_safe(cluster)
+
+
+class TestPartition:
+    def test_majority_side_keeps_committing(self):
+        cluster = started_cluster(RaftServer, seed=6)
+        leader = cluster.leader()
+        others = [n for n in cluster.servers if n != leader]
+        majority = [leader] + others[:2]
+        minority = others[2:]
+        FaultInjector(cluster).partition([majority, minority])
+        client = cluster.add_client(site=leader)
+        records = commit_n(cluster, client, 3)
+        assert all(r.done for r in records)
+        assert_safe(cluster)
+
+    def test_minority_leader_deposed_on_heal(self):
+        cluster = started_cluster(RaftServer, seed=6)
+        leader = cluster.leader()
+        others = [n for n in cluster.servers if n != leader]
+        faults = FaultInjector(cluster)
+        # Old leader stranded with one follower; majority elects fresh.
+        faults.partition([[leader, others[0]], others[1:]])
+        assert cluster.run_until(
+            lambda: any(cluster.servers[n].engine.role is Role.LEADER
+                        for n in others[1:]), timeout=10.0)
+        faults.heal_partition()
+        cluster.run_for(2.0)
+        live_leaders = [n for n, s in cluster.servers.items()
+                        if s.engine.role is Role.LEADER]
+        assert len(live_leaders) == 1
+        assert live_leaders[0] in others[1:]
+        assert_safe(cluster)
+
+    def test_no_commits_in_minority_partition(self):
+        cluster = started_cluster(RaftServer, seed=6)
+        leader = cluster.leader()
+        others = [n for n in cluster.servers if n != leader]
+        FaultInjector(cluster).partition([[leader, others[0]], others[1:]])
+        client = cluster.add_client(site=leader, proposal_timeout=0.4)
+        record = client.submit({"op": "put", "key": "split", "value": 1})
+        cluster.run_for(3.0)
+        assert not record.done
+        assert_safe(cluster)
+
+
+class TestMessageLoss:
+    def test_commits_under_moderate_loss(self):
+        cluster = started_cluster(RaftServer, seed=8,
+                                  loss=BernoulliLoss(0.05))
+        client = cluster.add_client(site="n0")
+        workload = ClosedLoopWorkload(client, max_requests=20)
+        workload.start()
+        assert cluster.run_until(lambda: workload.done, timeout=60.0)
+        assert_safe(cluster)
+
+    def test_latency_stays_flat_under_loss(self):
+        """The paper's Fig. 3 observation: classic Raft's latency barely
+        moves as loss grows (its quorum tolerates drops)."""
+        def mean_latency(loss_rate, seed):
+            cluster = started_cluster(
+                RaftServer, seed=seed,
+                loss=BernoulliLoss(loss_rate) if loss_rate else None)
+            client = cluster.add_client(site="n0")
+            workload = ClosedLoopWorkload(client, max_requests=30)
+            workload.start()
+            assert cluster.run_until(lambda: workload.done, timeout=90.0)
+            latencies = workload.latencies()
+            return sum(latencies) / len(latencies)
+
+        clean = mean_latency(0.0, seed=11)
+        lossy = mean_latency(0.05, seed=11)
+        assert lossy < clean * 1.8

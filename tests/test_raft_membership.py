@@ -1,0 +1,130 @@
+"""Classic Raft administrator-driven membership changes."""
+
+import pytest
+
+from repro.consensus.config import Configuration
+from repro.errors import NotLeaderError
+from repro.raft.server import RaftServer
+from repro.smr.kv import KVStateMachine
+from tests.conftest import assert_safe, commit_n, started_cluster
+
+
+def add_fresh_server(cluster, name):
+    """Create (but do not admit) a new site that knows current members."""
+    members = tuple(cluster.servers)
+    server = RaftServer(
+        name=name, loop=cluster.loop, network=cluster.network,
+        store=cluster.fabric.store_for(name),
+        bootstrap_config=Configuration(members), timing=cluster.timing,
+        rng=cluster.rng, trace=cluster.trace,
+        state_machine_factory=KVStateMachine)
+    cluster.add_server(server)
+    server.start()
+    return server
+
+
+class TestAddSite:
+    def test_add_site_becomes_voting_member(self):
+        cluster = started_cluster(RaftServer, n_sites=3, seed=1)
+        client = cluster.add_client(site="n0")
+        commit_n(cluster, client, 3)
+        joiner = add_fresh_server(cluster, "n9")
+        leader = cluster.servers[cluster.leader()]
+        leader.admin_add_site("n9")
+        assert cluster.run_until(
+            lambda: "n9" in leader.engine.configuration.members,
+            timeout=10.0)
+        cluster.run_for(1.0)
+        assert joiner.engine.commit_index >= 4  # caught up
+        assert_safe(cluster)
+
+    def test_joiner_receives_join_accepted_state(self):
+        cluster = started_cluster(RaftServer, n_sites=3, seed=1)
+        joiner = add_fresh_server(cluster, "n9")
+        leader = cluster.servers[cluster.leader()]
+        leader.admin_add_site("n9")
+        cluster.run_until(
+            lambda: "n9" in joiner.engine.configuration.members,
+            timeout=10.0)
+        assert "n9" in joiner.engine.configuration.members
+
+    def test_new_member_counts_in_quorum(self):
+        cluster = started_cluster(RaftServer, n_sites=3, seed=1)
+        add_fresh_server(cluster, "n9")
+        leader = cluster.servers[cluster.leader()]
+        leader.admin_add_site("n9")
+        cluster.run_until(
+            lambda: "n9" in leader.engine.configuration.members, timeout=10.0)
+        assert leader.engine.configuration.classic_quorum == 3  # of 4
+
+    def test_add_duplicate_rejected(self):
+        cluster = started_cluster(RaftServer, n_sites=3, seed=1)
+        leader = cluster.servers[cluster.leader()]
+        with pytest.raises(Exception):
+            leader.admin_add_site("n0")
+
+    def test_admin_on_follower_raises_not_leader(self):
+        cluster = started_cluster(RaftServer, n_sites=3, seed=1)
+        follower = next(n for n in cluster.servers if n != cluster.leader())
+        with pytest.raises(NotLeaderError) as excinfo:
+            cluster.servers[follower].admin_add_site("n9")
+        assert excinfo.value.leader_hint == cluster.leader()
+
+
+class TestRemoveSite:
+    def test_remove_follower(self):
+        cluster = started_cluster(RaftServer, n_sites=5, seed=1)
+        leader = cluster.servers[cluster.leader()]
+        victim = next(n for n in cluster.servers if n != cluster.leader())
+        leader.admin_remove_site(victim)
+        assert cluster.run_until(
+            lambda: victim not in leader.engine.configuration.members,
+            timeout=10.0)
+        assert leader.engine.configuration.size == 4
+        assert_safe(cluster)
+
+    def test_commits_work_after_removal(self):
+        cluster = started_cluster(RaftServer, n_sites=5, seed=1)
+        leader = cluster.servers[cluster.leader()]
+        victim = next(n for n in cluster.servers if n != cluster.leader())
+        leader.admin_remove_site(victim)
+        cluster.run_until(
+            lambda: victim not in leader.engine.configuration.members,
+            timeout=10.0)
+        client = cluster.add_client(site=cluster.leader())
+        records = commit_n(cluster, client, 3)
+        assert all(r.done for r in records)
+        assert_safe(cluster)
+
+    def test_leader_removes_itself_and_steps_down(self):
+        cluster = started_cluster(RaftServer, n_sites=3, seed=1)
+        old_leader_name = cluster.leader()
+        cluster.servers[old_leader_name].admin_remove_site(old_leader_name)
+        assert cluster.run_until(
+            lambda: (cluster.leader() is not None
+                     and cluster.leader() != old_leader_name),
+            timeout=10.0)
+        new_leader = cluster.servers[cluster.leader()]
+        assert old_leader_name not in new_leader.engine.configuration.members
+        assert_safe(cluster)
+
+
+class TestSequentialChanges:
+    def test_one_at_a_time(self):
+        """Two queued changes commit in order, never concurrently."""
+        cluster = started_cluster(RaftServer, n_sites=5, seed=1)
+        leader = cluster.servers[cluster.leader()]
+        victims = [n for n in cluster.servers
+                   if n != cluster.leader()][:2]
+        leader.admin_remove_site(victims[0])
+        leader.admin_remove_site(victims[1])
+        assert cluster.run_until(
+            lambda: leader.engine.configuration.size == 3, timeout=10.0)
+        # every adopted config along the way differed by at most one site
+        configs = [e.payload["members"] for e in cluster.trace.select_prefix("raft.config.adopt")
+                   if e.node == leader.name]
+        previous = ("n0", "n1", "n2", "n3", "n4")
+        for members in configs:
+            assert len(set(previous) ^ set(members)) <= 1
+            previous = members
+        assert_safe(cluster)

@@ -1,0 +1,188 @@
+"""Tests for the simulation loop (clock + scheduler)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.loop import MS, SimLoop
+
+
+def test_time_starts_at_zero():
+    assert SimLoop().now() == 0.0
+
+
+def test_ms_constant():
+    assert 100 * MS == pytest.approx(0.1)
+
+
+def test_call_later_runs_at_offset():
+    loop = SimLoop()
+    seen = []
+    loop.call_later(0.5, lambda: seen.append(loop.now()))
+    loop.run_until(1.0)
+    assert seen == [0.5]
+
+
+def test_call_at_absolute_time():
+    loop = SimLoop()
+    seen = []
+    loop.call_at(0.25, lambda: seen.append(loop.now()))
+    loop.run_until(1.0)
+    assert seen == [0.25]
+
+
+def test_run_until_advances_clock_even_without_events():
+    loop = SimLoop()
+    loop.run_until(3.0)
+    assert loop.now() == 3.0
+
+
+def test_run_for_is_relative():
+    loop = SimLoop()
+    loop.run_for(1.0)
+    loop.run_for(0.5)
+    assert loop.now() == pytest.approx(1.5)
+
+
+def test_events_run_in_time_order():
+    loop = SimLoop()
+    seen = []
+    loop.call_later(0.3, lambda: seen.append("c"))
+    loop.call_later(0.1, lambda: seen.append("a"))
+    loop.call_later(0.2, lambda: seen.append("b"))
+    loop.run_until(1.0)
+    assert seen == ["a", "b", "c"]
+
+
+def test_same_time_events_run_in_scheduling_order():
+    loop = SimLoop()
+    seen = []
+    for tag in ("first", "second", "third"):
+        loop.call_later(0.1, lambda t=tag: seen.append(t))
+    loop.run_until(1.0)
+    assert seen == ["first", "second", "third"]
+
+
+def test_callback_args_passed():
+    loop = SimLoop()
+    seen = []
+    loop.call_later(0.1, seen.append, 42)
+    loop.run_until(1.0)
+    assert seen == [42]
+
+
+def test_cancel_prevents_execution():
+    loop = SimLoop()
+    seen = []
+    handle = loop.call_later(0.1, lambda: seen.append(1))
+    handle.cancel()
+    loop.run_until(1.0)
+    assert seen == []
+    assert handle.cancelled
+
+
+def test_cancel_is_idempotent():
+    loop = SimLoop()
+    handle = loop.call_later(0.1, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    assert handle.cancelled
+
+
+def test_events_scheduled_during_run_execute():
+    loop = SimLoop()
+    seen = []
+
+    def outer():
+        loop.call_later(0.2, lambda: seen.append("inner"))
+
+    loop.call_later(0.1, outer)
+    loop.run_until(1.0)
+    assert seen == ["inner"]
+
+
+def test_events_beyond_deadline_stay_queued():
+    loop = SimLoop()
+    seen = []
+    loop.call_later(2.0, lambda: seen.append(1))
+    loop.run_until(1.0)
+    assert seen == []
+    loop.run_until(2.5)
+    assert seen == [1]
+
+
+def test_negative_delay_rejected():
+    loop = SimLoop()
+    with pytest.raises(SimulationError):
+        loop.call_later(-0.1, lambda: None)
+
+
+def test_scheduling_in_past_rejected():
+    loop = SimLoop()
+    loop.run_until(1.0)
+    with pytest.raises(SimulationError):
+        loop.call_at(0.5, lambda: None)
+
+
+def test_run_until_backwards_rejected():
+    loop = SimLoop()
+    loop.run_until(1.0)
+    with pytest.raises(SimulationError):
+        loop.run_until(0.5)
+
+
+def test_run_until_idle_drains_everything():
+    loop = SimLoop()
+    seen = []
+    loop.call_later(5.0, lambda: seen.append(1))
+    loop.call_later(10.0, lambda: seen.append(2))
+    executed = loop.run_until_idle()
+    assert executed == 2
+    assert seen == [1, 2]
+    assert loop.now() == 10.0
+
+
+def test_run_until_idle_event_cap():
+    loop = SimLoop()
+
+    def rearm():
+        loop.call_later(1.0, rearm)
+
+    loop.call_later(1.0, rearm)
+    with pytest.raises(SimulationError):
+        loop.run_until_idle(max_events=50)
+
+
+def test_call_soon_runs_at_current_instant():
+    loop = SimLoop()
+    seen = []
+    loop.run_until(1.0)
+    loop.call_soon(lambda: seen.append(loop.now()))
+    loop.run_until(1.0)
+    assert seen == [1.0]
+
+
+def test_pending_count_excludes_cancelled():
+    loop = SimLoop()
+    loop.call_later(1.0, lambda: None)
+    handle = loop.call_later(2.0, lambda: None)
+    handle.cancel()
+    assert loop.pending_count() == 1
+
+
+def test_events_processed_counter():
+    loop = SimLoop()
+    for _ in range(3):
+        loop.call_later(0.1, lambda: None)
+    loop.run_until(1.0)
+    assert loop.events_processed == 3
+
+
+def test_reentrant_run_rejected():
+    loop = SimLoop()
+
+    def nested():
+        loop.run_until(5.0)
+
+    loop.call_later(0.1, nested)
+    with pytest.raises(SimulationError):
+        loop.run_until(1.0)
