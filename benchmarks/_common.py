@@ -11,6 +11,7 @@ Set ``REPRO_BENCH_FULL=1`` for the exact paper-scale configurations
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 
@@ -21,13 +22,23 @@ def full_scale() -> bool:
     return os.environ.get("REPRO_BENCH_FULL", "") == "1"
 
 
-def emit(name: str, text: str) -> None:
-    """Print a result table and persist it to benchmarks/results/."""
+def emit(name: str, text: str, data=None) -> None:
+    """Print a result table and persist it to benchmarks/results/.
+
+    Besides the human-readable ``<name>.txt``, a machine-readable
+    ``<name>.json`` is written so the perf trajectory can be tracked
+    across PRs; pass structured ``data`` (e.g. ``ResultTable.as_dict()``)
+    for a meaningful payload, else the table text is wrapped.
+    """
     print()
     print(text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n",
                                              encoding="utf-8")
+    payload = data if data is not None else {"name": name, "table": text}
+    (RESULTS_DIR / f"{name}.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n",
+        encoding="utf-8")
 
 
 def once(benchmark, func):

@@ -17,7 +17,8 @@ def _config() -> AblationConfig:
 def test_ablation_decision_interval(benchmark):
     table = once(benchmark,
                  lambda: run_decision_interval_ablation(_config()))
-    emit("ablation_decision_interval", table.format())
+    emit("ablation_decision_interval", table.format(),
+         data=table.as_dict())
     # Latency should track the decision cadence monotonically-ish:
     # the largest interval must be slower than the smallest.
     assert table.rows[-1][2] > table.rows[0][2]
@@ -25,7 +26,7 @@ def test_ablation_decision_interval(benchmark):
 
 def test_ablation_dispatch_policy(benchmark):
     table = once(benchmark, lambda: run_dispatch_ablation(_config()))
-    emit("ablation_dispatch", table.format())
+    emit("ablation_dispatch", table.format(), data=table.as_dict())
     classic_row = table.rows[0]
     # Eager dispatch removes the half-heartbeat queueing for classic Raft.
     assert classic_row[2] < classic_row[1]
@@ -33,14 +34,14 @@ def test_ablation_dispatch_policy(benchmark):
 
 def test_ablation_proposer_contention(benchmark):
     table = once(benchmark, lambda: run_proposer_ablation(_config()))
-    emit("ablation_proposers", table.format())
+    emit("ablation_proposers", table.format(), data=table.as_dict())
     # More proposers => more index contention => never faster.
     assert table.rows[-1][1] >= table.rows[0][1] * 0.9
 
 
 def test_ablation_batch_size(benchmark):
     table = once(benchmark, lambda: run_batch_size_ablation(_config()))
-    emit("ablation_batch_size", table.format())
+    emit("ablation_batch_size", table.format(), data=table.as_dict())
     rates = {row[0]: row[1] for row in table.rows}
     # Batch size 1 pays one global round per entry; 10 amortizes it.
     assert rates[10] > rates[1]

@@ -1,0 +1,39 @@
+"""Benchmark: rejoin-to-caught-up latency under churn, snapshots vs full
+log replay, for all three engines.
+
+The headline claim of the snapshot subsystem: a churned node catches back
+up via InstallSnapshot with strictly fewer replayed log entries and lower
+simulated catch-up time than full replay -- in classic Raft, Fast Raft,
+and C-Raft (where the rejoiner is a cluster member inheriting the global
+image through the composite local snapshot).
+"""
+
+from benchmarks._common import emit, full_scale, once
+from repro.experiments.catchup import CatchupConfig, run_catchup
+
+
+def _config(engine: str) -> CatchupConfig:
+    if full_scale():
+        return CatchupConfig.paper(engine)
+    return CatchupConfig.quick(engine)
+
+
+def _run(benchmark, engine: str) -> None:
+    result = once(benchmark, lambda: run_catchup(_config(engine)))
+    emit(f"catchup_{engine}", result.table().format(),
+         data=result.as_dict())
+    # check_shape() enforces the acceptance contract: strictly fewer
+    # replayed entries, strictly faster catch-up, >= 1 install.
+    result.check_shape()
+
+
+def test_catchup_raft(benchmark):
+    _run(benchmark, "raft")
+
+
+def test_catchup_fastraft(benchmark):
+    _run(benchmark, "fastraft")
+
+
+def test_catchup_craft(benchmark):
+    _run(benchmark, "craft")

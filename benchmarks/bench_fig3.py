@@ -13,7 +13,8 @@ def _config() -> Fig3Config:
 
 def test_fig3_latency_vs_loss(benchmark):
     result = once(benchmark, lambda: run_fig3(_config()))
-    emit("fig3_latency", result.table().format())
+    emit("fig3_latency", result.table().format(),
+         data=result.table().as_dict())
     result.check_shape()
     # Headline: "Fast Raft is twice as fast as classic Raft if message
     # loss is below 5%".

@@ -17,7 +17,11 @@ def test_fig4_silent_leave_timeline(benchmark):
     # Also persist the raw timeline (the figure's scatter series).
     series = "\n".join(f"{offset:+.3f}s  {latency * 1000:7.1f} ms"
                        for offset, latency in result.timeline)
-    emit("fig4_churn", table.format() + "\n\ntimeline:\n" + series)
+    data = table.as_dict()
+    data["timeline"] = [[offset, latency]
+                        for offset, latency in result.timeline]
+    emit("fig4_churn", table.format() + "\n\ntimeline:\n" + series,
+         data=data)
     result.check_shape()
     pre, _, _ = result.phase_latencies()
     # Paper: 50-100 ms band before the leave.

@@ -13,7 +13,8 @@ def _config() -> Fig5Config:
 
 def test_fig5_throughput_vs_clusters(benchmark):
     result = once(benchmark, lambda: run_fig5(_config()))
-    emit("fig5_throughput", result.table().format())
+    emit("fig5_throughput", result.table().format(),
+         data=result.table().as_dict())
     result.check_shape()
     # Headline: "C-Raft achieves 5x the throughput of Raft" at 10
     # clusters; accept the ballpark (>= 3x).

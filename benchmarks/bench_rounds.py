@@ -6,7 +6,8 @@ from repro.experiments.rounds import RoundsConfig, run_rounds
 
 def test_rounds_message_flow(benchmark):
     result = once(benchmark, lambda: run_rounds(RoundsConfig.paper()))
-    emit("figs_1_2_rounds", result.table().format())
+    emit("figs_1_2_rounds", result.table().format(),
+         data=result.table().as_dict())
     result.check_shape()
     assert result.classic_commit_hops == 3
     assert result.fast_commit_hops == 2

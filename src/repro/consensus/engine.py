@@ -28,6 +28,8 @@ from repro.consensus.messages import (
     AppendEntriesResponse,
     ClientRequest,
     CommitNotice,
+    InstallSnapshotRequest,
+    InstallSnapshotResponse,
     JoinAccepted,
     JoinRequest,
     LeaveAccepted,
@@ -44,6 +46,8 @@ from repro.errors import ConsensusError
 from repro.sim.loop import SimLoop
 from repro.sim.timers import RestartableTimer, randomized_timeout
 from repro.sim.trace import TraceRecorder
+from repro.snapshot import CompactionPolicy, Snapshot, SnapshotImage, SnapshotStore
+from repro.snapshot.types import governing_config
 from repro.storage.stable import StableStore
 
 
@@ -77,12 +81,23 @@ class EngineContext:
     on_role_change: Callable[["Role"], None] = lambda role: None
     #: Called when the engine adopts a new configuration.
     on_config_change: Callable[[Configuration], None] = lambda config: None
+    #: Snapshotting. ``capture_snapshot`` returns the host's contribution
+    #: to a snapshot (machine image + applied ids); ``None`` disables
+    #: engine-driven snapshots even when a compaction policy is set.
+    capture_snapshot: Callable[[], SnapshotImage] | None = None
+    #: Called when a snapshot replaces the compacted prefix (recovery
+    #: from a compacted log, or an InstallSnapshot from the leader); the
+    #: host must rebuild its state machine from the image.
+    on_snapshot_restore: Callable[[Snapshot], None] = lambda snapshot: None
+    #: When to compact; None disables compaction.
+    compaction: CompactionPolicy | None = None
 
 
 #: Message types consensus-gated on sender membership.
 _GATED_TYPES = (AppendEntries, AppendEntriesResponse, RequestVote,
                 RequestVoteResponse, VoteEntry, ProposeEntry,
-                ProposeToLeader)
+                ProposeToLeader, InstallSnapshotRequest,
+                InstallSnapshotResponse)
 
 
 class BaseEngine:
@@ -106,11 +121,34 @@ class BaseEngine:
         self._bootstrap_config: Configuration = store.get("bootstrap_config")
         self.current_term: int = store.get("current_term", 0)
         self.voted_for: str | None = store.get("voted_for", None)
+        # --- snapshots / compaction ---
+        self.snapshot_store = SnapshotStore(store)
+        self.compaction = ctx.compaction
+        self._last_snapshot_time = float("-inf")
+        self.snapshots_taken = 0
+        self.snapshots_installed = 0
+        self.snapshots_shipped = 0
+        self.entries_compacted = 0
+        # target -> (snapshot index, send time): a snapshot is a bulk
+        # transfer, so unlike AppendEntries it is not re-sent every
+        # heartbeat while unanswered.
+        self._snapshot_inflight: dict[str, tuple[int, float]] = {}
+        # Receiver side: index of an install still working through an
+        # asynchronous gate (C-Raft replicates the image via local
+        # consensus first); duplicate requests it covers are dropped.
+        self._install_pending: int | None = None
         # --- volatile state ---
         self.commit_index = 0
         self.role = Role.FOLLOWER
         self.leader_id: str | None = None
         self._votes_received: set[str] = set()
+        persisted = self.snapshot_store.latest
+        if persisted is not None:
+            # Recovery with a compacted log: the snapshot stands in for
+            # the prefix it swallowed -- resume commitIndex there and hand
+            # the image to the host before replaying the retained tail.
+            self.commit_index = persisted.last_included_index
+            ctx.on_snapshot_restore(persisted)
         self._configuration = self._derive_configuration()
         # Extra senders whose consensus messages are accepted although they
         # are not configuration members (the leader's catch-up targets).
@@ -177,13 +215,22 @@ class BaseEngine:
         self.ctx.store.set("voted_for", self.voted_for)
 
     def _derive_configuration(self) -> Configuration:
-        """Highest-versioned CONFIG entry wins; else the bootstrap config
-        (see ConfigPayload.version for why not simply "last inserted")."""
-        best = self.log.best_config_entry()
-        if best is None:
+        """Highest-versioned CONFIG entry wins; else the configuration the
+        snapshot carried (its CONFIG entries are compacted away); else the
+        bootstrap config (see ConfigPayload.version for why not simply
+        "last inserted")."""
+        __, members = governing_config(self.snapshot_store.latest,
+                                       self.log.best_config_entry())
+        if members is None:
             return self._bootstrap_config
-        __, entry = best
-        return Configuration(entry.payload.members)
+        return Configuration(members)
+
+    def _max_known_config_version(self) -> int:
+        """Highest configuration version in the log *or* swallowed by the
+        snapshot (compaction must not reset version numbering)."""
+        snapshot = self.snapshot_store.latest
+        base = snapshot.config_version if snapshot is not None else 0
+        return max(self.log.max_config_version(), base)
 
     def _refresh_configuration(self) -> None:
         new_config = self._derive_configuration()
@@ -212,6 +259,8 @@ class BaseEngine:
             JoinAccepted: self._handle_join_accepted,
             LeaveAccepted: self._handle_leave_accepted,
             NotInConfiguration: self._handle_not_in_configuration,
+            InstallSnapshotRequest: self._handle_install_snapshot,
+            InstallSnapshotResponse: self._handle_install_snapshot_response,
         }
 
     def handle(self, message: Any, sender: str) -> None:
@@ -235,10 +284,11 @@ class BaseEngine:
         if sender in self._extra_allowed:
             return True
         # A site that is not (or no longer) a voting member accepts
-        # catch-up AppendEntries from anyone: its own configuration view
-        # is stale by definition, and stale *leaders* are rejected by the
-        # term check inside the handler.
-        if isinstance(message, AppendEntries) and not self.is_member:
+        # catch-up AppendEntries/InstallSnapshot from anyone: its own
+        # configuration view is stale by definition, and stale *leaders*
+        # are rejected by the term check inside the handler.
+        if (isinstance(message, (AppendEntries, InstallSnapshotRequest))
+                and not self.is_member):
             return True
         return False
 
@@ -390,21 +440,206 @@ class BaseEngine:
         Stops early at a hole: a site never considers an entry committed
         before holding it (contiguity guard; see DESIGN.md).
         """
+        advanced = False
         while self.commit_index < new_commit:
             next_index = self.commit_index + 1
             entry = self.log.get(next_index)
             if entry is None:
                 break
             self.commit_index = next_index
+            advanced = True
             self._trace("commit", index=next_index, entry_id=entry.entry_id,
                         kind=entry.kind.value, term=entry.term)
             self._on_entry_committed(next_index, entry)
             self.ctx.on_apply(next_index, entry)
             if entry.origin == self.name:
                 self.ctx.on_origin_commit(entry, next_index)
+        if advanced:
+            self._maybe_compact()
 
     def _on_entry_committed(self, index: int, entry: LogEntry) -> None:
         """Hook: leaders notify origins, finish config changes, etc."""
+
+    # ------------------------------------------------------------------
+    # Snapshotting and log compaction
+    # ------------------------------------------------------------------
+    def _maybe_compact(self) -> None:
+        policy = self.compaction
+        if policy is None or self.ctx.capture_snapshot is None:
+            return
+        if policy.should_compact(self.commit_index, self.log.snapshot_index,
+                                 self.now(), self._last_snapshot_time):
+            self.take_snapshot()
+
+    def take_snapshot(self) -> Snapshot | None:
+        """Capture the applied state at ``commit_index``, persist it, and
+        compact the log (keeping the policy's retained tail)."""
+        if self.ctx.capture_snapshot is None:
+            return None
+        if self.commit_index <= self.log.snapshot_index:
+            return None  # nothing new to cover
+        image = self.ctx.capture_snapshot()
+        # The snapshot covers only the committed prefix, so it must carry
+        # the configuration governing *at commit_index* -- not the live
+        # one, which may come from an uncommitted CONFIG entry that a new
+        # leader could still truncate (the snapshot copy would survive
+        # that truncation and immortalize a never-committed membership).
+        version, members = governing_config(
+            self.snapshot_store.latest,
+            self.log.best_config_entry(upto=self.commit_index))
+        snapshot = Snapshot(
+            last_included_index=self.commit_index,
+            last_included_term=self.log.term_at(self.commit_index),
+            machine_state=image.machine_state,
+            applied_ids=image.applied_ids,
+            config_members=members, config_version=version,
+            taken_at=self.now(), origin=self.name)
+        self.snapshot_store.save(snapshot)
+        retain = self.compaction.retain if self.compaction is not None else 0
+        compact_upto = self.commit_index - retain
+        if compact_upto > self.log.snapshot_index:
+            self.entries_compacted += self.log.compact_to(compact_upto)
+            self.ctx.store.touch("log")
+        self.snapshots_taken += 1
+        self._last_snapshot_time = self.now()
+        self._trace("snapshot.taken", index=snapshot.last_included_index,
+                    term=snapshot.last_included_term,
+                    compacted_to=self.log.snapshot_index)
+        return snapshot
+
+    def _send_install_snapshot(self, target: str) -> None:
+        """Ship the newest snapshot to a follower whose needed prefix was
+        compacted away (leader side; replaces AppendEntries)."""
+        snapshot = self.snapshot_store.latest
+        if snapshot is None:
+            return  # compacted log without a snapshot cannot happen
+        inflight = self._snapshot_inflight.get(target)
+        if (inflight is not None
+                and inflight[0] == snapshot.last_included_index
+                and self.now() - inflight[1] < self.timing.proposal_timeout):
+            # Give the in-flight bulk transfer a chance to be acked; probe
+            # with an empty AppendEntries anchored at the snapshot point
+            # so a target that lost the transfer (crash, message loss)
+            # answers and gets a prompt re-ship.
+            self._send(target, AppendEntries(
+                term=self.current_term, leader_id=self.name,
+                prev_log_index=snapshot.last_included_index,
+                prev_log_term=snapshot.last_included_term,
+                entries=(), leader_commit=self.commit_index,
+                global_commit=self._global_commit_piggyback()))
+            return
+        self._snapshot_inflight[target] = (snapshot.last_included_index,
+                                           self.now())
+        self.snapshots_shipped += 1
+        self._trace("snapshot.ship", to=target,
+                    index=snapshot.last_included_index)
+        self._send(target, InstallSnapshotRequest(
+            term=self.current_term, leader_id=self.name, snapshot=snapshot))
+
+    def _global_commit_piggyback(self) -> int:
+        """C-Raft's local level overrides this (see ReplicationMixin)."""
+        return 0
+
+    def _handle_install_snapshot(self, msg: InstallSnapshotRequest,
+                                 sender: str) -> None:
+        self._observe_term(msg.term, leader_hint=msg.leader_id)
+        snapshot = msg.snapshot
+        if msg.term < self.current_term:
+            self._send(sender, InstallSnapshotResponse(
+                term=self.current_term, follower=self.name,
+                last_included_index=snapshot.last_included_index,
+                success=False))
+            return
+        # Like AppendEntries, a current-term snapshot implies an elected
+        # leader: convert to follower / refresh the election timer.
+        if self.role is not Role.FOLLOWER:
+            self._become_follower(msg.leader_id)
+        else:
+            self.leader_id = msg.leader_id
+            self._arm_election_timer()
+        if snapshot.last_included_index <= self.commit_index:
+            # Already past the snapshot point; just ack so the leader
+            # advances nextIndex and resumes AppendEntries.
+            self._send(sender, InstallSnapshotResponse(
+                term=self.current_term, follower=self.name,
+                last_included_index=snapshot.last_included_index,
+                success=True))
+            return
+        if (self._install_pending is not None
+                and snapshot.last_included_index <= self._install_pending):
+            # An install covering this point is already mid-gate; a
+            # duplicate would open another (expensive) gated round.
+            return
+        self._install_pending = snapshot.last_included_index
+        self._gate_snapshot_install(
+            snapshot, lambda: self._snapshot_install_done(sender, snapshot))
+
+    def _gate_snapshot_install(self, snapshot: Snapshot,
+                               then: Callable[[], None]) -> None:
+        """Install ``snapshot`` then run ``then``. The C-Raft global
+        engine overrides this to first replicate the image through
+        intra-cluster consensus, exactly like its gated log inserts."""
+        self._install_snapshot(snapshot)
+        then()
+
+    def _snapshot_install_done(self, sender: str, snapshot: Snapshot) -> None:
+        if (self._install_pending is not None
+                and self._install_pending <= snapshot.last_included_index):
+            self._install_pending = None
+        self._send(sender, InstallSnapshotResponse(
+            term=self.current_term, follower=self.name,
+            last_included_index=snapshot.last_included_index, success=True))
+
+    def _install_snapshot(self, snapshot: Snapshot) -> None:
+        """Adopt a leader-shipped snapshot: wholesale replacement of the
+        compacted prefix. Retained suffix entries above the snapshot point
+        survive; later replication resolves any conflicts among them."""
+        self._trace("snapshot.install", index=snapshot.last_included_index,
+                    term=snapshot.last_included_term, origin=snapshot.origin)
+        self.entries_compacted += self.log.install_snapshot(
+            snapshot.last_included_index, snapshot.last_included_term)
+        self.ctx.store.touch("log")
+        self.snapshot_store.save(snapshot)
+        self.snapshots_installed += 1
+        # commitIndex is volatile but never regresses: the snapshot covers
+        # a committed prefix, so jumping to it is a plain commit advance
+        # whose applies are replaced by the restored image. (max: an
+        # asynchronously gated install may complete after commitIndex
+        # already moved past the snapshot point.)
+        self.commit_index = max(self.commit_index,
+                                snapshot.last_included_index)
+        self._refresh_configuration()
+        self._after_snapshot_install(snapshot)
+        self.ctx.on_snapshot_restore(snapshot)
+
+    def _after_snapshot_install(self, snapshot: Snapshot) -> None:
+        """Hook: Fast Raft floors lastLeaderIndex, drops stale votes."""
+
+    def _handle_install_snapshot_response(self, msg: InstallSnapshotResponse,
+                                          sender: str) -> None:
+        # Leader side. next/match bookkeeping lives on the concrete
+        # engines (classic and Fast Raft both define it); BaseEngine is
+        # never a leader on its own.
+        self._observe_term(msg.term)
+        if self.role is not Role.LEADER or msg.term < self.current_term:
+            return
+        follower = msg.follower
+        self._snapshot_inflight.pop(follower, None)
+        self._note_follower_alive(follower)
+        if not msg.success:
+            return
+        self.match_index[follower] = max(
+            self.match_index.get(follower, 0), msg.last_included_index)
+        self.next_index[follower] = max(
+            self.next_index.get(follower, 1), msg.last_included_index + 1)
+        self._check_catchup_complete(follower)
+
+    def _note_follower_alive(self, follower: str) -> None:
+        """Hook: Fast Raft resets the member-timeout beat counter."""
+
+    def _check_catchup_complete(self, follower: str) -> None:
+        """Hook: membership code finishes a pending join once the target
+        is caught up."""
 
     # ------------------------------------------------------------------
     # Default no-op handlers (overridden where meaningful)

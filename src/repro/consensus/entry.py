@@ -133,10 +133,18 @@ class GlobalStatePayload:
     view -- the finality invariant that makes applying safe (DESIGN.md,
     "Global commit propagation"). A payload with no inserts is a pure
     commit marker.
+
+    ``snapshot`` (a :class:`repro.snapshot.Snapshot` over the *global*
+    log, or None) replicates a globally committed snapshot image through
+    local consensus: when the cluster leader receives a global
+    InstallSnapshot, every cluster member must inherit the image the same
+    way it inherits gated inserts, or a future local leader's view would
+    be missing the compacted global prefix.
     """
 
     inserts: tuple[tuple[int, "LogEntry"], ...]
     global_commit: int = 0
+    snapshot: Any = None
 
 
 @dataclass(frozen=True)

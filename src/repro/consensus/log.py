@@ -10,6 +10,13 @@ suffix truncation.
 
 An ``entry_id -> indices`` reverse map supports duplicate detection
 ("If entry is duplicate and committed, notify proposer").
+
+Compaction: a committed prefix can be dropped wholesale once a snapshot
+covers it (:meth:`RaftLog.compact_to` / :meth:`RaftLog.install_snapshot`).
+The log then remembers only the compaction point's ``(index, term)`` --
+the anchor AppendEntries consistency checks still need -- and refuses any
+access below it. Sparse-slot/hole semantics are untouched above the
+compaction point.
 """
 
 from __future__ import annotations
@@ -27,14 +34,35 @@ class RaftLog:
         self._slots: dict[int, LogEntry] = {}
         self._last_index = 0
         self._id_indices: dict[str, set[int]] = {}
+        # Compaction point: every index at or below it has been dropped
+        # and is covered by a snapshot. (0, 0) doubles as the classic
+        # index-0 sentinel of an uncompacted log.
+        self._snapshot_index = 0
+        self._snapshot_term = 0
 
     # ------------------------------------------------------------------
     # Basic queries
     # ------------------------------------------------------------------
     @property
     def last_index(self) -> int:
-        """Highest occupied index (``lastLogIndex``), 0 when empty."""
+        """Highest occupied index (``lastLogIndex``), or the compaction
+        point when nothing is retained above it; 0 when empty."""
         return self._last_index
+
+    @property
+    def snapshot_index(self) -> int:
+        """Compaction point: highest index dropped into a snapshot."""
+        return self._snapshot_index
+
+    @property
+    def snapshot_term(self) -> int:
+        """Term of the entry at the compaction point (0 if uncompacted)."""
+        return self._snapshot_term
+
+    @property
+    def first_retained_index(self) -> int:
+        """Lowest index this log can still hold an entry for."""
+        return self._snapshot_index + 1
 
     def get(self, index: int) -> LogEntry | None:
         """Entry at ``index`` or None (hole / out of range)."""
@@ -44,13 +72,18 @@ class RaftLog:
         return index in self._slots
 
     def term_at(self, index: int) -> int:
-        """Term of the entry at ``index``; 0 for the index-0 sentinel.
+        """Term of the entry at ``index``; the snapshot term at the
+        compaction point (which is the index-0 sentinel term 0 when the
+        log was never compacted).
 
-        Raises :class:`LogError` for a hole, because callers comparing
-        terms at holes are making a protocol error.
+        Raises :class:`LogError` for a hole or a compacted index, because
+        callers comparing terms there are making a protocol error.
         """
-        if index == 0:
-            return 0
+        if index == self._snapshot_index:
+            return self._snapshot_term
+        if index < self._snapshot_index:
+            raise LogError(f"index {index} compacted "
+                           f"(snapshot at {self._snapshot_index})")
         entry = self._slots.get(index)
         if entry is None:
             raise LogError(f"no entry at index {index}")
@@ -78,6 +111,9 @@ class RaftLog:
         """
         if index < 1:
             raise LogError(f"log indices start at 1: {index!r}")
+        if index <= self._snapshot_index:
+            raise LogError(f"cannot insert at compacted index {index} "
+                           f"(snapshot at {self._snapshot_index})")
         old = self._slots.get(index)
         if old is not None:
             self._unindex(old.entry_id, index)
@@ -97,25 +133,59 @@ class RaftLog:
         resolution; Fast Raft never truncates, it overwrites)."""
         if index < 1:
             raise LogError(f"cannot truncate from index {index!r}")
+        if index <= self._snapshot_index:
+            raise LogError(f"cannot truncate compacted prefix at {index} "
+                           f"(snapshot at {self._snapshot_index})")
         doomed = [i for i in self._slots if i >= index]
         for i in doomed:
             self._unindex(self._slots[i].entry_id, i)
             del self._slots[i]
-        self._last_index = max(self._slots, default=0)
+        self._last_index = max(self._slots, default=self._snapshot_index)
+
+    # ------------------------------------------------------------------
+    # Compaction
+    # ------------------------------------------------------------------
+    def compact_to(self, index: int) -> int:
+        """Drop every entry at or below ``index`` (the caller guarantees
+        they are committed and captured by a snapshot). The compaction
+        point's term is taken from the occupant, which therefore must
+        exist. Returns the number of entries dropped."""
+        if index <= self._snapshot_index:
+            return 0
+        return self.install_snapshot(index, self.term_at(index))
+
+    def install_snapshot(self, index: int, term: int) -> int:
+        """Adopt an external snapshot anchor at ``(index, term)``: drop
+        everything at or below ``index`` and keep any suffix above it
+        (conflicting suffix entries are resolved by later replication,
+        exactly like a retained tail after local compaction). Returns the
+        number of entries dropped."""
+        if index <= self._snapshot_index:
+            return 0
+        doomed = [i for i in self._slots if i <= index]
+        for i in doomed:
+            self._unindex(self._slots[i].entry_id, i)
+            del self._slots[i]
+        self._snapshot_index = index
+        self._snapshot_term = term
+        self._last_index = max(self._last_index, index)
+        return len(doomed)
 
     # ------------------------------------------------------------------
     # Range and provenance queries
     # ------------------------------------------------------------------
     def entries_between(self, lo: int, hi: int) -> list[tuple[int, LogEntry]]:
-        """Occupied ``(index, entry)`` pairs with ``lo <= index <= hi``."""
-        if lo < 1:
-            lo = 1
+        """Occupied ``(index, entry)`` pairs with ``lo <= index <= hi``
+        (compacted indices excluded -- they hold no entries)."""
+        lo = max(lo, self.first_retained_index)
         return [(i, self._slots[i]) for i in range(lo, hi + 1)
                 if i in self._slots]
 
     def contiguous_from(self, lo: int, hi: int) -> bool:
-        """True when every index in ``[lo, hi]`` is occupied."""
-        return all(i in self._slots for i in range(lo, hi + 1))
+        """True when every index in ``[lo, hi]`` is occupied (compacted
+        indices count as held: their entries are in the snapshot)."""
+        return all(i in self._slots or i <= self._snapshot_index
+                   for i in range(lo, hi + 1))
 
     def last_with_provenance(self, inserted_by: InsertedBy) -> int:
         """Highest index whose entry has the given provenance, else 0.
@@ -141,11 +211,15 @@ class RaftLog:
                 return index, entry
         return None
 
-    def best_config_entry(self) -> tuple[int, LogEntry] | None:
+    def best_config_entry(self, upto: int | None = None
+                          ) -> tuple[int, LogEntry] | None:
         """The governing CONFIG entry: highest version, then highest
-        index (see ConfigPayload.version)."""
+        index (see ConfigPayload.version). ``upto`` restricts the scan to
+        indices at or below it (e.g. the committed prefix)."""
         best: tuple[int, LogEntry] | None = None
         for index, entry in self:
+            if upto is not None and index > upto:
+                break  # iteration is index-ordered
             if entry.kind is not EntryKind.CONFIG:
                 continue
             if best is None:
@@ -195,4 +269,5 @@ class RaftLog:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"<RaftLog last_index={self._last_index} "
-                f"occupied={len(self._slots)}>")
+                f"occupied={len(self._slots)} "
+                f"snapshot={self._snapshot_index}>")

@@ -109,6 +109,27 @@ class AppendEntriesResponse:
     last_log_index: int
 
 
+@dataclass(frozen=True)
+class InstallSnapshotRequest:
+    """Leader -> follower: the follower's needed log prefix has been
+    compacted away, so the leader ships its snapshot instead of entries.
+    ``snapshot`` is a :class:`repro.snapshot.Snapshot` (typed ``Any`` to
+    keep the message layer free of the storage layer)."""
+
+    term: int
+    leader_id: str
+    snapshot: Any
+
+
+@dataclass(frozen=True)
+class InstallSnapshotResponse:
+    term: int
+    follower: str
+    #: The shipped snapshot's last included index (ack correlation).
+    last_included_index: int
+    success: bool
+
+
 # ----------------------------------------------------------------------
 # Elections
 # ----------------------------------------------------------------------

@@ -20,6 +20,7 @@ from repro.sim.actor import Actor
 from repro.sim.loop import SimLoop
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import TraceRecorder
+from repro.snapshot import CompactionPolicy, Snapshot, SnapshotImage
 from repro.storage.stable import StableStore
 
 
@@ -33,7 +34,8 @@ class ConsensusServer(Actor):
                  store: StableStore, bootstrap_config: Configuration,
                  timing: TimingConfig, rng: RngRegistry,
                  trace: TraceRecorder,
-                 state_machine_factory: Callable[[], Any] | None = None
+                 state_machine_factory: Callable[[], Any] | None = None,
+                 compaction: CompactionPolicy | None = None
                  ) -> None:
         super().__init__(loop, name)
         self._network = network
@@ -43,6 +45,7 @@ class ConsensusServer(Actor):
         self._rng = rng
         self._trace = trace
         self._sm_factory = state_machine_factory
+        self._compaction = compaction
         self.state_machine = state_machine_factory() if state_machine_factory else None
         # request_id -> client address; replies are exactly-once per id.
         self._clients: dict[str, str] = {}
@@ -50,6 +53,9 @@ class ConsensusServer(Actor):
         self._applied_ids: set[str] = set()
         #: Committed (index, entry) pairs in apply order (tests/checkers).
         self.applied_log: list[tuple[int, LogEntry]] = []
+        #: Index the machine was last restored to from a snapshot (0 if
+        #: never): applies must resume exactly one above it (checkers).
+        self.applied_floor = 0
         self.engine = self._build_engine()
 
     # ------------------------------------------------------------------
@@ -60,7 +66,10 @@ class ConsensusServer(Actor):
             name=self.name, loop=self.loop, send=self._send,
             rng=self._rng.stream(f"node.{self.name}"), trace=self._trace,
             store=self._store, timing=self._timing,
-            on_apply=self._on_apply, on_origin_commit=self._on_origin_commit)
+            on_apply=self._on_apply, on_origin_commit=self._on_origin_commit,
+            capture_snapshot=self._capture_snapshot,
+            on_snapshot_restore=self._restore_snapshot,
+            compaction=self._compaction)
         return type(self).engine_cls(ctx, self._bootstrap_config)
 
     def _send(self, dst: str, message: Any) -> None:
@@ -84,10 +93,36 @@ class ConsensusServer(Actor):
         self._replied.clear()
         self._applied_ids.clear()
         self.applied_log = []
+        self.applied_floor = 0
         self.engine = self._build_engine()
         self.revive()
         self.engine.start()
         self._trace.record(self.now(), self.name, "node.recovered")
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def _capture_snapshot(self) -> SnapshotImage:
+        """The server's contribution to a snapshot at the current commit
+        point: the machine image plus the exactly-once id set."""
+        state = (self.state_machine.snapshot()
+                 if self.state_machine is not None else None)
+        return SnapshotImage(machine_state=state,
+                             applied_ids=tuple(sorted(self._applied_ids)))
+
+    def _restore_snapshot(self, snapshot: Snapshot) -> None:
+        """Adopt a snapshot image in place of (re)playing the compacted
+        prefix: rebuild the machine from the image and resume the applied
+        bookkeeping at the snapshot point."""
+        if self._sm_factory is not None:
+            self.state_machine = self._sm_factory()
+            if snapshot.machine_state is not None:
+                self.state_machine.restore(snapshot.machine_state)
+        self._applied_ids = set(snapshot.applied_ids)
+        self.applied_log = []
+        self.applied_floor = snapshot.last_included_index
+        self._trace.record(self.now(), self.name, "node.snapshot_restored",
+                           index=snapshot.last_included_index)
 
     # ------------------------------------------------------------------
     # Message handling

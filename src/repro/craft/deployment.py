@@ -18,6 +18,7 @@ from repro.sim.loop import SimLoop
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import TraceRecorder
 from repro.smr.client import Client
+from repro.snapshot import CompactionPolicy
 from repro.storage.stable import StorageFabric
 
 
@@ -152,6 +153,8 @@ def build_craft_deployment(
         batch_policy: BatchPolicy | None = None,
         trace_enabled: bool = True,
         state_machine_factory: Callable[[], Any] | None = None,
+        local_compaction: CompactionPolicy | None = None,
+        global_compaction: CompactionPolicy | None = None,
         global_seed_site: str | None = None) -> CRaftDeployment:
     """Build (without starting) a C-Raft deployment over ``topology``."""
     loop = SimLoop()
@@ -177,6 +180,8 @@ def build_craft_deployment(
                 global_seed=global_seed_site, local_timing=local_timing,
                 global_timing=global_timing, rng=rng, trace=trace,
                 batch_policy=batch_policy,
-                state_machine_factory=state_machine_factory)
+                state_machine_factory=state_machine_factory,
+                local_compaction=local_compaction,
+                global_compaction=global_compaction)
             deployment.add_server(server)
     return deployment

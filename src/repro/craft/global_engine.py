@@ -19,9 +19,12 @@ from typing import Callable
 
 from repro.consensus.entry import LogEntry
 from repro.fastraft.engine import FastRaftEngine
+from repro.snapshot import Snapshot
 
 #: Signature of the injected gate: (pairs, continuation).
 GateFn = Callable[[list[tuple[int, LogEntry]], Callable[[], None]], None]
+#: Signature of the injected snapshot gate: (snapshot, continuation).
+SnapshotGateFn = Callable[[Snapshot, Callable[[], None]], None]
 
 
 class CRaftGlobalEngine(FastRaftEngine):
@@ -34,6 +37,7 @@ class CRaftGlobalEngine(FastRaftEngine):
         # Wired by CRaftServer after construction; default passes through
         # (used by unit tests that exercise the engine standalone).
         self.insert_gate: GateFn | None = None
+        self.snapshot_gate: SnapshotGateFn | None = None
 
     def _gate_insert(self, pairs: list[tuple[int, LogEntry]],
                      then: Callable[[], None]) -> None:
@@ -46,6 +50,23 @@ class CRaftGlobalEngine(FastRaftEngine):
     def _complete_gated_insert(self, pairs: list[tuple[int, LogEntry]],
                                then: Callable[[], None]) -> None:
         """Continuation run once the state entry committed locally."""
-        for index, entry in pairs:
-            self._insert_into_log(index, entry)
+        self._insert_batch(pairs)
+        then()
+
+    def _gate_snapshot_install(self, snapshot: Snapshot,
+                               then: Callable[[], None]) -> None:
+        """A shipped global snapshot replaces log state, so like every
+        other global log write it first runs intra-cluster consensus --
+        the whole cluster inherits the image, not just this leader."""
+        if self.snapshot_gate is None:
+            super()._gate_snapshot_install(snapshot, then)
+            return
+        self.snapshot_gate(
+            snapshot, lambda: self._complete_gated_snapshot(snapshot, then))
+
+    def _complete_gated_snapshot(self, snapshot: Snapshot,
+                                 then: Callable[[], None]) -> None:
+        """Continuation once the snapshot-bearing state entry committed
+        locally: adopt it into the global log and ack the leader."""
+        self._install_snapshot(snapshot)
         then()

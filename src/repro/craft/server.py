@@ -57,6 +57,8 @@ from repro.sim.loop import SimLoop
 from repro.sim.rng import RngRegistry
 from repro.sim.timers import PeriodicTimer, RestartableTimer
 from repro.sim.trace import TraceRecorder
+from repro.snapshot import CompactionPolicy, Snapshot, SnapshotImage, SnapshotStore
+from repro.snapshot.types import governing_config, newest
 from repro.storage.stable import StorageFabric
 
 
@@ -69,7 +71,9 @@ class CRaftServer(Actor):
                  local_timing: TimingConfig, global_timing: TimingConfig,
                  rng: RngRegistry, trace: TraceRecorder,
                  batch_policy: BatchPolicy | None = None,
-                 state_machine_factory: Callable[[], Any] | None = None
+                 state_machine_factory: Callable[[], Any] | None = None,
+                 local_compaction: CompactionPolicy | None = None,
+                 global_compaction: CompactionPolicy | None = None
                  ) -> None:
         super().__init__(loop, name)
         self.cluster = cluster
@@ -83,6 +87,8 @@ class CRaftServer(Actor):
         self._trace = trace
         self._batch_policy = batch_policy or BatchPolicy()
         self._sm_factory = state_machine_factory
+        self._local_compaction = local_compaction
+        self._global_compaction = global_compaction
         self._seq = itertools.count(1)
         self._reset_volatile()
         self.local_engine = self._build_local_engine()
@@ -99,6 +105,18 @@ class CRaftServer(Actor):
         self._last_replicated_commit = 0
         self._marker_check_scheduled = False
         self.global_applied_index = 0
+        #: Term of the newest applied global entry (snapshot anchor).
+        self.global_applied_term = 0
+        #: Newest global snapshot this site has adopted or captured.
+        self._global_snapshot_base: Snapshot | None = None
+        #: Highest local index covered by an applied BATCH, per cluster.
+        self._covered_by_cluster: dict[str, int] = {}
+        #: Applied local DATA entries not yet covered by a global batch,
+        #: maintained incrementally (appended on apply, pruned as batch
+        #: coverage advances, seeded from a restored snapshot image) so
+        #: snapshot capture and leader takeover never rescan the whole
+        #: apply history.
+        self._uncovered_data: list[tuple[int, LogEntry]] = []
         #: Applied global (index, entry) pairs, in order.
         self.global_applied: list[tuple[int, LogEntry]] = []
         self._global_applied_ids: set[str] = set()
@@ -127,7 +145,10 @@ class CRaftServer(Actor):
             timing=self._local_timing, scope=self.cluster,
             on_apply=self._on_local_apply,
             on_origin_commit=self._on_local_origin_commit,
-            on_role_change=self._on_local_role_change)
+            on_role_change=self._on_local_role_change,
+            capture_snapshot=self._capture_local_snapshot,
+            on_snapshot_restore=self._restore_local_snapshot,
+            compaction=self._local_compaction)
         engine = CRaftLocalEngine(ctx, self._local_bootstrap)
         engine.global_commit_provider = lambda: self.global_commit
         engine.global_commit_sink = self._note_global_commit_hint
@@ -139,9 +160,22 @@ class CRaftServer(Actor):
         store = self._fabric.store_for(f"{self.name}::global")
         # The global log is determined by the local log's state entries
         # (Section V-B); rebuild it from the view on every (re)creation.
+        # A compacted prefix is covered by the newest global snapshot
+        # (from an earlier engine life on this store, or inherited through
+        # the view's gated snapshot entries) -- anchor the log there.
+        base = newest(store.get(SnapshotStore.KEY),
+                      self._global_snapshot_base)
+        if base is not None:
+            # Monotonic: writes (and charges fsync cost) only when the
+            # durable resume point actually advances.
+            SnapshotStore(store).save(base)
         log = RaftLog()
+        if base is not None:
+            log.install_snapshot(base.last_included_index,
+                                 base.last_included_term)
         for index, entry in self.global_view:
-            log.insert(index, entry)
+            if index > log.snapshot_index:
+                log.insert(index, entry)
         store.set("log", log)
         ctx = EngineContext(
             name=self.name, loop=self.loop, send=self._send_global_level,
@@ -150,10 +184,14 @@ class CRaftServer(Actor):
             scope="global",
             on_apply=self._on_global_engine_apply,
             on_origin_commit=self._on_global_origin_commit,
-            on_config_change=self._on_global_config_change)
+            on_config_change=self._on_global_config_change,
+            capture_snapshot=self._capture_global_snapshot,
+            on_snapshot_restore=self._restore_global_snapshot,
+            compaction=self._global_compaction)
         engine = CRaftGlobalEngine(
             ctx, Configuration((self.global_seed,)))
         engine.insert_gate = self._gate_through_local_consensus
+        engine.snapshot_gate = self._gate_global_snapshot
         self.global_engine = engine
         if self.alive:
             engine.start()
@@ -258,11 +296,13 @@ class CRaftServer(Actor):
     # ------------------------------------------------------------------
     def _gate_through_local_consensus(
             self, pairs: list[tuple[int, LogEntry]],
-            then: Callable[[], None]) -> None:
+            then: Callable[[], None],
+            snapshot: Snapshot | None = None) -> None:
         """Commit a GLOBAL_STATE entry locally, then run ``then``."""
         entry_id = f"{self.name}:gstate.{next(self._seq)}.{self.now():.4f}"
         payload = GlobalStatePayload(inserts=tuple(pairs),
-                                     global_commit=self.global_commit)
+                                     global_commit=self.global_commit,
+                                     snapshot=snapshot)
         self._last_replicated_commit = max(self._last_replicated_commit,
                                            self.global_commit)
         entry = LogEntry(entry_id=entry_id, kind=EntryKind.GLOBAL_STATE,
@@ -271,7 +311,9 @@ class CRaftServer(Actor):
         self._pending_gates[entry_id] = then
         self._trace.record(self.now(), self.name, "craft.gate.open",
                            entry_id=entry_id,
-                           indices=[i for i, _ in pairs])
+                           indices=[i for i, _ in pairs],
+                           snapshot=(snapshot.last_included_index
+                                     if snapshot is not None else None))
         self.local_engine.propose(entry)
         timer = RestartableTimer(
             self.loop, lambda: self._retry_gate(entry_id, entry))
@@ -300,9 +342,14 @@ class CRaftServer(Actor):
     def _on_local_apply(self, index: int, entry: LogEntry) -> None:
         self.applied_log.append((index, entry))
         if entry.kind is EntryKind.DATA:
+            self._uncovered_data.append((index, entry))
             self.batcher.observe_local_commit(index, entry, self.now())
             self._maybe_propose_batch()
         elif entry.kind is EntryKind.GLOBAL_STATE:
+            if entry.payload.snapshot is not None:
+                # A gated global snapshot: every cluster member inherits
+                # the image, exactly like gated inserts.
+                self._adopt_global_snapshot(entry.payload.snapshot)
             for gindex, gentry in entry.payload.inserts:
                 self._view_insert(gindex, gentry)
             # Effective global commit advances only here (local-log order
@@ -349,12 +396,8 @@ class CRaftServer(Actor):
             self._lost_local_leadership()
 
     def _became_local_leader(self) -> None:
-        covered = 0
-        for _, gentry in self.global_applied:
-            if (gentry.kind is EntryKind.BATCH
-                    and gentry.payload.cluster == self.cluster):
-                covered = max(covered, gentry.payload.local_range[1])
-        self.batcher.rebuild(self.applied_log, covered + 1, self.now())
+        covered = self._covered_by_cluster.get(self.cluster, 0)
+        self.batcher.rebuild(self._uncovered_data, covered + 1, self.now())
         self._ensure_global_engine()
         self._trace.record(self.now(), self.name, "craft.local_leader",
                            cluster=self.cluster,
@@ -430,6 +473,7 @@ class CRaftServer(Actor):
             if gentry is None:
                 break  # wait for the state entry carrying it
             self.global_applied_index = nxt
+            self.global_applied_term = gentry.term
             self.global_applied.append((nxt, gentry))
             if gentry.kind is EntryKind.BATCH:
                 self._apply_batch(gentry)
@@ -445,9 +489,127 @@ class CRaftServer(Actor):
             if self.global_state_machine is not None:
                 self.global_state_machine.apply(inner.payload)
         self.global_apply_events.append((self.now(), applied))
+        self._covered_by_cluster[payload.cluster] = max(
+            self._covered_by_cluster.get(payload.cluster, 0),
+            payload.local_range[1])
         if payload.cluster == self.cluster:
             self.batcher.advance_covered(payload.local_range[1])
+            self._prune_uncovered_data()
             self._batch_settled(gentry.entry_id)
+
+    # ------------------------------------------------------------------
+    # Snapshots (Section V meets log compaction)
+    # ------------------------------------------------------------------
+    def _capture_local_snapshot(self) -> SnapshotImage:
+        """The local-level snapshot image is a composite: the local log's
+        GLOBAL_STATE entries materialize the global view, so compacting
+        the local log must carry (a) the global state as of the capture
+        point, (b) the still-unapplied view tail, and (c) the local DATA
+        entries no global batch has covered yet (a future local leader
+        must still be able to batch them)."""
+        view_tail = tuple((i, e) for i, e in self.global_view
+                          if i > self.global_applied_index)
+        self._prune_uncovered_data()
+        state = {"global": self._current_global_snapshot(),
+                 "view": view_tail,
+                 "unbatched": tuple(self._uncovered_data)}
+        return SnapshotImage(machine_state=state, applied_ids=())
+
+    def _restore_local_snapshot(self, snapshot: Snapshot) -> None:
+        """Adopt a local-level snapshot (recovery from a compacted local
+        log, or a live InstallSnapshot from the local leader)."""
+        state = snapshot.machine_state or {}
+        if state.get("global") is not None:
+            self._adopt_global_snapshot(state["global"])
+        for gindex, gentry in state.get("view", ()):
+            self._view_insert(gindex, gentry)
+        self._uncovered_data = [
+            (i, e) for i, e in state.get("unbatched", ())]
+        self.applied_log = []
+        self._advance_global_apply()
+        self._trace.record(self.now(), self.name, "craft.snapshot_restored",
+                           level="local", index=snapshot.last_included_index)
+
+    def _capture_global_snapshot(self) -> SnapshotImage:
+        """The global engine's snapshot image: the global machine plus
+        per-cluster batch coverage (so restored sites neither re-batch
+        nor re-apply covered entries)."""
+        machine = (self.global_state_machine.snapshot()
+                   if self.global_state_machine is not None else None)
+        return SnapshotImage(
+            machine_state={"machine": machine,
+                           "covered": dict(self._covered_by_cluster)},
+            applied_ids=tuple(sorted(self._global_applied_ids)))
+
+    def _restore_global_snapshot(self, snapshot: Snapshot) -> None:
+        self._adopt_global_snapshot(snapshot)
+
+    def _adopt_global_snapshot(self, snapshot: Snapshot) -> None:
+        """Fast-forward this site's global state to a snapshot image (a
+        no-op when the site is already past it)."""
+        self._global_snapshot_base = newest(self._global_snapshot_base,
+                                            snapshot)
+        if snapshot.last_included_index <= self.global_applied_index:
+            return
+        state = snapshot.machine_state or {}
+        if self._sm_factory is not None:
+            self.global_state_machine = self._sm_factory()
+            if state.get("machine") is not None:
+                self.global_state_machine.restore(state["machine"])
+        self._global_applied_ids = set(snapshot.applied_ids)
+        self.global_applied_index = snapshot.last_included_index
+        self.global_applied_term = snapshot.last_included_term
+        self.global_applied = []
+        if snapshot.last_included_index > self.global_commit:
+            self.global_commit = snapshot.last_included_index
+        for cluster, through in (state.get("covered") or {}).items():
+            self._covered_by_cluster[cluster] = max(
+                self._covered_by_cluster.get(cluster, 0), through)
+        self.global_view.install_snapshot(snapshot.last_included_index,
+                                          snapshot.last_included_term)
+        self.batcher.advance_covered(
+            self._covered_by_cluster.get(self.cluster, 0))
+        self._prune_uncovered_data()
+        self._trace.record(self.now(), self.name, "craft.snapshot_restored",
+                           level="global",
+                           index=snapshot.last_included_index)
+        self._advance_global_apply()
+
+    def _current_global_snapshot(self) -> Snapshot | None:
+        """A Snapshot of the global level as this site has applied it
+        (for nesting into local-level snapshots); None until something
+        global applied. (Adopting a base always advances the applied
+        index too, so the base is necessarily None in this branch.)"""
+        if self.global_applied_index == 0:
+            return self._global_snapshot_base
+        version, members = governing_config(
+            self._global_snapshot_base,
+            self.global_view.best_config_entry(
+                upto=self.global_applied_index))
+        image = self._capture_global_snapshot()
+        return Snapshot(
+            last_included_index=self.global_applied_index,
+            last_included_term=self.global_applied_term,
+            machine_state=image.machine_state,
+            applied_ids=image.applied_ids,
+            config_members=members, config_version=version,
+            taken_at=self.now(), origin=self.name)
+
+    def _prune_uncovered_data(self) -> None:
+        """Drop entries once global batches cover them, so long-lived
+        servers never re-scan the full apply history."""
+        if not self._uncovered_data:
+            return
+        covered = self._covered_by_cluster.get(self.cluster, 0)
+        self._uncovered_data = [
+            (i, e) for i, e in self._uncovered_data if i > covered]
+
+    def _gate_global_snapshot(self, snapshot: Snapshot,
+                              then: Callable[[], None]) -> None:
+        """Replicate a leader-shipped global snapshot through local
+        consensus before the global engine adopts it (the cluster-wide
+        analogue of the gated insert)."""
+        self._gate_through_local_consensus([], then, snapshot=snapshot)
 
     # ------------------------------------------------------------------
     # Batching

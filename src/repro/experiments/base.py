@@ -49,6 +49,15 @@ class ResultTable:
             lines.append(f"note: {note}")
         return "\n".join(lines)
 
+    def as_dict(self) -> dict[str, Any]:
+        """Machine-readable form (for benchmarks/results/*.json)."""
+        return {
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [list(row) for row in self.rows],
+            "notes": list(self.notes),
+        }
+
     @staticmethod
     def _fmt(value: Any) -> str:
         if isinstance(value, float):

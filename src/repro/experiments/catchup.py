@@ -1,0 +1,274 @@
+"""Rejoin-to-caught-up latency under churn, with and without snapshots.
+
+The fig4-style churn scenario stressed end to end: a follower crashes
+early, the cluster keeps committing (and, in Fast Raft, evicts the silent
+member), and the node later recovers and has to catch back up. Without
+compaction the leader replays the whole log from the follower's crash
+point -- O(history) per rejoin, quadratic over a long churn run. With a
+:class:`~repro.snapshot.CompactionPolicy` the leader's log prefix is
+gone, so it ships one InstallSnapshot plus the retained tail instead.
+
+The experiment runs the same scenario twice (snapshots on/off) per
+engine -- classic Raft, Fast Raft, and C-Raft (where the churned node is
+a cluster member catching up at the local level, inheriting the global
+image through the composite local snapshot) -- and reports rejoin
+latency, replayed entry counts, and snapshot counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.consensus.timing import TimingConfig
+from repro.errors import ExperimentError
+from repro.experiments.base import ResultTable, require
+from repro.fastraft.server import FastRaftServer
+from repro.harness.builder import build_cluster
+from repro.harness.checkers import (
+    check_committed_prefix_agreement,
+    check_images_agree,
+    run_safety_checks,
+)
+from repro.harness.faults import FaultInjector
+from repro.harness.workload import ClosedLoopWorkload
+from repro.metrics.summary import SnapshotCounters, tally_snapshots
+from repro.net.latency import RegionLatencyModel
+from repro.net.topology import Topology
+from repro.craft.batching import BatchPolicy
+from repro.craft.deployment import build_craft_deployment
+from repro.raft.server import RaftServer
+from repro.smr.kv import KVStateMachine
+from repro.snapshot import CompactionPolicy
+
+ENGINES = ("raft", "fastraft", "craft")
+
+
+@dataclass(frozen=True)
+class CatchupConfig:
+    engine: str = "fastraft"
+    n_sites: int = 5              # per-cluster sites for craft: 3 + 3
+    warmup_commits: int = 20      # commits before the crash
+    total_commits: int = 160      # commits before the recovery
+    threshold: int = 40           # compaction trigger (entries)
+    retain: int = 8               # committed tail kept below the snapshot
+    max_append_batch: int = 16    # smaller batches make replay cost visible
+    craft_batch_size: int = 10
+    seed: int = 11
+    timeout: float = 600.0
+
+    @classmethod
+    def paper(cls, engine: str) -> "CatchupConfig":
+        return cls(engine=engine)
+
+    @classmethod
+    def quick(cls, engine: str) -> "CatchupConfig":
+        commits = 100 if engine == "craft" else 120
+        return cls(engine=engine, total_commits=commits)
+
+
+@dataclass
+class CatchupRun:
+    """One scenario execution (snapshots on or off)."""
+
+    snapshots_enabled: bool
+    target_commit: int            # commit point the rejoiner had to reach
+    catchup_time: float           # recovery -> caught up (sim seconds)
+    replayed_entries: int         # entries applied at the rejoiner
+    installs: int                 # snapshots installed at the rejoiner
+    counters: SnapshotCounters    # cluster-wide snapshot activity
+
+
+@dataclass
+class CatchupResult:
+    config: CatchupConfig
+    with_snapshots: CatchupRun
+    without_snapshots: CatchupRun
+
+    def table(self) -> ResultTable:
+        table = ResultTable(
+            f"Rejoin catch-up under churn -- {self.config.engine}",
+            ["mode", "target", "replayed", "installs", "catchup (ms)"])
+        for run in (self.without_snapshots, self.with_snapshots):
+            mode = "snapshots" if run.snapshots_enabled else "full replay"
+            table.add_row(mode, run.target_commit, run.replayed_entries,
+                          run.installs, run.catchup_time * 1000)
+        snap = self.with_snapshots
+        table.add_note(snap.counters.format())
+        table.add_note(
+            f"crash after {self.config.warmup_commits} commits, recover "
+            f"after {self.config.total_commits}; compaction threshold "
+            f"{self.config.threshold}, retain {self.config.retain}")
+        return table
+
+    def check_shape(self) -> None:
+        snap, full = self.with_snapshots, self.without_snapshots
+        require(full.installs == 0,
+                "no snapshot may be installed with compaction disabled")
+        require(snap.installs >= 1,
+                "the rejoiner should catch up via InstallSnapshot")
+        require(snap.counters.taken >= 1,
+                "the compaction policy should have fired")
+        require(snap.replayed_entries < full.replayed_entries,
+                f"snapshots must replay strictly fewer entries "
+                f"({snap.replayed_entries} vs {full.replayed_entries})")
+        require(snap.catchup_time < full.catchup_time,
+                f"snapshots must catch up strictly faster "
+                f"({snap.catchup_time * 1000:.0f} ms vs "
+                f"{full.catchup_time * 1000:.0f} ms)")
+
+    def as_dict(self) -> dict:
+        def run_dict(run: CatchupRun) -> dict:
+            return {"target": run.target_commit,
+                    "replayed": run.replayed_entries,
+                    "installs": run.installs,
+                    "catchup_ms": run.catchup_time * 1000,
+                    "snapshots_taken": run.counters.taken,
+                    "snapshots_shipped": run.counters.shipped,
+                    "entries_compacted": run.counters.entries_compacted}
+        return {"engine": self.config.engine,
+                "total_commits": self.config.total_commits,
+                "with_snapshots": run_dict(self.with_snapshots),
+                "full_replay": run_dict(self.without_snapshots)}
+
+
+def run_catchup(config: CatchupConfig) -> CatchupResult:
+    """Run the scenario twice (with/without snapshots) and pair them."""
+    if config.engine not in ENGINES:
+        raise ExperimentError(f"unknown engine: {config.engine!r}")
+    runner = _run_craft if config.engine == "craft" else _run_flat
+    return CatchupResult(
+        config=config,
+        with_snapshots=runner(config, snapshots=True),
+        without_snapshots=runner(config, snapshots=False))
+
+
+def _policy(config: CatchupConfig, snapshots: bool) -> CompactionPolicy | None:
+    if not snapshots:
+        return None
+    return CompactionPolicy(threshold=config.threshold,
+                            retain=config.retain)
+
+
+# ----------------------------------------------------------------------
+# Single-cluster engines (classic Raft, Fast Raft)
+# ----------------------------------------------------------------------
+def _run_flat(config: CatchupConfig, snapshots: bool) -> CatchupRun:
+    server_cls = RaftServer if config.engine == "raft" else FastRaftServer
+    timing = TimingConfig(max_append_batch=config.max_append_batch)
+    cluster = build_cluster(
+        server_cls, n_sites=config.n_sites, seed=config.seed,
+        timing=timing, state_machine_factory=KVStateMachine,
+        compaction=_policy(config, snapshots))
+    cluster.start_all()
+    leader_name = cluster.run_until_leader(timeout=30.0)
+    client = cluster.add_client(site=leader_name)
+    workload = ClosedLoopWorkload(client,
+                                  max_requests=config.total_commits)
+    workload.start()
+    if not cluster.run_until(
+            lambda: workload.completed_count >= config.warmup_commits,
+            timeout=config.timeout):
+        raise ExperimentError("warmup did not complete")
+    faults = FaultInjector(cluster)
+    victim = next(n for n in cluster.servers if n != leader_name)
+    faults.crash(victim)
+    if not cluster.run_until(lambda: workload.done, timeout=config.timeout):
+        raise ExperimentError(
+            f"finished only {workload.completed_count}"
+            f"/{config.total_commits} commits")
+    target = cluster.servers[cluster.run_until_leader()].engine.commit_index
+    faults.recover(victim)
+    started = cluster.loop.now()
+    rejoined = cluster.run_until(
+        lambda: cluster.servers[victim].engine.commit_index >= target,
+        timeout=config.timeout)
+    if not rejoined:
+        raise ExperimentError(
+            f"{victim} caught up only to "
+            f"{cluster.servers[victim].engine.commit_index}/{target}")
+    catchup_time = cluster.loop.now() - started
+    cluster.run_for(1.0)
+    run_safety_checks(cluster.servers.values(), cluster.trace)
+    recovered = cluster.servers[victim]
+    return CatchupRun(
+        snapshots_enabled=snapshots, target_commit=target,
+        catchup_time=catchup_time,
+        replayed_entries=len(recovered.applied_log),
+        installs=recovered.engine.snapshots_installed,
+        counters=tally_snapshots(s.engine
+                                 for s in cluster.servers.values()))
+
+
+# ----------------------------------------------------------------------
+# C-Raft (the churned node is a cluster member)
+# ----------------------------------------------------------------------
+def _run_craft(config: CatchupConfig, snapshots: bool) -> CatchupRun:
+    topo = Topology.even_clusters(6, ["east", "west"])
+    latency = RegionLatencyModel(dict(topo.node_regions),
+                                 {("east", "west"): 0.080},
+                                 intra_rtt=0.0008, jitter=0.1)
+    deployment = build_craft_deployment(
+        topo, latency, seed=config.seed,
+        local_timing=TimingConfig(max_append_batch=config.max_append_batch),
+        batch_policy=BatchPolicy(batch_size=config.craft_batch_size),
+        state_machine_factory=KVStateMachine,
+        local_compaction=_policy(config, snapshots))
+    deployment.start_all()
+    deployment.run_until_local_leaders(timeout=30.0)
+    deployment.run_until_global_ready(timeout=60.0)
+    cluster_a = topo.clusters[0]
+    leader_a = deployment.local_leader(cluster_a)
+    client = deployment.add_client(site=leader_a)
+    workload = ClosedLoopWorkload(client,
+                                  max_requests=config.total_commits)
+    workload.start()
+    if not deployment.run_until(
+            lambda: workload.completed_count >= config.warmup_commits,
+            timeout=config.timeout):
+        raise ExperimentError("warmup did not complete")
+    victim = next(n for n in topo.nodes_in_cluster(cluster_a)
+                  if n != leader_a)
+    deployment.servers[victim].crash()
+    if not deployment.run_until(lambda: workload.done,
+                                timeout=config.timeout):
+        raise ExperimentError(
+            f"finished only {workload.completed_count}"
+            f"/{config.total_commits} commits")
+    leader_now = deployment.local_leader(cluster_a)
+    target = deployment.servers[leader_now].local_engine.commit_index
+    deployment.servers[victim].recover()
+    started = deployment.loop.now()
+    rejoined = deployment.run_until(
+        lambda: (deployment.servers[victim].local_engine.commit_index
+                 >= target),
+        timeout=config.timeout, step=0.01)
+    if not rejoined:
+        raise ExperimentError(
+            f"{victim} caught up only to "
+            f"{deployment.servers[victim].local_engine.commit_index}"
+            f"/{target}")
+    catchup_time = deployment.loop.now() - started
+    deployment.run_for(2.0)
+    _check_craft_consistency(deployment, topo, cluster_a)
+    recovered = deployment.servers[victim]
+    return CatchupRun(
+        snapshots_enabled=snapshots, target_commit=target,
+        catchup_time=catchup_time,
+        replayed_entries=len(recovered.applied_log),
+        installs=recovered.local_engine.snapshots_installed,
+        counters=tally_snapshots(
+            s.local_engine for s in deployment.servers.values()))
+
+
+def _check_craft_consistency(deployment, topo, cluster_name: str) -> None:
+    """Local committed-prefix agreement in the churned cluster, plus
+    global state-machine agreement across every site at the same global
+    apply point (the snapshot path must not introduce divergence)."""
+    engines = [deployment.servers[n].local_engine
+               for n in topo.nodes_in_cluster(cluster_name)]
+    check_committed_prefix_agreement(engines)
+    check_images_agree(
+        ((s.global_applied_index, s.global_state_machine.snapshot(), s.name)
+         for s in deployment.servers.values()
+         if s.global_state_machine is not None),
+        what="global state machines")

@@ -83,11 +83,13 @@ class ElectionMixin:
     def _restamp_inherited_suffix(self) -> None:
         """Restamp uncommitted leader-approved entries with the new term so
         they can commit under the current-term guard (data unchanged)."""
+        restamped = []
         for k in range(self.commit_index + 1, self.last_leader_index + 1):
             entry = self.log.get(k)
             if entry is not None and entry.inserted_by is InsertedBy.LEADER:
-                self._insert_into_log(
-                    k, entry.with_mark(self.current_term, InsertedBy.LEADER))
+                restamped.append(
+                    (k, entry.with_mark(self.current_term, InsertedBy.LEADER)))
+        self._insert_batch(restamped)
 
     def _copy_recovery_votes(self) -> None:
         """"Copy all self-approved entries received to possibleEntries"."""

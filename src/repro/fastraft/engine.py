@@ -43,9 +43,12 @@ class FastRaftEngine(ProposalMixin, DecisionMixin, ReplicationMixin,
         self.match_index: dict[str, int] = {}
         self.fast_match_index: dict[str, int] = {}
         # lastLeaderIndex is persistent in the paper; here it is derived
-        # from the (persistent) provenance marks on every recovery.
-        self.last_leader_index = self.log.last_with_provenance(
-            InsertedBy.LEADER)
+        # from the (persistent) provenance marks on every recovery. A
+        # compacted prefix holds only committed -- hence decided -- entries,
+        # so the compaction point floors it.
+        self.last_leader_index = max(
+            self.log.last_with_provenance(InsertedBy.LEADER),
+            self.log.snapshot_index)
         # Timers: AppendEntries dispatch and the decision procedure run on
         # separate cadences (see TimingConfig / DESIGN.md calibration).
         self._heartbeat = PeriodicTimer(ctx.loop,
@@ -67,7 +70,7 @@ class FastRaftEngine(ProposalMixin, DecisionMixin, ReplicationMixin,
         self._recovery_votes: dict[str, tuple] = {}
         self._internal_seq = 0
         self._evicted = False
-        self._config_version_floor = self.log.max_config_version()
+        self._config_version_floor = self._max_known_config_version()
         # Proposals this site originated that have not committed yet.
         # When a commit reveals that one lost its slot to a concurrent
         # proposal, it is re-proposed immediately instead of waiting for
@@ -102,25 +105,32 @@ class FastRaftEngine(ProposalMixin, DecisionMixin, ReplicationMixin,
     # ------------------------------------------------------------------
     # Log insertion (single funnel, C-Raft's extension point)
     # ------------------------------------------------------------------
-    def _insert_into_log(self, index: int, entry: LogEntry) -> None:
+    def _insert_into_log(self, index: int, entry: LogEntry) -> bool:
+        """Insert with finality guards; returns whether the log changed.
+
+        Callers charge the durable-write counter per *batch* (one fsync
+        per message, matching classic Raft's accounting), so this method
+        only reports whether a touch is owed.
+
+        Finality guards: with the synchronous insert path these are
+        unreachable (handlers validate slots as they insert), but
+        C-Raft's insert gate defers the write behind a round of local
+        consensus, and the slot can change in the meantime:
+        (1) committed slots are immutable;
+        (2) a self-approved insert never displaces a leader-approved
+            entry (only the leader makes safe decisions, Section IV-B).
+        """
         previous = self.log.get(index)
-        # Finality guards. With the synchronous insert path these are
-        # unreachable (handlers validate slots as they insert), but
-        # C-Raft's insert gate defers the write behind a round of local
-        # consensus, and the slot can change in the meantime:
-        # (1) committed slots are immutable;
-        # (2) a self-approved insert never displaces a leader-approved
-        #     entry (only the leader makes safe decisions, Section IV-B).
         if index <= self.commit_index:
             self._trace("insert.stale_dropped", index=index,
                         entry_id=entry.entry_id)
-            return
+            return False
         if (previous is not None
                 and previous.inserted_by is InsertedBy.LEADER
                 and entry.inserted_by is InsertedBy.SELF):
             self._trace("insert.superseded_dropped", index=index,
                         entry_id=entry.entry_id)
-            return
+            return False
         self.log.insert(index, entry)
         if entry.inserted_by is InsertedBy.LEADER:
             self.last_leader_index = max(self.last_leader_index, index)
@@ -128,14 +138,23 @@ class FastRaftEngine(ProposalMixin, DecisionMixin, ReplicationMixin,
                 or (previous is not None
                     and previous.kind is EntryKind.CONFIG)):
             self._refresh_configuration()
+        return True
+
+    def _insert_batch(self, pairs: list[tuple[int, LogEntry]]) -> None:
+        """Insert ``pairs`` and charge one durable log write if any
+        landed (one fsync per message batch)."""
+        inserted = False
+        for index, entry in pairs:
+            inserted |= self._insert_into_log(index, entry)
+        if inserted:
+            self.ctx.store.touch("log")
 
     def _gate_insert(self, pairs: list[tuple[int, LogEntry]],
                      then: Callable[[], None]) -> None:
         """Insert ``pairs`` then run ``then``. Plain Fast Raft inserts
         immediately; the C-Raft global engine overrides this to interpose
         intra-cluster consensus (Section V-B)."""
-        for index, entry in pairs:
-            self._insert_into_log(index, entry)
+        self._insert_batch(pairs)
         then()
 
     # ------------------------------------------------------------------
@@ -176,6 +195,17 @@ class FastRaftEngine(ProposalMixin, DecisionMixin, ReplicationMixin,
         if self._stopped or entry.entry_id not in self._outstanding_proposals:
             return
         self.propose(entry)
+
+    def _after_snapshot_install(self, snapshot) -> None:
+        """The snapshot covers a committed -- hence decided -- prefix:
+        floor lastLeaderIndex there and drop votes it made stale."""
+        self.last_leader_index = max(self.last_leader_index,
+                                     snapshot.last_included_index)
+        self.possible_entries.drop_through(self.commit_index)
+        if self.name in self.configuration:
+            # Current-term replication from the leader supersedes any
+            # earlier eviction notice (same rule as AppendEntries).
+            self._evicted = False
 
     def _on_configuration_changed(self) -> None:
         if self.role is not Role.LEADER:

@@ -172,7 +172,7 @@ class MembershipMixin:
             origin=self.name, term=self.current_term,
             inserted_by=InsertedBy.LEADER)
         change["entry_id"] = entry.entry_id
-        self._insert_into_log(k, entry)
+        self._insert_batch([(k, entry)])
         self._trace("config.degraded_insert", index=k, site=change["site"],
                     members=new_config.members)
         # Do not block the queue on this entry's commit; remember it so
@@ -192,7 +192,7 @@ class MembershipMixin:
                 self._target_config("add", follower), pending)
 
     def _next_config_version(self) -> int:
-        version = max(self.log.max_config_version(),
+        version = max(self._max_known_config_version(),
                       self._config_version_floor) + 1
         self._config_version_floor = version
         return version

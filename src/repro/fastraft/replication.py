@@ -38,6 +38,11 @@ class ReplicationMixin:
 
     def _send_append_entries(self, target: str) -> None:
         next_index = self.next_index.get(target, self.last_leader_index + 1)
+        if next_index <= self.log.snapshot_index:
+            # The needed prefix is compacted away: ship the snapshot
+            # instead of replaying the log.
+            self._send_install_snapshot(target)
+            return
         prev_index = next_index - 1
         prev_term = self.log.term_at(prev_index) if prev_index > 0 else 0
         hi = min(self.last_leader_index,
@@ -53,13 +58,21 @@ class ReplicationMixin:
         """C-Raft's local level overrides this; plain Fast Raft sends 0."""
         return 0
 
+    def _note_follower_alive(self, follower: str) -> None:
+        self._beats_missed[follower] = 0
+
     def _handle_append_entries_response(self, msg: AppendEntriesResponse,
                                         sender: str) -> None:
         self._observe_term(msg.term)
         if self.role is not Role.LEADER or msg.term < self.current_term:
             return
         follower = msg.follower
-        self._beats_missed[follower] = 0
+        self._note_follower_alive(follower)
+        # A responding follower's needs are freshly known: a suppressed
+        # snapshot re-ship (if any) may go out immediately. (A stale
+        # reply racing an in-flight ship can cause one redundant bulk
+        # transfer; installs are idempotent, so this is accepted cost.)
+        self._snapshot_inflight.pop(follower, None)
         if msg.success:
             self.match_index[follower] = max(
                 self.match_index.get(follower, 0), msg.match_index)

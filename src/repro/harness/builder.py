@@ -16,6 +16,7 @@ from repro.sim.loop import SimLoop
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import TraceRecorder
 from repro.smr.client import Client
+from repro.snapshot import CompactionPolicy
 from repro.storage.stable import StorageFabric
 
 #: Default intra-region one-way latency: the paper reports sub-millisecond
@@ -131,6 +132,7 @@ def build_cluster(server_cls: type[ConsensusServer], n_sites: int = 5,
                   loss: LossModel | None = None,
                   trace_enabled: bool = True,
                   state_machine_factory: Callable[[], Any] | None = None,
+                  compaction: CompactionPolicy | None = None,
                   name_prefix: str = "n") -> Cluster:
     """Standard single-group cluster: ``n_sites`` voting members.
 
@@ -155,6 +157,7 @@ def build_cluster(server_cls: type[ConsensusServer], n_sites: int = 5,
             name=name, loop=loop, network=network,
             store=fabric.store_for(name), bootstrap_config=config,
             timing=timing, rng=rng, trace=trace,
-            state_machine_factory=state_machine_factory)
+            state_machine_factory=state_machine_factory,
+            compaction=compaction)
         cluster.add_server(server)
     return cluster

@@ -20,12 +20,15 @@ from repro.sim.trace import TraceRecorder
 
 def check_committed_prefix_agreement(engines: Iterable[BaseEngine]) -> None:
     """Safety (Definition 2.1): no two sites commit different entries at
-    the same index."""
+    the same index. Compacted prefixes hold no entries to compare, so the
+    check covers the retained overlap of each pair."""
     engines = list(engines)
     for i, a in enumerate(engines):
         for b in engines[i + 1:]:
             upto = min(a.commit_index, b.commit_index)
-            for index in range(1, upto + 1):
+            start = max(a.log.first_retained_index,
+                        b.log.first_retained_index)
+            for index in range(start, upto + 1):
                 entry_a, entry_b = a.log.get(index), b.log.get(index)
                 if entry_a is None or entry_b is None:
                     raise InvariantViolation(
@@ -76,23 +79,76 @@ def check_election_safety(trace: TraceRecorder) -> None:
 
 
 def check_applied_consistency(servers: Iterable[ConsensusServer]) -> None:
-    """Every site applies the same (index, entry) sequence -- one site's
-    applied log is a prefix of any longer one."""
-    applied = [[(i, e.entry_id) for i, e in s.applied_log]
-               for s in servers]
-    applied.sort(key=len)
-    for shorter, longer in zip(applied, applied[1:]):
-        if longer[:len(shorter)] != shorter:
+    """Every site applies entries in strictly increasing index order, and
+    no two sites apply different entries at the same index. (Sites that
+    resumed from a snapshot start applying mid-stream, so sequences are
+    compared per index rather than as whole-list prefixes.)"""
+    owners: dict[int, tuple[str, str]] = {}
+    for server in servers:
+        name = getattr(server, "name", "<server>")
+        last = None
+        for index, entry in server.applied_log:
+            if last is None:
+                # Applies resume exactly one above the last snapshot
+                # *restore* (applied_floor), not whatever snapshot the
+                # node happens to hold at check time -- a later self-taken
+                # snapshot must not retroactively legitimize a skipped
+                # prefix. Absent on duck-typed fakes: anchor unchecked.
+                floor = getattr(server, "applied_floor", None)
+                if floor is not None and index != floor + 1:
+                    raise InvariantViolation(
+                        f"{name}: first applied index {index} but the "
+                        f"last snapshot restore covered through {floor} "
+                        f"(expected {floor + 1})")
+            if last is not None and index != last + 1:
+                raise InvariantViolation(
+                    f"{name}: applied index {index} after {last} "
+                    f"(applies must be contiguous)")
+            last = index
+            claimed = owners.get(index)
+            if claimed is None:
+                owners[index] = (entry.entry_id, name)
+            elif claimed[0] != entry.entry_id:
+                raise InvariantViolation(
+                    f"applied divergence at index {index}: "
+                    f"{claimed[1]} applied {claimed[0]!r}, "
+                    f"{name} applied {entry.entry_id!r}")
+
+
+def check_images_agree(points: Iterable[tuple[int, object, str]],
+                       what: str = "state machines") -> None:
+    """Generic agreement oracle: any two ``(point, image, name)`` tuples
+    sharing a point must hold equal images (deterministic machines at the
+    same apply point cannot legitimately differ)."""
+    by_point: dict[int, tuple[object, str]] = {}
+    for point, image, name in points:
+        seen = by_point.get(point)
+        if seen is None:
+            by_point[point] = (image, name)
+        elif seen[0] != image:
             raise InvariantViolation(
-                f"applied sequences diverge: {shorter[-3:]} vs "
-                f"{longer[:len(shorter)][-3:]}")
+                f"{what} diverge at apply point {point}: "
+                f"{seen[1]} vs {name}")
+
+
+def check_state_machine_agreement(servers: Iterable[ConsensusServer]) -> None:
+    """Sites whose machines cover the same commit point hold identical
+    state -- the end-to-end guard that snapshot install/restore introduces
+    no divergence (deterministic machines + per-index agreement imply it,
+    but this checks the composed artifact directly)."""
+    check_images_agree(
+        (server.engine.commit_index, server.state_machine.snapshot(),
+         server.name)
+        for server in servers if server.state_machine is not None)
 
 
 def check_leader_approved_prefix(engine: BaseEngine) -> None:
     """A Fast Raft *leader*'s log is contiguous leader-approved up to its
-    last leader-approved index (the decision procedure decides in order)."""
+    last leader-approved index (the decision procedure decides in order).
+    Compacted indices held committed -- hence decided -- entries, so the
+    check starts at the first retained index."""
     last_leader = engine.log.last_with_provenance(InsertedBy.LEADER)
-    for index in range(1, last_leader + 1):
+    for index in range(engine.log.first_retained_index, last_leader + 1):
         entry = engine.log.get(index)
         if entry is None or entry.inserted_by is not InsertedBy.LEADER:
             raise InvariantViolation(
@@ -117,5 +173,6 @@ def run_safety_checks(servers: Iterable[ConsensusServer],
     check_committed_prefix_agreement(engines)
     check_log_matching(engines)
     check_applied_consistency(servers)
+    check_state_machine_agreement(servers)
     if trace is not None:
         check_election_safety(trace)

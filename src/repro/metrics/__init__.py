@@ -10,12 +10,19 @@
 
 from repro.metrics.rounds import hops_from_latency
 from repro.metrics.series import EventSeries, ValueSeries
-from repro.metrics.summary import SummaryStats, summarize
+from repro.metrics.summary import (
+    SnapshotCounters,
+    SummaryStats,
+    summarize,
+    tally_snapshots,
+)
 
 __all__ = [
     "EventSeries",
+    "SnapshotCounters",
     "SummaryStats",
     "ValueSeries",
     "hops_from_latency",
     "summarize",
+    "tally_snapshots",
 ]

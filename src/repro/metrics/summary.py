@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Iterable
 
 
 @dataclass(frozen=True)
@@ -23,6 +24,34 @@ class SummaryStats:
         """Human-readable one-liner, e.g. ``'52.1 ms (median 51.3, n=100)'``."""
         return (f"{self.mean * scale:.1f}{unit} "
                 f"(median {self.median * scale:.1f}, n={self.count})")
+
+
+@dataclass(frozen=True)
+class SnapshotCounters:
+    """Aggregate snapshot/compaction activity across a set of engines
+    (every engine exposes the four counters; see BaseEngine)."""
+
+    taken: int = 0
+    installed: int = 0
+    shipped: int = 0
+    entries_compacted: int = 0
+
+    def format(self) -> str:
+        return (f"snapshots: {self.taken} taken, {self.shipped} shipped, "
+                f"{self.installed} installed, "
+                f"{self.entries_compacted} entries compacted")
+
+
+def tally_snapshots(engines: Iterable) -> SnapshotCounters:
+    """Sum the per-engine snapshot counters for a report."""
+    taken = installed = shipped = compacted = 0
+    for engine in engines:
+        taken += getattr(engine, "snapshots_taken", 0)
+        installed += getattr(engine, "snapshots_installed", 0)
+        shipped += getattr(engine, "snapshots_shipped", 0)
+        compacted += getattr(engine, "entries_compacted", 0)
+    return SnapshotCounters(taken=taken, installed=installed,
+                            shipped=shipped, entries_compacted=compacted)
 
 
 def percentile(sorted_values: list[float], fraction: float) -> float:
@@ -53,7 +82,9 @@ def summarize(values: list[float]) -> SummaryStats:
         raise ValueError("cannot summarize an empty sample")
     ordered = sorted(values)
     count = len(ordered)
-    mean = sum(ordered) / count
+    # Clamped like percentile(): floating-point summation can push the
+    # mean a ULP outside [min, max] (e.g. three identical values).
+    mean = min(max(sum(ordered) / count, ordered[0]), ordered[-1])
     if count > 1:
         variance = sum((v - mean) ** 2 for v in ordered) / (count - 1)
         stdev = math.sqrt(variance)

@@ -131,6 +131,7 @@ class ClassicRaftEngine(BaseEngine):
     def _append_as_leader(self, entry: LogEntry) -> int:
         stamped = entry.with_mark(self.current_term, InsertedBy.LEADER)
         index = self.log.append(stamped)
+        self.ctx.store.touch("log")
         if stamped.kind is EntryKind.CONFIG:
             self._refresh_configuration()
         if self.timing.eager_append:
@@ -166,6 +167,11 @@ class ClassicRaftEngine(BaseEngine):
 
     def _send_append_entries(self, target: str) -> None:
         next_index = self.next_index.get(target, self.log.last_index + 1)
+        if next_index <= self.log.snapshot_index:
+            # The entries this follower needs are compacted away: ship the
+            # snapshot instead of replaying the log.
+            self._send_install_snapshot(target)
+            return
         prev_index = next_index - 1
         prev_term = self.log.term_at(prev_index) if prev_index > 0 else 0
         hi = min(self.log.last_index,
@@ -182,6 +188,11 @@ class ClassicRaftEngine(BaseEngine):
         if self.role is not Role.LEADER or msg.term < self.current_term:
             return
         follower = msg.follower
+        # A responding follower's needs are freshly known: a suppressed
+        # snapshot re-ship (if any) may go out immediately. (A stale
+        # reply racing an in-flight ship can cause one redundant bulk
+        # transfer; installs are idempotent, so this is accepted cost.)
+        self._snapshot_inflight.pop(follower, None)
         if msg.success:
             self.match_index[follower] = max(
                 self.match_index.get(follower, 0), msg.match_index)
@@ -251,7 +262,10 @@ class ClassicRaftEngine(BaseEngine):
 
     def _absorb_entries(self, entries) -> None:
         truncated = False
+        inserted = False
         for index, entry in entries:
+            if index <= self.commit_index:
+                continue  # committed prefixes agree (and may be compacted)
             existing = self.log.get(index)
             if existing is not None and existing.term == entry.term:
                 continue  # log matching: same index+term => same entry
@@ -259,6 +273,9 @@ class ClassicRaftEngine(BaseEngine):
                 self.log.truncate_from(index)
                 truncated = True
             self.log.insert(index, entry)
+            inserted = True
+        if inserted or truncated:
+            self.ctx.store.touch("log")
         if entries:
             self._refresh_configuration()
 
@@ -334,7 +351,7 @@ class ClassicRaftEngine(BaseEngine):
 
     def _append_config_entry(self, new_config: Configuration,
                              change: dict[str, Any]) -> None:
-        version = self.log.max_config_version() + 1
+        version = self._max_known_config_version() + 1
         entry = self._make_internal_entry(
             EntryKind.CONFIG, ConfigPayload(members=new_config.members,
                                             version=version))

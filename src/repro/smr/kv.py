@@ -57,5 +57,8 @@ class KVStateMachine(StateMachine):
     def snapshot(self) -> Any:
         return dict(self._data)
 
+    def restore(self, state: Any) -> None:
+        self._data = dict(state)
+
     def __len__(self) -> int:
         return len(self._data)

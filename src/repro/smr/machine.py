@@ -21,6 +21,11 @@ class StateMachine:
         """A comparable representation of the full state (for checkers)."""
         raise NotImplementedError
 
+    def restore(self, state: Any) -> None:
+        """Replace the machine's state with a previously captured
+        :meth:`snapshot` image (log compaction / InstallSnapshot)."""
+        raise NotImplementedError
+
 
 class AppendOnlyLog(StateMachine):
     """Records every command in order -- the minimal observable machine,
@@ -35,6 +40,9 @@ class AppendOnlyLog(StateMachine):
 
     def snapshot(self) -> Any:
         return tuple(self.commands)
+
+    def restore(self, state: Any) -> None:
+        self.commands = list(state)
 
 
 class CounterMachine(StateMachine):
@@ -51,3 +59,6 @@ class CounterMachine(StateMachine):
 
     def snapshot(self) -> Any:
         return self.value
+
+    def restore(self, state: Any) -> None:
+        self.value = state

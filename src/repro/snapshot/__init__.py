@@ -1,0 +1,31 @@
+"""Snapshotting and log compaction.
+
+The paper's whole premise is consensus under dynamic membership, yet a
+recovering or newly joined site that can only catch up by replaying the
+replicated log from index 1 makes long churn scenarios quadratically
+expensive. This package adds the standard Raft-family remedy:
+
+- :class:`Snapshot` -- an immutable image of the state machine at a
+  commit point, plus the metadata (last included index/term, governing
+  configuration, exactly-once ids) a site needs to resume from it;
+- :class:`SnapshotStore` -- durable snapshot persistence on top of a
+  :class:`~repro.storage.stable.StableStore`;
+- :class:`CompactionPolicy` -- threshold- and interval-based triggers
+  deciding when a site snapshots and how much log tail it retains.
+
+The engines (:mod:`repro.consensus.engine` and subclasses) own the
+protocol side: taking snapshots after commit advancement and shipping an
+``InstallSnapshot`` message instead of log replay when a follower's
+needed prefix has been compacted away.
+"""
+
+from repro.snapshot.policy import CompactionPolicy
+from repro.snapshot.store import SnapshotStore
+from repro.snapshot.types import Snapshot, SnapshotImage
+
+__all__ = [
+    "CompactionPolicy",
+    "Snapshot",
+    "SnapshotImage",
+    "SnapshotStore",
+]

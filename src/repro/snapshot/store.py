@@ -1,0 +1,38 @@
+"""Durable snapshot persistence.
+
+One :class:`SnapshotStore` per engine, layered over the engine's
+:class:`~repro.storage.stable.StableStore`. Only the newest snapshot is
+kept -- a snapshot subsumes every older one -- and saves are monotonic in
+the last included index, so a stale InstallSnapshot can never regress a
+site's durable resume point.
+"""
+
+from __future__ import annotations
+
+from repro.snapshot.types import Snapshot
+from repro.storage.stable import StableStore
+
+
+class SnapshotStore:
+    """Holds the newest snapshot in stable storage."""
+
+    #: Stable-store key (one snapshot per engine store).
+    KEY = "snapshot"
+
+    def __init__(self, store: StableStore) -> None:
+        self._store = store
+
+    @property
+    def latest(self) -> Snapshot | None:
+        return self._store.get(self.KEY)
+
+    def save(self, snapshot: Snapshot) -> bool:
+        """Durably persist ``snapshot`` unless an equal-or-newer one is
+        already held; returns whether it was stored."""
+        current = self.latest
+        if (current is not None
+                and snapshot.last_included_index
+                <= current.last_included_index):
+            return False
+        self._store.set(self.KEY, snapshot)
+        return True

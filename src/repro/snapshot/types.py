@@ -1,0 +1,85 @@
+"""Snapshot value types.
+
+A :class:`Snapshot` is everything a site needs to resume operation at a
+commit point without holding the log prefix below it:
+
+- the state-machine image (whatever ``StateMachine.snapshot()`` returned
+  at capture time -- the machines' images are restorable via
+  ``StateMachine.restore``),
+- the last included index and its term (the log consistency anchor:
+  AppendEntries with ``prev_log_index`` at the snapshot point must still
+  be answerable),
+- the governing configuration at capture time (CONFIG entries below the
+  snapshot point are gone, so the membership they established must
+  travel with the image),
+- the applied entry ids (the SMR layer's exactly-once guard: a retried
+  request that committed both below and above the snapshot point must
+  still apply once).
+
+Snapshots are immutable and shared by reference across the simulation,
+like log entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """A durable image of replicated state at one commit point."""
+
+    last_included_index: int
+    last_included_term: int
+    machine_state: Any
+    #: Entry ids already applied to the machine (exactly-once dedup).
+    applied_ids: tuple[str, ...] = ()
+    #: Governing configuration at capture time (None: bootstrap applies).
+    config_members: tuple[str, ...] | None = None
+    config_version: int = 0
+    #: Simulation time of capture and the capturing site (diagnostics).
+    taken_at: float = 0.0
+    origin: str = ""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<Snapshot idx={self.last_included_index} "
+                f"term={self.last_included_term} origin={self.origin!r}>")
+
+
+@dataclass(frozen=True)
+class SnapshotImage:
+    """What the hosting server contributes to a snapshot: the machine
+    image plus the applied-id set (the engine adds the log/config
+    metadata itself)."""
+
+    machine_state: Any
+    applied_ids: tuple[str, ...] = ()
+
+
+def newest(a: Snapshot | None, b: Snapshot | None) -> Snapshot | None:
+    """The snapshot covering the higher commit point (None-tolerant)."""
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return a if a.last_included_index >= b.last_included_index else b
+
+
+def governing_config(snapshot: Snapshot | None, best_config_entry
+                     ) -> tuple[int, tuple[str, ...] | None]:
+    """Resolve ``(version, members)`` between a snapshot's carried
+    configuration and a log's best CONFIG entry (``(index, entry)`` or
+    None). The log wins ties: it is at least as fresh as the snapshot
+    that preceded it. ``members`` is None when neither source has a
+    configuration (the bootstrap config applies)."""
+    version: int = 0
+    members: tuple[str, ...] | None = None
+    if snapshot is not None and snapshot.config_members:
+        version, members = snapshot.config_version, snapshot.config_members
+    if best_config_entry is not None:
+        payload = best_config_entry[1].payload
+        best_version = getattr(payload, "version", 0)
+        if members is None or best_version >= version:
+            version, members = best_version, payload.members
+    return version, members

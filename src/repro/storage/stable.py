@@ -40,6 +40,17 @@ class StableStore:
         self._values[key] = value
         self._writes += 1
 
+    def touch(self, key: str) -> None:
+        """Record one durable write to a stored *mutable* object that was
+        modified in place. The reference model makes such mutations
+        durable automatically, but without this the write counter would
+        understate fsync cost: callers must touch the key at every
+        mutation site (e.g. the engines touch ``"log"`` on log writes)."""
+        if key not in self._values:
+            raise StorageError(
+                f"{self._owner}: cannot touch unwritten key {key!r}")
+        self._writes += 1
+
     def get(self, key: str, default: Any = None) -> Any:
         return self._values.get(key, default)
 

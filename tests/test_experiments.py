@@ -5,6 +5,7 @@ import pytest
 
 from repro.errors import ExperimentError
 from repro.experiments.base import ResultTable, cell_seed
+from repro.experiments.catchup import CatchupConfig, run_catchup
 from repro.experiments.fig3_latency import Fig3Config, run_fig3
 from repro.experiments.fig4_churn import Fig4Config, run_fig4
 from repro.experiments.fig5_throughput import Fig5Config, run_fig5
@@ -127,3 +128,23 @@ class TestFig5:
     def test_table(self, result):
         table = result.table()
         assert len(table.rows) == 2
+
+
+class TestCatchup:
+    """Snapshot catch-up beats full replay in every engine (the snapshot
+    subsystem's acceptance criterion, at quick scale)."""
+
+    @pytest.mark.parametrize("engine", ["raft", "fastraft", "craft"])
+    def test_snapshots_beat_full_replay(self, engine):
+        result = run_catchup(CatchupConfig.quick(engine))
+        # Enforces strictly fewer replayed entries and strictly faster
+        # catch-up with snapshots, plus >= 1 install.
+        result.check_shape()
+
+    def test_table_and_dict(self):
+        result = run_catchup(CatchupConfig.quick("fastraft"))
+        table = result.table()
+        assert len(table.rows) == 2
+        data = result.as_dict()
+        assert data["engine"] == "fastraft"
+        assert data["with_snapshots"]["installs"] >= 1

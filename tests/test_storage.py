@@ -46,6 +46,24 @@ class TestStableStore:
         store.wipe()
         assert "a" not in store
 
+    def test_touch_counts_in_place_mutation(self):
+        """In-place mutations of stored mutable objects must be charged
+        to the write counter via touch() so fsync-cost reports stay
+        honest."""
+        store = StableStore("n1")
+        log = [1]
+        store.set("log", log)
+        assert store.write_count == 1
+        log.append(2)          # durable by reference, but...
+        store.touch("log")     # ...the mutation site must declare it
+        assert store.write_count == 2
+        assert store.get("log") == [1, 2]
+
+    def test_touch_unwritten_key_raises(self):
+        store = StableStore("n1")
+        with pytest.raises(StorageError):
+            store.touch("log")
+
     def test_mutable_value_shared_by_reference(self):
         """The conservative durability model: in-place mutations of stored
         objects are immediately durable."""
