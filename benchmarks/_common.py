@@ -7,6 +7,9 @@ scientific output is the table, which is printed and persisted under
 
 Set ``REPRO_BENCH_FULL=1`` for the exact paper-scale configurations
 (longer); the default trims trial counts, not scenario structure.
+``REPRO_BENCH_SMOKE=1`` trims further still -- tiny run counts whose only
+job is keeping benchmark scripts from rotting in CI (the shape checks
+still run; the numbers are not meaningful).
 """
 
 from __future__ import annotations
@@ -20,6 +23,10 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 def full_scale() -> bool:
     return os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+
+def smoke_scale() -> bool:
+    return os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
 
 
 def emit(name: str, text: str, data=None) -> None:

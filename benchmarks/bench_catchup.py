@@ -1,21 +1,42 @@
 """Benchmark: rejoin-to-caught-up latency under churn, snapshots vs full
-log replay, for all three engines.
+log replay, for all three engines -- plus the WAN variant comparing
+monolithic and chunked InstallSnapshot under a bandwidth-limited link.
 
 The headline claim of the snapshot subsystem: a churned node catches back
 up via InstallSnapshot with strictly fewer replayed log entries and lower
 simulated catch-up time than full replay -- in classic Raft, Fast Raft,
 and C-Raft (where the rejoiner is a cluster member inheriting the global
 image through the composite local snapshot).
+
+The WAN variant activates the size-aware cost model
+(:class:`~repro.net.latency.BandwidthLatencyModel`): monolithic transfer
+latency grows linearly with snapshot size, while chunked transfer
+overlaps its chunks with the acks in flight and stays near-flat.
 """
 
-from benchmarks._common import emit, full_scale, once
-from repro.experiments.catchup import CatchupConfig, run_catchup
+from benchmarks._common import emit, full_scale, once, smoke_scale
+from repro.experiments.catchup import (
+    CatchupConfig,
+    WanCatchupConfig,
+    run_catchup,
+    run_wan_catchup,
+)
 
 
 def _config(engine: str) -> CatchupConfig:
     if full_scale():
         return CatchupConfig.paper(engine)
+    if smoke_scale():
+        return CatchupConfig.smoke(engine)
     return CatchupConfig.quick(engine)
+
+
+def _wan_config(engine: str) -> WanCatchupConfig:
+    if full_scale():
+        return WanCatchupConfig.paper(engine)
+    if smoke_scale():
+        return WanCatchupConfig.smoke(engine)
+    return WanCatchupConfig.quick(engine)
 
 
 def _run(benchmark, engine: str) -> None:
@@ -24,6 +45,15 @@ def _run(benchmark, engine: str) -> None:
          data=result.as_dict())
     # check_shape() enforces the acceptance contract: strictly fewer
     # replayed entries, strictly faster catch-up, >= 1 install.
+    result.check_shape()
+
+
+def _run_wan(benchmark, engine: str) -> None:
+    result = once(benchmark, lambda: run_wan_catchup(_wan_config(engine)))
+    emit(f"catchup_wan_{engine}", result.table().format(),
+         data=result.as_dict())
+    # Acceptance contract: monolithic catch-up grows with snapshot size;
+    # chunked beats monolithic at every size; every run installs.
     result.check_shape()
 
 
@@ -37,3 +67,11 @@ def test_catchup_fastraft(benchmark):
 
 def test_catchup_craft(benchmark):
     _run(benchmark, "craft")
+
+
+def test_catchup_wan_raft(benchmark):
+    _run_wan(benchmark, "raft")
+
+
+def test_catchup_wan_fastraft(benchmark):
+    _run_wan(benchmark, "fastraft")

@@ -1,9 +1,14 @@
-"""Membership configurations.
+"""Membership configurations and bulk-transfer tuning.
 
-A configuration is the set of voting members plus derived quorum sizes.
-Per the paper, each site obeys the configuration from the **last inserted**
-CONFIG entry in its log (insertion, not commit, is what activates it), and
-only one site may join or leave per configuration change.
+A :class:`Configuration` is the set of voting members plus derived quorum
+sizes. Per the paper, each site obeys the configuration from the **last
+inserted** CONFIG entry in its log (insertion, not commit, is what
+activates it), and only one site may join or leave per configuration
+change.
+
+:class:`TransferConfig` tunes how engines ship bulk state (snapshots):
+monolithic single-message InstallSnapshot, or Raft's chunked
+``offset``/``done`` transfer with a bounded window of chunks in flight.
 """
 
 from __future__ import annotations
@@ -12,6 +17,44 @@ from dataclasses import dataclass, field
 
 from repro.consensus.quorum import classic_quorum_size, fast_quorum_size
 from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TransferConfig:
+    """How an engine ships snapshots to lagging followers.
+
+    With ``chunk_size`` unset the whole image travels as one
+    ``InstallSnapshotRequest`` -- fine under a size-blind latency model,
+    but one giant serialization charge under a
+    :class:`~repro.net.latency.BandwidthLatencyModel`, and a transfer
+    that restarts from zero on any loss. With ``chunk_size`` set the
+    image is split into byte chunks, up to ``chunk_window`` of which are
+    in flight (unacked) at once, so chunk serialization overlaps the
+    acks crossing the wire and loss costs one chunk, not the image.
+    """
+
+    #: Chunk payload bytes; None ships the snapshot as one message.
+    chunk_size: int | None = None
+    #: Max unacked chunks in flight per follower (pipelining depth).
+    chunk_window: int = 4
+    #: Seconds without transfer progress before the leader resends
+    #: unacked chunks; None falls back to the engine's proposal timeout.
+    retry_timeout: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ConfigurationError(
+                f"chunk_size must be >= 1: {self.chunk_size!r}")
+        if self.chunk_window < 1:
+            raise ConfigurationError(
+                f"chunk_window must be >= 1: {self.chunk_window!r}")
+        if self.retry_timeout is not None and self.retry_timeout <= 0:
+            raise ConfigurationError(
+                f"retry_timeout must be positive: {self.retry_timeout!r}")
+
+    @property
+    def chunked(self) -> bool:
+        return self.chunk_size is not None
 
 
 @dataclass(frozen=True)

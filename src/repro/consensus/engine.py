@@ -20,7 +20,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-from repro.consensus.config import Configuration
+from repro.consensus.config import Configuration, TransferConfig
 from repro.consensus.entry import LogEntry
 from repro.consensus.log import RaftLog
 from repro.consensus.messages import (
@@ -28,6 +28,8 @@ from repro.consensus.messages import (
     AppendEntriesResponse,
     ClientRequest,
     CommitNotice,
+    InstallSnapshotChunk,
+    InstallSnapshotChunkAck,
     InstallSnapshotRequest,
     InstallSnapshotResponse,
     JoinAccepted,
@@ -43,10 +45,17 @@ from repro.consensus.messages import (
 )
 from repro.consensus.timing import TimingConfig
 from repro.errors import ConsensusError
+from repro.net.sizes import estimate_size
 from repro.sim.loop import SimLoop
 from repro.sim.timers import RestartableTimer, randomized_timeout
 from repro.sim.trace import TraceRecorder
 from repro.snapshot import CompactionPolicy, Snapshot, SnapshotImage, SnapshotStore
+from repro.snapshot.chunking import (
+    ChunkAssembler,
+    SnapshotSender,
+    deserialize_snapshot,
+    serialize_snapshot,
+)
 from repro.snapshot.types import governing_config
 from repro.storage.stable import StableStore
 
@@ -91,13 +100,16 @@ class EngineContext:
     on_snapshot_restore: Callable[[Snapshot], None] = lambda snapshot: None
     #: When to compact; None disables compaction.
     compaction: CompactionPolicy | None = None
+    #: How snapshots travel (monolithic vs chunked; see TransferConfig).
+    transfer: TransferConfig = field(default_factory=TransferConfig)
 
 
 #: Message types consensus-gated on sender membership.
 _GATED_TYPES = (AppendEntries, AppendEntriesResponse, RequestVote,
                 RequestVoteResponse, VoteEntry, ProposeEntry,
                 ProposeToLeader, InstallSnapshotRequest,
-                InstallSnapshotResponse)
+                InstallSnapshotResponse, InstallSnapshotChunk,
+                InstallSnapshotChunkAck)
 
 
 class BaseEngine:
@@ -124,15 +136,22 @@ class BaseEngine:
         # --- snapshots / compaction ---
         self.snapshot_store = SnapshotStore(store)
         self.compaction = ctx.compaction
+        self.transfer = ctx.transfer
         self._last_snapshot_time = float("-inf")
         self.snapshots_taken = 0
         self.snapshots_installed = 0
         self.snapshots_shipped = 0
+        self.snapshot_chunks_sent = 0
         self.entries_compacted = 0
         # target -> (snapshot index, send time): a snapshot is a bulk
         # transfer, so unlike AppendEntries it is not re-sent every
         # heartbeat while unanswered.
         self._snapshot_inflight: dict[str, tuple[int, float]] = {}
+        # Chunked-mode leader state: target -> in-progress transfer.
+        self._chunk_senders: dict[str, SnapshotSender] = {}
+        # Chunked-mode follower state: at most one reassembly buffer (a
+        # newer snapshot or a term change discards a partial transfer).
+        self._chunk_assembler: ChunkAssembler | None = None
         # Receiver side: index of an install still working through an
         # asynchronous gate (C-Raft replicates the image via local
         # consensus first); duplicate requests it covers are dropped.
@@ -261,6 +280,8 @@ class BaseEngine:
             NotInConfiguration: self._handle_not_in_configuration,
             InstallSnapshotRequest: self._handle_install_snapshot,
             InstallSnapshotResponse: self._handle_install_snapshot_response,
+            InstallSnapshotChunk: self._handle_install_snapshot_chunk,
+            InstallSnapshotChunkAck: self._handle_install_snapshot_chunk_ack,
         }
 
     def handle(self, message: Any, sender: str) -> None:
@@ -287,7 +308,8 @@ class BaseEngine:
         # catch-up AppendEntries/InstallSnapshot from anyone: its own
         # configuration view is stale by definition, and stale *leaders*
         # are rejected by the term check inside the handler.
-        if (isinstance(message, (AppendEntries, InstallSnapshotRequest))
+        if (isinstance(message, (AppendEntries, InstallSnapshotRequest,
+                                 InstallSnapshotChunk))
                 and not self.is_member):
             return True
         return False
@@ -313,6 +335,9 @@ class BaseEngine:
             self.current_term = term
             self.voted_for = None
             self._persist_term_vote()
+            # A partial chunked transfer is tied to its shipping leader's
+            # term; the new term's leader restarts from scratch.
+            self._discard_partial_transfer("term_change")
             self._become_follower(leader_hint)
 
     # ------------------------------------------------------------------
@@ -324,6 +349,8 @@ class BaseEngine:
         if leader_hint is not None:
             self.leader_id = leader_hint
         self._votes_received.clear()
+        self._chunk_senders.clear()  # outbound transfers are leader state
+        self._snapshot_inflight.clear()
         self._stop_role_timers()
         if previous is not Role.FOLLOWER:
             self._trace("role.follower", term=self.current_term)
@@ -499,7 +526,8 @@ class BaseEngine:
         compact_upto = self.commit_index - retain
         if compact_upto > self.log.snapshot_index:
             self.entries_compacted += self.log.compact_to(compact_upto)
-            self.ctx.store.touch("log")
+            # Compaction rewrites the log file: charge the retained tail.
+            self.ctx.store.touch("log", size=self._retained_log_size())
         self.snapshots_taken += 1
         self._last_snapshot_time = self.now()
         self._trace("snapshot.taken", index=snapshot.last_included_index,
@@ -507,26 +535,31 @@ class BaseEngine:
                     compacted_to=self.log.snapshot_index)
         return snapshot
 
+    def _retained_log_size(self) -> int:
+        """Payload size of every retained entry (the bytes a log rewrite
+        after compaction actually puts on disk). The log holds at most
+        about one compaction threshold of entries here, so the walk is
+        cheap and happens only at compaction/install sites."""
+        return sum(estimate_size(entry) for _, entry in self.log)
+
     def _send_install_snapshot(self, target: str) -> None:
         """Ship the newest snapshot to a follower whose needed prefix was
         compacted away (leader side; replaces AppendEntries)."""
         snapshot = self.snapshot_store.latest
         if snapshot is None:
             return  # compacted log without a snapshot cannot happen
+        if self.transfer.chunked:
+            self._send_snapshot_chunks(target, snapshot)
+            return
         inflight = self._snapshot_inflight.get(target)
         if (inflight is not None
                 and inflight[0] == snapshot.last_included_index
                 and self.now() - inflight[1] < self.timing.proposal_timeout):
             # Give the in-flight bulk transfer a chance to be acked; probe
-            # with an empty AppendEntries anchored at the snapshot point
             # so a target that lost the transfer (crash, message loss)
             # answers and gets a prompt re-ship.
-            self._send(target, AppendEntries(
-                term=self.current_term, leader_id=self.name,
-                prev_log_index=snapshot.last_included_index,
-                prev_log_term=snapshot.last_included_term,
-                entries=(), leader_commit=self.commit_index,
-                global_commit=self._global_commit_piggyback()))
+            self._send_snapshot_probe(target, snapshot.last_included_index,
+                                      snapshot.last_included_term)
             return
         self._snapshot_inflight[target] = (snapshot.last_included_index,
                                            self.now())
@@ -536,9 +569,138 @@ class BaseEngine:
         self._send(target, InstallSnapshotRequest(
             term=self.current_term, leader_id=self.name, snapshot=snapshot))
 
+    def _send_snapshot_probe(self, target: str, snapshot_index: int,
+                             snapshot_term: int) -> None:
+        """An empty AppendEntries anchored at the snapshot point: a
+        follower that holds the snapshot answers success (resuming normal
+        replication), one that lost the transfer answers a failed match,
+        prompting an immediate re-ship/nudge. Shared by the monolithic
+        in-flight wait and the chunked stall detector."""
+        self._send(target, AppendEntries(
+            term=self.current_term, leader_id=self.name,
+            prev_log_index=snapshot_index, prev_log_term=snapshot_term,
+            entries=(), leader_commit=self.commit_index,
+            global_commit=self._global_commit_piggyback()))
+
     def _global_commit_piggyback(self) -> int:
         """C-Raft's local level overrides this (see ReplicationMixin)."""
         return 0
+
+    # ------------------------------------------------------------------
+    # Chunked snapshot transfer: leader side
+    # ------------------------------------------------------------------
+    def _send_snapshot_chunks(self, target: str, snapshot: Snapshot) -> None:
+        """Drive the chunked transfer of ``snapshot`` to ``target``.
+
+        Called from the heartbeat path (every beat while the follower's
+        nextIndex sits below the compaction point), so it doubles as the
+        stall detector: no new chunk goes out while the window is full,
+        and unacked chunks are resent after the retry timeout.
+        """
+        sender = self._chunk_senders.get(target)
+        if sender is not None and sender.snapshot_index != \
+                snapshot.last_included_index:
+            # Compaction advanced mid-transfer: the newer image
+            # supersedes the one in flight.
+            self._trace("snapshot.transfer_superseded", to=target,
+                        old=sender.snapshot_index,
+                        new=snapshot.last_included_index)
+            sender = None
+        if sender is None:
+            data = serialize_snapshot(snapshot)
+            sender = SnapshotSender(snapshot, data,
+                                    self.transfer.chunk_size, self.now())
+            self._chunk_senders[target] = sender
+            self.snapshots_shipped += 1
+            self._trace("snapshot.ship", to=target,
+                        index=snapshot.last_included_index,
+                        chunks=len(sender.chunks), bytes=len(data))
+            self._pump_chunks(target, sender)
+            return
+        retry = (self.transfer.retry_timeout
+                 if self.transfer.retry_timeout is not None
+                 else self.timing.proposal_timeout)
+        if self.now() - sender.last_activity < retry:
+            self._pump_chunks(target, sender)  # window may have opened
+            # A follower that lost its reassembly buffer (crash
+            # mid-transfer) fails the probe's match, which nudges the
+            # transfer awake instead of waiting out the retry timeout.
+            self._send_snapshot_probe(target, sender.snapshot_index,
+                                      sender.snapshot.last_included_term)
+            return
+        # Stalled: chunks or acks were lost -- or everything was acked
+        # but the install confirmation never came (the follower crashed
+        # and its reassembly buffer died with it); resend accordingly.
+        if sender.done:
+            sender.restart()
+            self._trace("snapshot.transfer_restart", to=target,
+                        index=sender.snapshot_index,
+                        restarts=sender.restarts)
+        else:
+            sender.requeue_unacked()
+        self._pump_chunks(target, sender)
+
+    def _pump_chunks(self, target: str, sender: SnapshotSender) -> None:
+        """Put chunks on the wire up to the configured window."""
+        sent_any = False
+        for offset, _, data, done in sender.take(self.transfer.chunk_window):
+            self._send(target, InstallSnapshotChunk(
+                term=self.current_term, leader_id=self.name,
+                last_included_index=sender.snapshot_index,
+                last_included_term=sender.snapshot.last_included_term,
+                offset=offset, data=data,
+                total_size=sender.total_size, done=done))
+            self.snapshot_chunks_sent += 1
+            sent_any = True
+        if sent_any:
+            sender.last_activity = self.now()
+
+    def _handle_install_snapshot_chunk_ack(self, msg: InstallSnapshotChunkAck,
+                                           sender: str) -> None:
+        self._observe_term(msg.term)
+        if self.role is not Role.LEADER or msg.term < self.current_term:
+            return
+        self._note_follower_alive(msg.follower)
+        transfer = self._chunk_senders.get(msg.follower)
+        if transfer is None or transfer.snapshot_index != \
+                msg.last_included_index:
+            return  # ack for a transfer that no longer exists
+        if not msg.success:
+            return  # stale-term reject; _observe_term handled any news
+        transfer.last_ack = self.now()
+        if transfer.ack(msg.offset):
+            transfer.last_activity = self.now()
+        self._pump_chunks(msg.follower, transfer)
+
+    def _nudge_chunk_transfer(self, follower: str) -> None:
+        """A failed AppendEntries response arrived from a follower with a
+        transfer in progress: if no ack has landed for a couple of beats,
+        the follower has evidently lost the transfer state (crash and
+        recovery wipes its reassembly buffer), so resend without waiting
+        for the retry timeout. Ack-healthy transfers ignore the nudge --
+        the probe AppendEntries fails by design until the install lands.
+        """
+        sender = self._chunk_senders.get(follower)
+        if sender is None:
+            return
+        # The grace period must outlast one transfer round trip, which
+        # the leader cannot measure; half the retry timeout (floored at
+        # two beats) covers every WAN route this repo models while still
+        # beating the full stall retry by 2x.
+        retry = (self.transfer.retry_timeout
+                 if self.transfer.retry_timeout is not None
+                 else self.timing.proposal_timeout)
+        grace = max(2 * self.timing.heartbeat_interval, retry / 2)
+        if self.now() - sender.last_ack < grace:
+            return
+        sender.last_ack = self.now()  # rate-limit repeated nudges
+        if sender.done:
+            sender.restart()
+        else:
+            sender.requeue_unacked()
+        self._trace("snapshot.transfer_nudged", to=follower,
+                    index=sender.snapshot_index)
+        self._pump_chunks(follower, sender)
 
     def _handle_install_snapshot(self, msg: InstallSnapshotRequest,
                                  sender: str) -> None:
@@ -557,6 +719,12 @@ class BaseEngine:
         else:
             self.leader_id = msg.leader_id
             self._arm_election_timer()
+        self._accept_snapshot(snapshot, sender)
+
+    def _accept_snapshot(self, snapshot: Snapshot, sender: str) -> None:
+        """Common tail of both transfer modes: a complete snapshot is in
+        hand; route it through the (possibly asynchronous) install gate
+        and confirm to the leader."""
         if snapshot.last_included_index <= self.commit_index:
             # Already past the snapshot point; just ack so the leader
             # advances nextIndex and resumes AppendEntries.
@@ -573,6 +741,80 @@ class BaseEngine:
         self._install_pending = snapshot.last_included_index
         self._gate_snapshot_install(
             snapshot, lambda: self._snapshot_install_done(sender, snapshot))
+
+    # ------------------------------------------------------------------
+    # Chunked snapshot transfer: follower side
+    # ------------------------------------------------------------------
+    def _discard_partial_transfer(self, reason: str) -> None:
+        """Drop the reassembly buffer: a partial image is useless, and
+        holding it across a term change or a newer snapshot would let a
+        stale transfer complete from mixed-generation chunks."""
+        assembler = self._chunk_assembler
+        if assembler is None:
+            return
+        self._chunk_assembler = None
+        self._trace("snapshot.transfer_discarded", reason=reason,
+                    index=assembler.last_included_index,
+                    received=assembler.received_bytes,
+                    total=assembler.total_size)
+
+    def _handle_install_snapshot_chunk(self, msg: InstallSnapshotChunk,
+                                       sender: str) -> None:
+        self._observe_term(msg.term, leader_hint=msg.leader_id)
+        if msg.term < self.current_term:
+            # A deposed leader's straggler; the reject carries our term.
+            self._send(sender, InstallSnapshotChunkAck(
+                term=self.current_term, follower=self.name,
+                last_included_index=msg.last_included_index,
+                offset=msg.offset, success=False))
+            return
+        # Like AppendEntries, a current-term chunk implies an elected
+        # leader: convert to follower / refresh the election timer.
+        if self.role is not Role.FOLLOWER:
+            self._become_follower(msg.leader_id)
+        else:
+            self.leader_id = msg.leader_id
+            self._arm_election_timer()
+        if msg.last_included_index <= self.commit_index:
+            # Already past this snapshot: full-confirm so the leader
+            # abandons the transfer and resumes AppendEntries.
+            self._send(sender, InstallSnapshotResponse(
+                term=self.current_term, follower=self.name,
+                last_included_index=msg.last_included_index, success=True))
+            return
+        if (self._install_pending is not None
+                and msg.last_included_index <= self._install_pending):
+            return  # an install covering this point is already mid-gate
+        assembler = self._chunk_assembler
+        if assembler is not None and (
+                assembler.last_included_index < msg.last_included_index
+                or assembler.leader_term < msg.term):
+            # A newer snapshot (or a fresh leader's transfer of the same
+            # one) supersedes the partial buffer.
+            self._discard_partial_transfer("superseded")
+            assembler = None
+        if (assembler is not None
+                and assembler.last_included_index > msg.last_included_index):
+            return  # straggler chunk of an older snapshot; let it die
+        if assembler is None:
+            assembler = ChunkAssembler(
+                last_included_index=msg.last_included_index,
+                last_included_term=msg.last_included_term,
+                leader_term=msg.term, total_size=msg.total_size)
+            self._chunk_assembler = assembler
+        assembler.add(msg.offset, msg.data)
+        self._send(sender, InstallSnapshotChunkAck(
+            term=self.current_term, follower=self.name,
+            last_included_index=msg.last_included_index,
+            offset=msg.offset, success=True))
+        if assembler.complete:
+            snapshot = deserialize_snapshot(assembler.assemble())
+            self._chunk_assembler = None
+            self._trace("snapshot.reassembled",
+                        index=snapshot.last_included_index,
+                        chunks=assembler.chunks_received,
+                        bytes=assembler.total_size)
+            self._accept_snapshot(snapshot, sender)
 
     def _gate_snapshot_install(self, snapshot: Snapshot,
                                then: Callable[[], None]) -> None:
@@ -598,7 +840,9 @@ class BaseEngine:
                     term=snapshot.last_included_term, origin=snapshot.origin)
         self.entries_compacted += self.log.install_snapshot(
             snapshot.last_included_index, snapshot.last_included_term)
-        self.ctx.store.touch("log")
+        # A log rewrite anchored at the new snapshot point: charge what
+        # survives (the snapshot itself is charged by its store save).
+        self.ctx.store.touch("log", size=self._retained_log_size())
         self.snapshot_store.save(snapshot)
         self.snapshots_installed += 1
         # commitIndex is volatile but never regresses: the snapshot covers
@@ -625,6 +869,13 @@ class BaseEngine:
             return
         follower = msg.follower
         self._snapshot_inflight.pop(follower, None)
+        transfer = self._chunk_senders.get(follower)
+        if (transfer is not None
+                and transfer.snapshot_index <= msg.last_included_index):
+            # This response covers (or supersedes) the in-progress
+            # transfer's snapshot point. A stale response for an *older*
+            # image must not abort a newer transfer mid-flight.
+            self._chunk_senders.pop(follower)
         self._note_follower_alive(follower)
         if not msg.success:
             return

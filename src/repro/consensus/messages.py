@@ -15,6 +15,8 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.consensus.entry import LogEntry
+from repro.net.sizes import HEADER_SIZE, SCALAR_SIZE, estimate_size
+from repro.net.sizes import payload_size as _payload_size
 
 IndexedEntries = tuple[tuple[int, LogEntry], ...]
 
@@ -97,6 +99,12 @@ class AppendEntries:
     #: local AppendEntries so cluster members learn global commits.
     global_commit: int = 0
 
+    def payload_size(self) -> int:
+        """Wire size: fixed header fields plus the carried entries (the
+        size-aware cost model charges replication batches by content)."""
+        return (HEADER_SIZE + 5 * SCALAR_SIZE + len(self.leader_id)
+                + estimate_size(self.entries))
+
 
 @dataclass(frozen=True)
 class AppendEntriesResponse:
@@ -114,11 +122,32 @@ class InstallSnapshotRequest:
     """Leader -> follower: the follower's needed log prefix has been
     compacted away, so the leader ships its snapshot instead of entries.
     ``snapshot`` is a :class:`repro.snapshot.Snapshot` (typed ``Any`` to
-    keep the message layer free of the storage layer)."""
+    keep the message layer free of the storage layer).
+
+    This is the *monolithic* transfer (``TransferConfig.chunk_size``
+    unset); with chunking enabled the image travels as a sequence of
+    :class:`InstallSnapshotChunk` messages instead."""
 
     term: int
     leader_id: str
     snapshot: Any
+
+    def payload_size(self) -> int:
+        """The whole serialized image in one charge -- the same image
+        bytes the chunked transfer ships in slices (which also pays
+        per-chunk headers and acks, so chunking's measured advantage
+        under a bandwidth-limited latency model is conservative).
+
+        Serializing the image is O(image) real work and the network asks
+        for the size on every send (including periodic re-ships), so the
+        result is memoized on this frozen message."""
+        cached = self.__dict__.get("_wire_size")
+        if cached is None:
+            from repro.snapshot.chunking import snapshot_wire_size
+            cached = (HEADER_SIZE + SCALAR_SIZE + len(self.leader_id)
+                      + snapshot_wire_size(self.snapshot))
+            object.__setattr__(self, "_wire_size", cached)
+        return cached
 
 
 @dataclass(frozen=True)
@@ -128,6 +157,44 @@ class InstallSnapshotResponse:
     #: The shipped snapshot's last included index (ack correlation).
     last_included_index: int
     success: bool
+
+
+@dataclass(frozen=True)
+class InstallSnapshotChunk:
+    """One slice of a chunked snapshot transfer (Raft's reference RPC:
+    ``offset`` positions the slice, ``done`` marks the final one).
+
+    ``last_included_index``/``last_included_term`` identify the snapshot
+    so the follower can tell a stale transfer's stragglers from the
+    current one; ``total_size`` lets it judge completeness without
+    trusting chunk arrival order (the fabric reorders freely)."""
+
+    term: int
+    leader_id: str
+    last_included_index: int
+    last_included_term: int
+    offset: int
+    data: bytes
+    total_size: int
+    done: bool
+
+    def payload_size(self) -> int:
+        return (HEADER_SIZE + 5 * SCALAR_SIZE + len(self.leader_id)
+                + len(self.data))
+
+
+@dataclass(frozen=True)
+class InstallSnapshotChunkAck:
+    """Follower -> leader: one chunk arrived (or was rejected as stale).
+    The leader's send window advances on each ack; the final full-image
+    acknowledgement is still :class:`InstallSnapshotResponse`, sent once
+    the reassembled snapshot is installed."""
+
+    term: int
+    follower: str
+    last_included_index: int
+    offset: int
+    success: bool = True
 
 
 # ----------------------------------------------------------------------
@@ -221,6 +288,12 @@ class Envelope:
     level: str
     scope: str
     inner: Any
+
+    def payload_size(self) -> int:
+        """Routing tag plus the wrapped message's own wire size (so a
+        global snapshot chunk costs the same enveloped or bare)."""
+        return (len(self.level) + len(self.scope) + SCALAR_SIZE
+                + _payload_size(self.inner))
 
 
 #: Message types a non-member may send without being ignored.

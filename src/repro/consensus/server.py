@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
-from repro.consensus.config import Configuration
+from repro.consensus.config import Configuration, TransferConfig
 from repro.consensus.engine import BaseEngine, EngineContext
 from repro.consensus.entry import EntryKind, LogEntry
 from repro.consensus.messages import ClientReply, ClientRequest
@@ -35,7 +35,8 @@ class ConsensusServer(Actor):
                  timing: TimingConfig, rng: RngRegistry,
                  trace: TraceRecorder,
                  state_machine_factory: Callable[[], Any] | None = None,
-                 compaction: CompactionPolicy | None = None
+                 compaction: CompactionPolicy | None = None,
+                 transfer: TransferConfig | None = None
                  ) -> None:
         super().__init__(loop, name)
         self._network = network
@@ -46,6 +47,7 @@ class ConsensusServer(Actor):
         self._trace = trace
         self._sm_factory = state_machine_factory
         self._compaction = compaction
+        self._transfer = transfer if transfer is not None else TransferConfig()
         self.state_machine = state_machine_factory() if state_machine_factory else None
         # request_id -> client address; replies are exactly-once per id.
         self._clients: dict[str, str] = {}
@@ -69,7 +71,7 @@ class ConsensusServer(Actor):
             on_apply=self._on_apply, on_origin_commit=self._on_origin_commit,
             capture_snapshot=self._capture_snapshot,
             on_snapshot_restore=self._restore_snapshot,
-            compaction=self._compaction)
+            compaction=self._compaction, transfer=self._transfer)
         return type(self).engine_cls(ctx, self._bootstrap_config)
 
     def _send(self, dst: str, message: Any) -> None:

@@ -4,13 +4,13 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
-from repro.consensus.config import Configuration
+from repro.consensus.config import Configuration, TransferConfig
 from repro.consensus.engine import Role
 from repro.consensus.timing import TimingConfig
 from repro.craft.batching import BatchPolicy
 from repro.craft.server import CRaftServer
 from repro.errors import ExperimentError
-from repro.net.latency import LatencyModel
+from repro.net.latency import BandwidthLatencyModel, LatencyModel
 from repro.net.loss import LossModel, NoLoss
 from repro.net.network import Network
 from repro.net.topology import Topology
@@ -155,11 +155,20 @@ def build_craft_deployment(
         state_machine_factory: Callable[[], Any] | None = None,
         local_compaction: CompactionPolicy | None = None,
         global_compaction: CompactionPolicy | None = None,
+        transfer: TransferConfig | None = None,
+        bandwidth: float | None = None,
         global_seed_site: str | None = None) -> CRaftDeployment:
-    """Build (without starting) a C-Raft deployment over ``topology``."""
+    """Build (without starting) a C-Raft deployment over ``topology``.
+
+    ``bandwidth`` (simulated bytes/second) wraps ``latency`` in a
+    :class:`BandwidthLatencyModel`; ``transfer`` tunes snapshot shipping
+    at both consensus levels (monolithic vs chunked).
+    """
     loop = SimLoop()
     rng = RngRegistry(seed)
     trace = TraceRecorder(enabled=trace_enabled)
+    if bandwidth is not None:
+        latency = BandwidthLatencyModel(latency, bandwidth)
     network = Network(loop, rng, latency,
                       loss if loss is not None else NoLoss(), trace)
     fabric = StorageFabric()
@@ -182,6 +191,7 @@ def build_craft_deployment(
                 batch_policy=batch_policy,
                 state_machine_factory=state_machine_factory,
                 local_compaction=local_compaction,
-                global_compaction=global_compaction)
+                global_compaction=global_compaction,
+                transfer=transfer)
             deployment.add_server(server)
     return deployment

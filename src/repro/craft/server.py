@@ -31,7 +31,7 @@ from __future__ import annotations
 import itertools
 from typing import Any, Callable
 
-from repro.consensus.config import Configuration
+from repro.consensus.config import Configuration, TransferConfig
 from repro.consensus.engine import EngineContext, Role
 from repro.consensus.entry import (
     EntryKind,
@@ -73,7 +73,8 @@ class CRaftServer(Actor):
                  batch_policy: BatchPolicy | None = None,
                  state_machine_factory: Callable[[], Any] | None = None,
                  local_compaction: CompactionPolicy | None = None,
-                 global_compaction: CompactionPolicy | None = None
+                 global_compaction: CompactionPolicy | None = None,
+                 transfer: TransferConfig | None = None
                  ) -> None:
         super().__init__(loop, name)
         self.cluster = cluster
@@ -89,6 +90,7 @@ class CRaftServer(Actor):
         self._sm_factory = state_machine_factory
         self._local_compaction = local_compaction
         self._global_compaction = global_compaction
+        self._transfer = transfer if transfer is not None else TransferConfig()
         self._seq = itertools.count(1)
         self._reset_volatile()
         self.local_engine = self._build_local_engine()
@@ -148,7 +150,7 @@ class CRaftServer(Actor):
             on_role_change=self._on_local_role_change,
             capture_snapshot=self._capture_local_snapshot,
             on_snapshot_restore=self._restore_local_snapshot,
-            compaction=self._local_compaction)
+            compaction=self._local_compaction, transfer=self._transfer)
         engine = CRaftLocalEngine(ctx, self._local_bootstrap)
         engine.global_commit_provider = lambda: self.global_commit
         engine.global_commit_sink = self._note_global_commit_hint
@@ -187,7 +189,7 @@ class CRaftServer(Actor):
             on_config_change=self._on_global_config_change,
             capture_snapshot=self._capture_global_snapshot,
             on_snapshot_restore=self._restore_global_snapshot,
-            compaction=self._global_compaction)
+            compaction=self._global_compaction, transfer=self._transfer)
         engine = CRaftGlobalEngine(
             ctx, Configuration((self.global_seed,)))
         engine.insert_gate = self._gate_through_local_consensus
@@ -510,9 +512,21 @@ class CRaftServer(Actor):
         view_tail = tuple((i, e) for i, e in self.global_view
                           if i > self.global_applied_index)
         self._prune_uncovered_data()
-        state = {"global": self._current_global_snapshot(),
+        global_image = self._current_global_snapshot()
+        state = {"global": global_image,
                  "view": view_tail,
                  "unbatched": tuple(self._uncovered_data)}
+        if global_image is not None:
+            # The composite image just captured the applied global prefix,
+            # so the materialized view below that point is now redundant:
+            # prune it here, not only on snapshot *adoption* -- a site
+            # that compacts locally but never restores would otherwise
+            # hold its full global history in memory forever.
+            self._global_snapshot_base = newest(self._global_snapshot_base,
+                                                global_image)
+            self.global_view.install_snapshot(
+                global_image.last_included_index,
+                global_image.last_included_term)
         return SnapshotImage(machine_state=state, applied_ids=())
 
     def _restore_local_snapshot(self, snapshot: Snapshot) -> None:

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.consensus.config import TransferConfig
 from repro.consensus.timing import TimingConfig
 from repro.errors import ExperimentError
 from repro.experiments.base import ResultTable, require
@@ -32,8 +33,9 @@ from repro.harness.checkers import (
 from repro.harness.faults import FaultInjector
 from repro.harness.workload import ClosedLoopWorkload
 from repro.metrics.summary import SnapshotCounters, tally_snapshots
-from repro.net.latency import RegionLatencyModel
+from repro.net.latency import ConstantLatency, RegionLatencyModel
 from repro.net.topology import Topology
+from repro.snapshot.chunking import snapshot_wire_size
 from repro.craft.batching import BatchPolicy
 from repro.craft.deployment import build_craft_deployment
 from repro.raft.server import RaftServer
@@ -64,6 +66,13 @@ class CatchupConfig:
     def quick(cls, engine: str) -> "CatchupConfig":
         commits = 100 if engine == "craft" else 120
         return cls(engine=engine, total_commits=commits)
+
+    @classmethod
+    def smoke(cls, engine: str) -> "CatchupConfig":
+        """CI-smoke scale: just enough commits for one compaction cycle
+        past the crash point (keeps the shape checks meaningful)."""
+        return cls(engine=engine, warmup_commits=10, total_commits=70,
+                   threshold=25, retain=4)
 
 
 @dataclass
@@ -258,6 +267,202 @@ def _run_craft(config: CatchupConfig, snapshots: bool) -> CatchupRun:
         installs=recovered.local_engine.snapshots_installed,
         counters=tally_snapshots(
             s.local_engine for s in deployment.servers.values()))
+
+
+# ----------------------------------------------------------------------
+# WAN variant: bandwidth-limited links, monolithic vs chunked transfer
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WanCatchupConfig:
+    """Rejoin over a constrained WAN link, with the size-aware cost model
+    active: every message is charged ``size / bandwidth`` serialization
+    delay, so a monolithic InstallSnapshot pays for the whole image in
+    one gulp while chunked transfer overlaps its chunks with the acks in
+    flight. Run at several snapshot sizes to expose the scaling."""
+
+    engine: str = "fastraft"
+    n_sites: int = 5
+    #: Commits before the recovery, per size point: more commits => more
+    #: distinct keys => a bigger state image to ship.
+    size_points: tuple[int, ...] = (80, 200)
+    warmup_commits: int = 8       # commits before the crash
+    value_bytes: int = 2048       # per-entry payload (scales the image)
+    threshold: int = 30           # compaction trigger (entries)
+    retain: int = 4
+    max_append_batch: int = 16
+    one_way_latency: float = 0.040   # an 80 ms RTT WAN link
+    bandwidth: float = 200_000.0     # simulated bytes/second
+    chunk_size: int = 16384
+    chunk_window: int = 8
+    seed: int = 7
+    timeout: float = 900.0
+
+    @classmethod
+    def paper(cls, engine: str) -> "WanCatchupConfig":
+        return cls(engine=engine)
+
+    @classmethod
+    def quick(cls, engine: str) -> "WanCatchupConfig":
+        return cls(engine=engine, size_points=(60, 150))
+
+    @classmethod
+    def smoke(cls, engine: str) -> "WanCatchupConfig":
+        """CI-smoke scale: tiny but still two sizes and both modes."""
+        return cls(engine=engine, size_points=(40, 100),
+                   value_bytes=1024, threshold=20,
+                   bandwidth=150_000.0, chunk_size=8192)
+
+
+@dataclass
+class WanRun:
+    """One (transfer mode, snapshot size) execution."""
+
+    mode: str                     # "monolithic" | "chunked"
+    total_commits: int
+    snapshot_bytes: int           # wire size of the shipped image
+    catchup_time: float           # recovery -> caught up (sim seconds)
+    installs: int
+    chunks_sent: int
+
+
+@dataclass
+class WanCatchupResult:
+    config: WanCatchupConfig
+    runs: list[WanRun]
+
+    def _by_mode(self, mode: str) -> list[WanRun]:
+        return sorted((r for r in self.runs if r.mode == mode),
+                      key=lambda r: r.snapshot_bytes)
+
+    def table(self) -> ResultTable:
+        table = ResultTable(
+            f"WAN rejoin: monolithic vs chunked InstallSnapshot -- "
+            f"{self.config.engine}",
+            ["mode", "commits", "image (KB)", "chunks", "catchup (ms)"])
+        for run in sorted(self.runs,
+                          key=lambda r: (r.mode, r.snapshot_bytes)):
+            table.add_row(run.mode, run.total_commits,
+                          run.snapshot_bytes / 1024, run.chunks_sent,
+                          run.catchup_time * 1000)
+        table.add_note(
+            f"one-way latency {self.config.one_way_latency * 1000:.0f} ms, "
+            f"bandwidth {self.config.bandwidth / 1000:.0f} KB/s, "
+            f"chunk {self.config.chunk_size} B x window "
+            f"{self.config.chunk_window}")
+        return table
+
+    def check_shape(self) -> None:
+        mono = self._by_mode("monolithic")
+        chunked = self._by_mode("chunked")
+        require(all(r.installs >= 1 for r in self.runs),
+                "every WAN rejoin must catch up via InstallSnapshot")
+        require(all(r.chunks_sent == 0 for r in mono),
+                "monolithic runs must not send chunks")
+        require(all(r.chunks_sent > 1 for r in chunked),
+                "chunked runs must actually split the transfer")
+        for small, big in zip(mono, mono[1:]):
+            require(big.catchup_time > small.catchup_time,
+                    f"monolithic catch-up must grow with snapshot size "
+                    f"({small.catchup_time * 1000:.0f} ms @ "
+                    f"{small.snapshot_bytes} B vs "
+                    f"{big.catchup_time * 1000:.0f} ms @ "
+                    f"{big.snapshot_bytes} B)")
+        for m, c in zip(mono, chunked):
+            require(c.catchup_time < m.catchup_time,
+                    f"chunked transfer must beat monolithic on a "
+                    f"constrained link ({c.catchup_time * 1000:.0f} ms vs "
+                    f"{m.catchup_time * 1000:.0f} ms at "
+                    f"{m.snapshot_bytes} B)")
+
+    def as_dict(self) -> dict:
+        return {"engine": self.config.engine,
+                "bandwidth": self.config.bandwidth,
+                "one_way_latency": self.config.one_way_latency,
+                "chunk_size": self.config.chunk_size,
+                "chunk_window": self.config.chunk_window,
+                "runs": [{"mode": r.mode, "commits": r.total_commits,
+                          "snapshot_bytes": r.snapshot_bytes,
+                          "catchup_ms": r.catchup_time * 1000,
+                          "installs": r.installs,
+                          "chunks_sent": r.chunks_sent}
+                         for r in self.runs]}
+
+
+def run_wan_catchup(config: WanCatchupConfig) -> WanCatchupResult:
+    """Every size point in both transfer modes, same seed and scenario."""
+    if config.engine not in ("raft", "fastraft"):
+        raise ExperimentError(
+            f"WAN variant runs the flat engines, not {config.engine!r}")
+    runs = []
+    for total_commits in config.size_points:
+        for chunked in (False, True):
+            runs.append(_run_wan_once(config, total_commits, chunked))
+    return WanCatchupResult(config=config, runs=runs)
+
+
+def _run_wan_once(config: WanCatchupConfig, total_commits: int,
+                  chunked: bool) -> WanRun:
+    server_cls = RaftServer if config.engine == "raft" else FastRaftServer
+    timing = TimingConfig(max_append_batch=config.max_append_batch)
+    transfer = (TransferConfig(chunk_size=config.chunk_size,
+                               chunk_window=config.chunk_window)
+                if chunked else TransferConfig())
+    cluster = build_cluster(
+        server_cls, n_sites=config.n_sites, seed=config.seed,
+        timing=timing, state_machine_factory=KVStateMachine,
+        latency=ConstantLatency(config.one_way_latency),
+        bandwidth=config.bandwidth,
+        compaction=CompactionPolicy(threshold=config.threshold,
+                                    retain=config.retain),
+        transfer=transfer)
+    cluster.start_all()
+    leader_name = cluster.run_until_leader(timeout=30.0)
+    client = cluster.add_client(site=leader_name)
+    value = "x" * config.value_bytes
+    workload = ClosedLoopWorkload(
+        client, max_requests=total_commits,
+        command_factory=lambda seq: {"op": "put", "key": f"k{seq}",
+                                     "value": f"{value}{seq}"})
+    workload.start()
+    if not cluster.run_until(
+            lambda: workload.completed_count >= config.warmup_commits,
+            timeout=config.timeout):
+        raise ExperimentError("WAN warmup did not complete")
+    faults = FaultInjector(cluster)
+    victim = next(n for n in cluster.servers if n != leader_name)
+    faults.crash(victim)
+    # Also cut the link: otherwise the leader keeps re-shipping bulk
+    # transfers into the void, and whatever happens to be in flight at
+    # recovery time would contaminate the measured catch-up window.
+    cluster.network.disconnect(victim)
+    if not cluster.run_until(lambda: workload.done, timeout=config.timeout):
+        raise ExperimentError(
+            f"finished only {workload.completed_count}/{total_commits}")
+    leader_engine = cluster.servers[cluster.run_until_leader()].engine
+    target = leader_engine.commit_index
+    if leader_engine.log.snapshot_index <= config.warmup_commits:
+        raise ExperimentError("leader never compacted past the crash point")
+    snapshot_bytes = snapshot_wire_size(leader_engine.snapshot_store.latest)
+    cluster.network.reconnect(victim)
+    faults.recover(victim)
+    started = cluster.loop.now()
+    if not cluster.run_until(
+            lambda: cluster.servers[victim].engine.commit_index >= target,
+            timeout=config.timeout):
+        raise ExperimentError(
+            f"{victim} caught up only to "
+            f"{cluster.servers[victim].engine.commit_index}/{target}")
+    catchup_time = cluster.loop.now() - started
+    cluster.run_for(1.0)
+    run_safety_checks(cluster.servers.values(), cluster.trace)
+    recovered = cluster.servers[victim]
+    return WanRun(
+        mode="chunked" if chunked else "monolithic",
+        total_commits=total_commits, snapshot_bytes=snapshot_bytes,
+        catchup_time=catchup_time,
+        installs=recovered.engine.snapshots_installed,
+        chunks_sent=sum(s.engine.snapshot_chunks_sent
+                        for s in cluster.servers.values()))
 
 
 def _check_craft_consistency(deployment, topo, cluster_name: str) -> None:

@@ -19,6 +19,7 @@ from repro.consensus.config import Configuration
 from repro.consensus.engine import BaseEngine, EngineContext, Role
 from repro.consensus.entry import EntryKind, InsertedBy, LogEntry
 from repro.consensus.messages import ProposeEntry, VoteEntry
+from repro.net.sizes import estimate_size
 from repro.fastraft.decision import DecisionMixin
 from repro.fastraft.election import ElectionMixin
 from repro.fastraft.membership import MembershipMixin
@@ -142,12 +143,13 @@ class FastRaftEngine(ProposalMixin, DecisionMixin, ReplicationMixin,
 
     def _insert_batch(self, pairs: list[tuple[int, LogEntry]]) -> None:
         """Insert ``pairs`` and charge one durable log write if any
-        landed (one fsync per message batch)."""
-        inserted = False
+        landed (one fsync per message batch, weighted by what landed)."""
+        inserted_bytes = 0
         for index, entry in pairs:
-            inserted |= self._insert_into_log(index, entry)
-        if inserted:
-            self.ctx.store.touch("log")
+            if self._insert_into_log(index, entry):
+                inserted_bytes += estimate_size(entry)
+        if inserted_bytes:
+            self.ctx.store.touch("log", size=inserted_bytes)
 
     def _gate_insert(self, pairs: list[tuple[int, LogEntry]],
                      then: Callable[[], None]) -> None:

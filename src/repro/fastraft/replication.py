@@ -86,6 +86,7 @@ class ReplicationMixin:
                                           self.last_leader_index + 1)
             self.next_index[follower] = max(
                 1, min(current - 1, msg.last_log_index + 1))
+            self._nudge_chunk_transfer(follower)
 
     def _classic_track_commit(self) -> None:
         """Commit rule over matchIndex (identical to classic Raft but

@@ -4,12 +4,12 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
-from repro.consensus.config import Configuration
+from repro.consensus.config import Configuration, TransferConfig
 from repro.consensus.engine import Role
 from repro.consensus.server import ConsensusServer
 from repro.consensus.timing import TimingConfig
 from repro.errors import ExperimentError
-from repro.net.latency import LatencyModel, UniformLatency
+from repro.net.latency import BandwidthLatencyModel, LatencyModel, UniformLatency
 from repro.net.loss import LossModel, NoLoss
 from repro.net.network import Network
 from repro.sim.loop import SimLoop
@@ -133,8 +133,14 @@ def build_cluster(server_cls: type[ConsensusServer], n_sites: int = 5,
                   trace_enabled: bool = True,
                   state_machine_factory: Callable[[], Any] | None = None,
                   compaction: CompactionPolicy | None = None,
+                  transfer: TransferConfig | None = None,
+                  bandwidth: float | None = None,
                   name_prefix: str = "n") -> Cluster:
     """Standard single-group cluster: ``n_sites`` voting members.
+
+    ``bandwidth`` (simulated bytes/second) wraps the latency model in a
+    :class:`BandwidthLatencyModel` so message delays charge payload size;
+    ``transfer`` tunes how snapshots ship (monolithic vs chunked).
 
     The result is not started; call :meth:`Cluster.start_all` (tests often
     install faults first).
@@ -144,8 +150,10 @@ def build_cluster(server_cls: type[ConsensusServer], n_sites: int = 5,
     loop = SimLoop()
     rng = RngRegistry(seed)
     trace = TraceRecorder(enabled=trace_enabled)
-    network = Network(loop, rng,
-                      latency if latency is not None else DEFAULT_LATENCY,
+    latency = latency if latency is not None else DEFAULT_LATENCY
+    if bandwidth is not None:
+        latency = BandwidthLatencyModel(latency, bandwidth)
+    network = Network(loop, rng, latency,
                       loss if loss is not None else NoLoss(), trace)
     fabric = StorageFabric()
     timing = timing if timing is not None else TimingConfig()
@@ -158,6 +166,6 @@ def build_cluster(server_cls: type[ConsensusServer], n_sites: int = 5,
             store=fabric.store_for(name), bootstrap_config=config,
             timing=timing, rng=rng, trace=trace,
             state_machine_factory=state_machine_factory,
-            compaction=compaction)
+            compaction=compaction, transfer=transfer)
         cluster.add_server(server)
     return cluster

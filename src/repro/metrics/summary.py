@@ -35,23 +35,28 @@ class SnapshotCounters:
     installed: int = 0
     shipped: int = 0
     entries_compacted: int = 0
+    #: Chunk messages sent by leaders (0 under monolithic transfer).
+    chunks_sent: int = 0
 
     def format(self) -> str:
-        return (f"snapshots: {self.taken} taken, {self.shipped} shipped, "
-                f"{self.installed} installed, "
+        chunks = (f" ({self.chunks_sent} chunks)" if self.chunks_sent else "")
+        return (f"snapshots: {self.taken} taken, {self.shipped} shipped"
+                f"{chunks}, {self.installed} installed, "
                 f"{self.entries_compacted} entries compacted")
 
 
 def tally_snapshots(engines: Iterable) -> SnapshotCounters:
     """Sum the per-engine snapshot counters for a report."""
-    taken = installed = shipped = compacted = 0
+    taken = installed = shipped = compacted = chunks = 0
     for engine in engines:
         taken += getattr(engine, "snapshots_taken", 0)
         installed += getattr(engine, "snapshots_installed", 0)
         shipped += getattr(engine, "snapshots_shipped", 0)
         compacted += getattr(engine, "entries_compacted", 0)
+        chunks += getattr(engine, "snapshot_chunks_sent", 0)
     return SnapshotCounters(taken=taken, installed=installed,
-                            shipped=shipped, entries_compacted=compacted)
+                            shipped=shipped, entries_compacted=compacted,
+                            chunks_sent=chunks)
 
 
 def percentile(sorted_values: list[float], fraction: float) -> float:

@@ -12,6 +12,7 @@ asynchronous) messaging with configurable latency and loss.
 """
 
 from repro.net.latency import (
+    BandwidthLatencyModel,
     ConstantLatency,
     LatencyModel,
     RegionLatencyModel,
@@ -25,10 +26,12 @@ from repro.net.loss import (
     ScheduledLoss,
 )
 from repro.net.network import Network
+from repro.net.sizes import SizedMessage, estimate_size, payload_size
 from repro.net.stats import NetworkStats
 from repro.net.topology import Topology
 
 __all__ = [
+    "BandwidthLatencyModel",
     "BernoulliLoss",
     "ConstantLatency",
     "LatencyModel",
@@ -39,6 +42,9 @@ __all__ = [
     "PerLinkLoss",
     "RegionLatencyModel",
     "ScheduledLoss",
+    "SizedMessage",
     "Topology",
     "UniformLatency",
+    "estimate_size",
+    "payload_size",
 ]

@@ -15,8 +15,21 @@ from repro.errors import NetworkError
 class LatencyModel:
     """Samples the one-way delay for a message from ``src`` to ``dst``."""
 
+    #: When True the network computes each message's payload size and
+    #: calls :meth:`transfer_delay`; plain models skip that work.
+    size_aware = False
+
     def sample(self, rng: random.Random, src: str, dst: str) -> float:
         raise NotImplementedError
+
+    def transfer_delay(self, rng: random.Random, src: str, dst: str,
+                       size: int) -> float:
+        """One-way delay for a message of ``size`` simulated bytes.
+
+        The default ignores size (pure propagation delay); decorators
+        like :class:`BandwidthLatencyModel` add serialization cost.
+        """
+        return self.sample(rng, src, dst)
 
 
 class ConstantLatency(LatencyModel):
@@ -52,6 +65,47 @@ class UniformLatency(LatencyModel):
 
     def __repr__(self) -> str:
         return f"UniformLatency({self.low!r}, {self.high!r})"
+
+
+class BandwidthLatencyModel(LatencyModel):
+    """Decorator adding ``size / bandwidth`` serialization delay.
+
+    Wraps any :class:`LatencyModel`: the base model supplies propagation
+    delay, this adds the time the payload spends on the wire. This is
+    what makes a 10,000-entry InstallSnapshot slower than a heartbeat --
+    and what chunked snapshot transfer exists to hide (chunks overlap
+    their serialization with acks in flight; one monolithic image cannot).
+
+    ``bandwidth`` is in simulated bytes per second (one-way). Each
+    message is charged independently, i.e. the link is modeled as
+    uncongested: concurrent messages do not queue behind each other.
+    That under-charges a saturated link but keeps the model stateless
+    and the simulation deterministic per-message.
+    """
+
+    size_aware = True
+
+    def __init__(self, base: LatencyModel, bandwidth: float) -> None:
+        if bandwidth <= 0:
+            raise NetworkError(f"bandwidth must be positive: {bandwidth!r}")
+        self.base = base
+        self.bandwidth = bandwidth
+
+    def sample(self, rng: random.Random, src: str, dst: str) -> float:
+        return self.base.sample(rng, src, dst)
+
+    def serialization_delay(self, size: int) -> float:
+        """Wire time for ``size`` bytes (monotone non-decreasing)."""
+        return max(0, size) / self.bandwidth
+
+    def transfer_delay(self, rng: random.Random, src: str, dst: str,
+                       size: int) -> float:
+        return (self.base.transfer_delay(rng, src, dst, size)
+                + self.serialization_delay(size))
+
+    def __repr__(self) -> str:
+        return (f"BandwidthLatencyModel({self.base!r}, "
+                f"bandwidth={self.bandwidth!r})")
 
 
 class RegionLatencyModel(LatencyModel):

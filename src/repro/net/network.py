@@ -20,6 +20,7 @@ from typing import Any
 from repro.errors import NetworkError
 from repro.net.latency import LatencyModel
 from repro.net.loss import LossModel, NoLoss
+from repro.net.sizes import payload_size
 from repro.net.stats import NetworkStats
 from repro.sim.actor import Actor
 from repro.sim.loop import SimLoop
@@ -134,7 +135,8 @@ class Network:
             self.stats.record_sent(type_name)
             self._loop.call_soon(self._deliver_colocated, src, dst, message)
             return
-        self.stats.record_sent(type_name)
+        size = payload_size(message) if self._latency.size_aware else 0
+        self.stats.record_sent(type_name, size)
         if self._is_blocked(src, dst):
             self.stats.record_blocked()
             return
@@ -145,7 +147,11 @@ class Network:
                 self._trace.record(self._loop.now(), src, "net.drop",
                                    dst=dst, type=type_name)
             return
-        delay = self._latency.sample(self._latency_rng, src, dst)
+        if self._latency.size_aware:
+            delay = self._latency.transfer_delay(self._latency_rng,
+                                                 src, dst, size)
+        else:
+            delay = self._latency.sample(self._latency_rng, src, dst)
         self._loop.call_later(delay, self._deliver, src, dst, message)
 
     def broadcast(self, src: str, dsts: list[str], message: Any,

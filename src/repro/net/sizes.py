@@ -1,0 +1,78 @@
+"""Message payload sizing: the vocabulary of the size-aware cost model.
+
+The paper's latency model (and PR 1's) charged every message the same
+one-way delay, so a 10,000-entry snapshot "arrived" as fast as a
+heartbeat. Real links serialize bytes; to charge transfer cost the
+network needs a *size* for every message, in simulated bytes.
+
+Two sources, in priority order:
+
+- a message may implement the :class:`SizedMessage` protocol -- a
+  ``payload_size()`` method returning its wire size (AppendEntries sums
+  its entries, a snapshot chunk reports its slice length);
+- anything else is measured structurally by :func:`estimate_size`, a
+  deterministic recursive walk (strings/bytes by length, scalars at a
+  fixed width, containers and dataclasses by summed fields plus a small
+  framing overhead).
+
+The estimate is intentionally crude -- the simulation needs *relative*
+cost (a snapshot is thousands of times a heartbeat), not wire-accurate
+encodings.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Any, Protocol, runtime_checkable
+
+#: Fixed cost of a scalar field (ints, floats, bools, enum tags).
+SCALAR_SIZE = 8
+#: Framing overhead per container or dataclass (type tag + length).
+FRAME_SIZE = 16
+#: Per-message envelope overhead (addresses, type tag) added by callers
+#: that want a floor under tiny messages.
+HEADER_SIZE = 32
+
+
+@runtime_checkable
+class SizedMessage(Protocol):
+    """A message that knows its own wire size in simulated bytes."""
+
+    def payload_size(self) -> int:
+        ...  # pragma: no cover - protocol signature
+
+
+def estimate_size(obj: Any) -> int:
+    """Deterministic structural size of ``obj`` in simulated bytes."""
+    if obj is None:
+        return 0
+    if isinstance(obj, (bytes, bytearray)):
+        return len(obj)
+    if isinstance(obj, str):
+        return len(obj)
+    if isinstance(obj, bool):
+        return 1
+    if isinstance(obj, (int, float)):
+        return SCALAR_SIZE
+    if isinstance(obj, enum.Enum):
+        return SCALAR_SIZE
+    if isinstance(obj, dict):
+        return FRAME_SIZE + sum(estimate_size(k) + estimate_size(v)
+                                for k, v in obj.items())
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return FRAME_SIZE + sum(estimate_size(item) for item in obj)
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return FRAME_SIZE + sum(
+            estimate_size(getattr(obj, f.name))
+            for f in dataclasses.fields(obj))
+    # Opaque object: charge a frame so it is never free.
+    return FRAME_SIZE
+
+
+def payload_size(message: Any) -> int:
+    """Wire size of ``message``: its own claim if sized, else an estimate."""
+    size_fn = getattr(message, "payload_size", None)
+    if callable(size_fn):
+        return size_fn()
+    return HEADER_SIZE + estimate_size(message)

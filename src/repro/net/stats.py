@@ -21,12 +21,20 @@ class NetworkStats:
     dropped: int = 0
     blocked: int = 0
     dead_letter: int = 0
+    #: Simulated payload bytes sent (only charged when the latency model
+    #: is size-aware; 0 otherwise -- sizing every message would cost real
+    #: time for a number nothing consumes).
+    bytes_sent: int = 0
     by_type: Counter = field(default_factory=Counter)
+    bytes_by_type: Counter = field(default_factory=Counter)
     delivered_by_type: Counter = field(default_factory=Counter)
 
-    def record_sent(self, type_name: str) -> None:
+    def record_sent(self, type_name: str, size: int = 0) -> None:
         self.sent += 1
         self.by_type[type_name] += 1
+        if size:
+            self.bytes_sent += size
+            self.bytes_by_type[type_name] += size
 
     def record_delivered(self, type_name: str) -> None:
         self.delivered += 1
@@ -56,4 +64,5 @@ class NetworkStats:
             "dropped": self.dropped,
             "blocked": self.blocked,
             "dead_letter": self.dead_letter,
+            "bytes_sent": self.bytes_sent,
         }

@@ -31,6 +31,7 @@ from repro.consensus.messages import (
     RequestVote,
 )
 from repro.errors import ConsensusError, NotLeaderError
+from repro.net.sizes import estimate_size
 from repro.sim.timers import PeriodicTimer
 
 
@@ -131,7 +132,7 @@ class ClassicRaftEngine(BaseEngine):
     def _append_as_leader(self, entry: LogEntry) -> int:
         stamped = entry.with_mark(self.current_term, InsertedBy.LEADER)
         index = self.log.append(stamped)
-        self.ctx.store.touch("log")
+        self.ctx.store.touch("log", size=estimate_size(stamped))
         if stamped.kind is EntryKind.CONFIG:
             self._refresh_configuration()
         if self.timing.eager_append:
@@ -203,6 +204,7 @@ class ClassicRaftEngine(BaseEngine):
             current = self.next_index.get(follower, self.log.last_index + 1)
             self.next_index[follower] = max(
                 1, min(current - 1, msg.last_log_index + 1))
+            self._nudge_chunk_transfer(follower)
 
     def _leader_advance_commit(self) -> None:
         """Commit the highest index replicated on a classic quorum whose
@@ -262,7 +264,7 @@ class ClassicRaftEngine(BaseEngine):
 
     def _absorb_entries(self, entries) -> None:
         truncated = False
-        inserted = False
+        inserted_bytes = 0
         for index, entry in entries:
             if index <= self.commit_index:
                 continue  # committed prefixes agree (and may be compacted)
@@ -273,9 +275,9 @@ class ClassicRaftEngine(BaseEngine):
                 self.log.truncate_from(index)
                 truncated = True
             self.log.insert(index, entry)
-            inserted = True
-        if inserted or truncated:
-            self.ctx.store.touch("log")
+            inserted_bytes += estimate_size(entry)
+        if inserted_bytes or truncated:
+            self.ctx.store.touch("log", size=max(1, inserted_bytes))
         if entries:
             self._refresh_configuration()
 

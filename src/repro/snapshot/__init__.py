@@ -11,21 +11,39 @@ expensive. This package adds the standard Raft-family remedy:
 - :class:`SnapshotStore` -- durable snapshot persistence on top of a
   :class:`~repro.storage.stable.StableStore`;
 - :class:`CompactionPolicy` -- threshold- and interval-based triggers
-  deciding when a site snapshots and how much log tail it retains.
+  deciding when a site snapshots and how much log tail it retains;
+- :mod:`repro.snapshot.chunking` -- the chunked wire transfer (Raft's
+  ``offset``/``done`` RPC shape): leader-side windowed
+  :class:`SnapshotSender`, follower-side :class:`ChunkAssembler`.
 
 The engines (:mod:`repro.consensus.engine` and subclasses) own the
 protocol side: taking snapshots after commit advancement and shipping an
-``InstallSnapshot`` message instead of log replay when a follower's
-needed prefix has been compacted away.
+``InstallSnapshot`` message (monolithic or chunked, per
+:class:`~repro.consensus.config.TransferConfig`) instead of log replay
+when a follower's needed prefix has been compacted away.
 """
 
+from repro.snapshot.chunking import (
+    ChunkAssembler,
+    SnapshotSender,
+    chunk_offsets,
+    deserialize_snapshot,
+    serialize_snapshot,
+    snapshot_wire_size,
+)
 from repro.snapshot.policy import CompactionPolicy
 from repro.snapshot.store import SnapshotStore
 from repro.snapshot.types import Snapshot, SnapshotImage
 
 __all__ = [
+    "ChunkAssembler",
     "CompactionPolicy",
     "Snapshot",
     "SnapshotImage",
+    "SnapshotSender",
     "SnapshotStore",
+    "chunk_offsets",
+    "deserialize_snapshot",
+    "serialize_snapshot",
+    "snapshot_wire_size",
 ]

@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.errors import StorageError
+from repro.net.sizes import estimate_size
 
 
 class StableStore:
@@ -25,6 +26,7 @@ class StableStore:
         self._owner = owner
         self._values: dict[str, Any] = {}
         self._writes = 0
+        self._write_bytes = 0
 
     @property
     def owner(self) -> str:
@@ -35,21 +37,37 @@ class StableStore:
         """Total durable writes (a cheap proxy for fsync cost in reports)."""
         return self._writes
 
+    @property
+    def write_bytes(self) -> int:
+        """Payload-weighted durable writes: ``write_count`` treats a
+        multi-kilobyte snapshot save and an 8-byte term bump as one fsync
+        each, which understates snapshot overhead exactly where the
+        catch-up benchmarks care about it. Every write adds its payload
+        size (measured for :meth:`set`, caller-supplied for
+        :meth:`touch`) to this counter."""
+        return self._write_bytes
+
     def set(self, key: str, value: Any) -> None:
         """Durably store ``value`` under ``key``."""
         self._values[key] = value
         self._writes += 1
+        self._write_bytes += max(1, estimate_size(value))
 
-    def touch(self, key: str) -> None:
+    def touch(self, key: str, size: int = 1) -> None:
         """Record one durable write to a stored *mutable* object that was
         modified in place. The reference model makes such mutations
         durable automatically, but without this the write counter would
         understate fsync cost: callers must touch the key at every
-        mutation site (e.g. the engines touch ``"log"`` on log writes)."""
+        mutation site (e.g. the engines touch ``"log"`` on log writes).
+
+        ``size`` is the payload written in place (simulated bytes): a
+        replication batch passes its entries' size so appending 100
+        entries costs more than appending one."""
         if key not in self._values:
             raise StorageError(
                 f"{self._owner}: cannot touch unwritten key {key!r}")
         self._writes += 1
+        self._write_bytes += max(1, size)
 
     def get(self, key: str, default: Any = None) -> Any:
         return self._values.get(key, default)

@@ -194,3 +194,40 @@ class TestLocalLeaderFailover:
                         if eid.startswith(f"client.{follower_site}")) >= 10,
             timeout=180.0)
         check_election_safety(dep.trace)
+
+
+class TestTwoMemberGlobalDeadlock:
+    @pytest.mark.xfail(
+        strict=True,
+        reason="Pre-existing 2-member global-configuration deadlock (see "
+               "ROADMAP.md, 'Global-membership deadlock'): with exactly "
+               "two cluster leaders in the global configuration, a crashed "
+               "one cannot be excluded (quorum 2-of-2) and the "
+               "degraded-reconfig guard refuses to shrink, so the "
+               "successor's global join never completes. Flips to XPASS "
+               "when a fix (non-voting tiebreaker seed, or counting the "
+               "joining leader toward the exclusion quorum) lands.")
+    def test_successor_joins_global_after_leader_crash(self):
+        topo = Topology.even_clusters(6, ["east", "west"])
+        latency = RegionLatencyModel(dict(topo.node_regions),
+                                     {("east", "west"): 0.080},
+                                     intra_rtt=0.0008, jitter=0.1)
+        dep = build_craft_deployment(
+            topo, latency, seed=18, batch_policy=BatchPolicy(batch_size=5),
+            state_machine_factory=KVStateMachine)
+        dep.start_all()
+        leaders = dep.run_until_local_leaders(timeout=30.0)
+        dep.run_until_global_ready(timeout=60.0)
+        victim = leaders["east"]
+        dep.servers[victim].crash()
+        assert dep.run_until(
+            lambda: (dep.local_leader("east") is not None
+                     and dep.local_leader("east") != victim),
+            timeout=30.0)
+        successor = dep.local_leader("east")
+        # Deadlock: this join can only complete once the dead leader's
+        # exclusion commits, which needs both of the two global voters.
+        assert dep.run_until(
+            lambda: (dep.servers[successor].global_engine is not None
+                     and dep.servers[successor].global_engine.is_member),
+            timeout=60.0)

@@ -192,4 +192,4 @@ class TestStats:
         loop, net, actors = make_net()
         snap = net.stats.snapshot()
         assert set(snap) == {"sent", "delivered", "dropped", "blocked",
-                             "dead_letter"}
+                             "dead_letter", "bytes_sent"}

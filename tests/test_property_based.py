@@ -13,8 +13,16 @@ from repro.consensus.quorum import (
 )
 from repro.fastraft.votes import PossibleEntries
 from repro.metrics.summary import percentile, summarize
+from repro.net.latency import BandwidthLatencyModel, ConstantLatency
 from repro.sim.loop import SimLoop
 from repro.sim.rng import RngRegistry
+from repro.snapshot import Snapshot
+from repro.snapshot.chunking import (
+    ChunkAssembler,
+    chunk_offsets,
+    deserialize_snapshot,
+    serialize_snapshot,
+)
 
 
 def entry(entry_id: str) -> LogEntry:
@@ -151,6 +159,65 @@ class TestSummaryProperties:
         ordered = sorted(values)
         result = percentile(ordered, fraction)
         assert ordered[0] <= result <= ordered[-1]
+
+
+#: Arbitrary JSON-ish machine states for snapshot payload properties.
+machine_states = st.recursive(
+    st.none() | st.booleans() | st.integers() | st.text(max_size=20),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=8), children, max_size=4),
+    max_leaves=20)
+
+
+class TestChunkingProperties:
+    @given(machine_states, st.integers(min_value=1, max_value=4096))
+    @settings(deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_chunk_then_reassemble_is_identity(self, state, chunk_size):
+        """For any snapshot payload and chunk_size >= 1, splitting the
+        wire form into chunks and reassembling them (in any arrival
+        order -- reversed here, the worst case) reproduces the snapshot
+        exactly."""
+        snapshot = Snapshot(last_included_index=5, last_included_term=2,
+                            machine_state=state, origin="n0")
+        data = serialize_snapshot(snapshot)
+        pieces = chunk_offsets(len(data), chunk_size)
+        assert sum(length for _, length in pieces) == len(data)
+        assembler = ChunkAssembler(5, 2, 1, len(data))
+        for offset, length in reversed(pieces):
+            assembler.add(offset, data[offset:offset + length])
+        assert assembler.complete
+        assert deserialize_snapshot(assembler.assemble()) == snapshot
+
+    @given(st.integers(min_value=0, max_value=20_000),
+           st.integers(min_value=0, max_value=20_000),
+           st.integers(min_value=1, max_value=4096),
+           st.floats(min_value=1.0, max_value=1e9, allow_nan=False))
+    @settings(deadline=None, max_examples=60)
+    def test_charged_latency_monotone_in_payload_size(
+            self, size_a, size_b, chunk_size, bandwidth):
+        """Total charged transfer latency (every chunk's serialization
+        plus propagation) never decreases when the payload grows."""
+        model = BandwidthLatencyModel(ConstantLatency(0.01), bandwidth)
+        rng = RngRegistry(0).stream("x")
+
+        def total_charge(size: int) -> float:
+            return sum(
+                model.transfer_delay(rng, "a", "b", length)
+                for _, length in chunk_offsets(size, chunk_size))
+        small, big = sorted((size_a, size_b))
+        assert total_charge(small) <= total_charge(big)
+
+    @given(st.integers(min_value=0, max_value=20_000),
+           st.integers(min_value=1, max_value=4096))
+    @settings(deadline=None, max_examples=60)
+    def test_monolithic_and_chunked_charge_same_bytes(self, size,
+                                                      chunk_size):
+        """Chunking redistributes the payload, it never shrinks it."""
+        pieces = chunk_offsets(size, chunk_size)
+        assert sum(length for _, length in pieces) == size
+        offsets = [offset for offset, _ in pieces]
+        assert offsets == sorted(set(offsets))
 
 
 class TestSchedulerProperties:

@@ -447,6 +447,35 @@ class TestCraftCompaction:
               s.name) for s in deployment.servers.values()),
             what="global state machines")
 
+    def test_view_pruned_on_local_compaction_without_restore(self):
+        """ROADMAP follow-up: the materialized global view must be pruned
+        when a site *captures* a local snapshot, not only when it adopts
+        one -- a leader that never restores would otherwise keep its full
+        global history in memory for the life of the process."""
+        topo, deployment = self._deployment()
+        cluster_a = topo.clusters[0]
+        client = deployment.add_client(
+            site=deployment.local_leader(cluster_a))
+        workload = ClosedLoopWorkload(client, max_requests=50)
+        workload.start()
+        assert deployment.run_until(lambda: workload.done, timeout=120.0)
+        deployment.run_for(3.0)
+        compacted_without_restore = [
+            s for s in deployment.servers.values()
+            if s.local_engine.snapshots_taken >= 1
+            and s.local_engine.snapshots_installed == 0
+            and s.global_applied_index > 0]
+        assert compacted_without_restore, "scenario must exercise capture"
+        for server in compacted_without_restore:
+            assert server.global_view.snapshot_index > 0, (
+                f"{server.name} compacted locally but kept its full "
+                f"global view")
+        # Pruning must not break global apply: every site still agrees.
+        check_images_agree(
+            ((s.global_applied_index, s.global_state_machine.snapshot(),
+              s.name) for s in deployment.servers.values()),
+            what="global state machines")
+
     def test_global_snapshots_survive_without_compaction_regression(self):
         """Compaction disabled: the craft pipeline behaves as before."""
         topo, deployment = self._deployment(local_compaction=None)
