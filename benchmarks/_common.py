@@ -29,6 +29,16 @@ def smoke_scale() -> bool:
     return os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
 
 
+def bench_jobs() -> int:
+    """Worker processes for scenario sweeps (``REPRO_BENCH_JOBS``).
+
+    Defaults to 1 so the benchmarked wall time stays comparable across
+    machines; CI sets it to exercise the parallel runner. Results are
+    identical either way (the SweepRunner guarantee).
+    """
+    return int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+
+
 def emit(name: str, text: str, data=None) -> None:
     """Print a result table and persist it to benchmarks/results/.
 

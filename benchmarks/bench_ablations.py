@@ -1,6 +1,6 @@
 """Benchmarks: ablations over the reproduction's design knobs."""
 
-from benchmarks._common import emit, full_scale, once
+from benchmarks._common import bench_jobs, emit, full_scale, once
 from repro.experiments.ablations import (
     AblationConfig,
     run_batch_size_ablation,
@@ -16,7 +16,7 @@ def _config() -> AblationConfig:
 
 def test_ablation_decision_interval(benchmark):
     table = once(benchmark,
-                 lambda: run_decision_interval_ablation(_config()))
+                 lambda: run_decision_interval_ablation(_config(), jobs=bench_jobs()))
     emit("ablation_decision_interval", table.format(),
          data=table.as_dict())
     # Latency should track the decision cadence monotonically-ish:
@@ -25,7 +25,7 @@ def test_ablation_decision_interval(benchmark):
 
 
 def test_ablation_dispatch_policy(benchmark):
-    table = once(benchmark, lambda: run_dispatch_ablation(_config()))
+    table = once(benchmark, lambda: run_dispatch_ablation(_config(), jobs=bench_jobs()))
     emit("ablation_dispatch", table.format(), data=table.as_dict())
     classic_row = table.rows[0]
     # Eager dispatch removes the half-heartbeat queueing for classic Raft.
@@ -33,14 +33,14 @@ def test_ablation_dispatch_policy(benchmark):
 
 
 def test_ablation_proposer_contention(benchmark):
-    table = once(benchmark, lambda: run_proposer_ablation(_config()))
+    table = once(benchmark, lambda: run_proposer_ablation(_config(), jobs=bench_jobs()))
     emit("ablation_proposers", table.format(), data=table.as_dict())
     # More proposers => more index contention => never faster.
     assert table.rows[-1][1] >= table.rows[0][1] * 0.9
 
 
 def test_ablation_batch_size(benchmark):
-    table = once(benchmark, lambda: run_batch_size_ablation(_config()))
+    table = once(benchmark, lambda: run_batch_size_ablation(_config(), jobs=bench_jobs()))
     emit("ablation_batch_size", table.format(), data=table.as_dict())
     rates = {row[0]: row[1] for row in table.rows}
     # Batch size 1 pays one global round per entry; 10 amortizes it.

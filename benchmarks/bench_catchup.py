@@ -14,7 +14,13 @@ latency grows linearly with snapshot size, while chunked transfer
 overlaps its chunks with the acks in flight and stays near-flat.
 """
 
-from benchmarks._common import emit, full_scale, once, smoke_scale
+from benchmarks._common import (
+    bench_jobs,
+    emit,
+    full_scale,
+    once,
+    smoke_scale,
+)
 from repro.experiments.catchup import (
     CatchupConfig,
     WanCatchupConfig,
@@ -40,7 +46,7 @@ def _wan_config(engine: str) -> WanCatchupConfig:
 
 
 def _run(benchmark, engine: str) -> None:
-    result = once(benchmark, lambda: run_catchup(_config(engine)))
+    result = once(benchmark, lambda: run_catchup(_config(engine), jobs=bench_jobs()))
     emit(f"catchup_{engine}", result.table().format(),
          data=result.as_dict())
     # check_shape() enforces the acceptance contract: strictly fewer
@@ -49,7 +55,8 @@ def _run(benchmark, engine: str) -> None:
 
 
 def _run_wan(benchmark, engine: str) -> None:
-    result = once(benchmark, lambda: run_wan_catchup(_wan_config(engine)))
+    result = once(benchmark, lambda: run_wan_catchup(_wan_config(engine),
+                                          jobs=bench_jobs()))
     emit(f"catchup_wan_{engine}", result.table().format(),
          data=result.as_dict())
     # Acceptance contract: monolithic catch-up grows with snapshot size;

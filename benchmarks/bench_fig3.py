@@ -1,7 +1,8 @@
 """Benchmark: regenerate Fig. 3 (latency vs message loss)."""
 
-from benchmarks._common import emit, full_scale, once
-from repro.experiments.fig3_latency import Fig3Config, run_fig3
+from benchmarks._common import bench_jobs, emit, full_scale, once
+from repro.experiments.fig3_latency import Fig3Config
+from repro.scenarios.registry import get_scenario
 
 
 def _config() -> Fig3Config:
@@ -12,7 +13,9 @@ def _config() -> Fig3Config:
 
 
 def test_fig3_latency_vs_loss(benchmark):
-    result = once(benchmark, lambda: run_fig3(_config()))
+    scenario = get_scenario("fig3")
+    result = once(benchmark,
+                  lambda: scenario.run(_config(), jobs=bench_jobs()))
     emit("fig3_latency", result.table().format(),
          data=result.table().as_dict())
     result.check_shape()

@@ -1,7 +1,8 @@
 """Benchmark: regenerate Fig. 4 (silent-leave latency timeline)."""
 
-from benchmarks._common import emit, full_scale, once
-from repro.experiments.fig4_churn import Fig4Config, run_fig4
+from benchmarks._common import bench_jobs, emit, full_scale, once
+from repro.experiments.fig4_churn import Fig4Config
+from repro.scenarios.registry import get_scenario
 from repro.metrics.summary import summarize
 
 
@@ -12,7 +13,9 @@ def _config() -> Fig4Config:
 
 
 def test_fig4_silent_leave_timeline(benchmark):
-    result = once(benchmark, lambda: run_fig4(_config()))
+    scenario = get_scenario("fig4")
+    result = once(benchmark,
+                  lambda: scenario.run(_config(), jobs=bench_jobs()))
     table = result.table()
     # Also persist the raw timeline (the figure's scatter series).
     series = "\n".join(f"{offset:+.3f}s  {latency * 1000:7.1f} ms"

@@ -1,7 +1,8 @@
 """Benchmark: regenerate Fig. 5 (throughput vs cluster count)."""
 
-from benchmarks._common import emit, full_scale, once
-from repro.experiments.fig5_throughput import Fig5Config, run_fig5
+from benchmarks._common import bench_jobs, emit, full_scale, once
+from repro.experiments.fig5_throughput import Fig5Config
+from repro.scenarios.registry import get_scenario
 
 
 def _config() -> Fig5Config:
@@ -12,7 +13,9 @@ def _config() -> Fig5Config:
 
 
 def test_fig5_throughput_vs_clusters(benchmark):
-    result = once(benchmark, lambda: run_fig5(_config()))
+    scenario = get_scenario("fig5")
+    result = once(benchmark,
+                  lambda: scenario.run(_config(), jobs=bench_jobs()))
     emit("fig5_throughput", result.table().format(),
          data=result.table().as_dict())
     result.check_shape()

@@ -1,11 +1,15 @@
 """Benchmark: regenerate the Figs. 1-2 message-round validation."""
 
-from benchmarks._common import emit, once
-from repro.experiments.rounds import RoundsConfig, run_rounds
+from benchmarks._common import bench_jobs, emit, once
+from repro.experiments.rounds import RoundsConfig
+from repro.scenarios.registry import get_scenario
 
 
 def test_rounds_message_flow(benchmark):
-    result = once(benchmark, lambda: run_rounds(RoundsConfig.paper()))
+    scenario = get_scenario("rounds")
+    result = once(benchmark,
+                  lambda: scenario.run(RoundsConfig.paper(),
+                                       jobs=bench_jobs()))
     emit("figs_1_2_rounds", result.table().format(),
          data=result.table().as_dict())
     result.check_shape()

@@ -10,7 +10,11 @@ from repro.consensus.timing import TimingConfig
 from repro.craft.batching import BatchPolicy
 from repro.craft.server import CRaftServer
 from repro.errors import ExperimentError
-from repro.net.latency import BandwidthLatencyModel, LatencyModel
+from repro.net.latency import (
+    BandwidthLatencyModel,
+    LatencyModel,
+    SharedLinkBandwidthModel,
+)
 from repro.net.loss import LossModel, NoLoss
 from repro.net.network import Network
 from repro.net.topology import Topology
@@ -157,18 +161,25 @@ def build_craft_deployment(
         global_compaction: CompactionPolicy | None = None,
         transfer: TransferConfig | None = None,
         bandwidth: float | None = None,
+        shared_link: bool = False,
         global_seed_site: str | None = None) -> CRaftDeployment:
     """Build (without starting) a C-Raft deployment over ``topology``.
 
     ``bandwidth`` (simulated bytes/second) wraps ``latency`` in a
-    :class:`BandwidthLatencyModel`; ``transfer`` tunes snapshot shipping
-    at both consensus levels (monolithic vs chunked).
+    :class:`BandwidthLatencyModel` (congestion-aware
+    :class:`SharedLinkBandwidthModel` when ``shared_link``); ``transfer``
+    tunes snapshot shipping at both consensus levels (monolithic vs
+    chunked).
     """
+    if shared_link and bandwidth is None:
+        raise ExperimentError("shared_link needs a bandwidth")
     loop = SimLoop()
     rng = RngRegistry(seed)
     trace = TraceRecorder(enabled=trace_enabled)
     if bandwidth is not None:
-        latency = BandwidthLatencyModel(latency, bandwidth)
+        wrapper = (SharedLinkBandwidthModel if shared_link
+                   else BandwidthLatencyModel)
+        latency = wrapper(latency, bandwidth)
     network = Network(loop, rng, latency,
                       loss if loss is not None else NoLoss(), trace)
     fabric = StorageFabric()

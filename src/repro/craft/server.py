@@ -286,10 +286,18 @@ class CRaftServer(Actor):
         leaders are not stranded on a stale contact."""
         if not isinstance(inner, JoinRequest):
             return
-        latest = self.global_view.latest_config_entry()
-        if latest is None:
+        # The view's CONFIG entries may have been compacted away by view
+        # pruning; the snapshot base still carries the governing
+        # membership, so resolve between the two exactly as snapshot
+        # capture does. (Found by the migrated-region scenario: a late
+        # region's join was silently dropped at the retired seed once
+        # every CONFIG entry fell below the prune point.)
+        _, members = governing_config(
+            self._global_snapshot_base,
+            self.global_view.best_config_entry())
+        if not members:
             return
-        for member in latest[1].payload.members:
+        for member in members:
             if member not in (self.name, sender):
                 self._send_global_level(member, inner)
 

@@ -1,6 +1,8 @@
 """Experiment drivers regenerating the paper's evaluation (Section VI).
 
-One module per figure:
+One module per figure, each declared as scenario cells over the
+:mod:`repro.scenarios` subsystem (spec + registry + parallel sweep
+runner):
 
 - :mod:`repro.experiments.rounds` -- message-flow validation of Figs. 1-2
   (commit hop counts over a constant-latency network).
@@ -13,16 +15,25 @@ One module per figure:
 - :mod:`repro.experiments.ablations` -- sweeps over the design knobs that
   DESIGN.md calls out (decision interval, batch size, dispatch policy,
   proposer count).
+- :mod:`repro.experiments.catchup` -- rejoin catch-up under churn with
+  and without snapshots, plus the WAN chunked-transfer variant.
+- :mod:`repro.experiments.flapping` -- a flapping WAN link with
+  short-lived stability windows (beyond the paper's figures).
+- :mod:`repro.experiments.migrated_region` -- a whole region migrating
+  in after global compaction (the gated global snapshot path at scale).
 
 Each driver accepts a config dataclass with a ``quick()`` preset (used by
 tests) and a ``paper()`` preset (used by the benchmark harness), returns a
 result object with the measured rows, renders the paper-style table via
 ``result.table()``, and enforces the expected *shape* (who wins, by
 roughly what factor, where crossovers fall) via ``result.check_shape()``.
+Every ``run_*`` function takes ``jobs=N`` to fan its sweep cells out
+across worker processes with results identical to serial.
 
 Run from the command line::
 
     python -m repro.experiments fig3 --quick
+    python -m repro.experiments --scenario flapping_wan --jobs 4
 """
 
 from repro.experiments.base import ResultTable, cell_seed

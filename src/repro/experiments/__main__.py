@@ -5,72 +5,109 @@ Usage::
     python -m repro.experiments rounds
     python -m repro.experiments fig3 --full
     python -m repro.experiments fig4
-    python -m repro.experiments fig5 --full
+    python -m repro.experiments fig5 --full --jobs 4
     python -m repro.experiments ablations
-    python -m repro.experiments all
+    python -m repro.experiments all --jobs 8
+
+    python -m repro.experiments --list-scenarios
+    python -m repro.experiments --scenario flapping_wan --mode smoke
+    python -m repro.experiments --scenario catchup --jobs 6 \\
+        --json-dir benchmarks/results
 
 ``--quick`` (the default) runs scaled-down configurations in seconds;
-``--full`` runs the paper-scale configurations used by EXPERIMENTS.md.
+``--full`` runs the paper-scale configurations used by EXPERIMENTS.md;
+``--mode smoke`` is the CI-smoke scale. ``--jobs N`` fans the sweep's
+cells out across N worker processes (results are identical to serial).
+Every experiment is a registered scenario; the positional names are
+aliases for ``--scenario`` kept for compatibility.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import pathlib
 import sys
 import time
 
-from repro.experiments.ablations import AblationConfig, run_all_ablations
-from repro.experiments.fig3_latency import Fig3Config, run_fig3
-from repro.experiments.fig4_churn import Fig4Config, run_fig4
-from repro.experiments.fig5_throughput import Fig5Config, run_fig5
-from repro.experiments.rounds import RoundsConfig, run_rounds
+from repro.scenarios.registry import get_scenario, run_scenario, scenario_names
+
+#: Positional aliases (the historical CLI) and the 'all' bundle.
+LEGACY_NAMES = ["rounds", "fig3", "fig4", "fig5", "ablations", "catchup"]
 
 
-def _run_one(name: str, full: bool) -> None:
+def _run_one(name: str, mode: str, jobs: int,
+             json_dir: str | None) -> None:
     started = time.time()
-    if name == "rounds":
-        config = RoundsConfig.paper() if full else RoundsConfig.quick()
-        result = run_rounds(config)
-    elif name == "fig3":
-        config = Fig3Config.paper() if full else Fig3Config.quick()
-        result = run_fig3(config)
-    elif name == "fig4":
-        config = Fig4Config.paper() if full else Fig4Config.quick()
-        result = run_fig4(config)
-    elif name == "fig5":
-        config = Fig5Config.paper() if full else Fig5Config.quick()
-        result = run_fig5(config)
-    elif name == "ablations":
-        config = AblationConfig.paper() if full else AblationConfig.quick()
-        for table in run_all_ablations(config):
-            print(table)
+    scenario, result = run_scenario(name, mode=mode, jobs=jobs)
+    elapsed = time.time() - started
+    tables = scenario.tables(result)
+    for index, table in enumerate(tables):
+        print(table)
+        if index + 1 < len(tables):
             print()
-        print(f"[ablations done in {time.time() - started:.1f}s wall time]")
-        return
+    scenario.check(result)
+    if name == "ablations":
+        print(f"[ablations done in {elapsed:.1f}s wall time]")
     else:
-        raise SystemExit(f"unknown experiment: {name!r}")
-    print(result.table())
-    result.check_shape()
-    print(f"[shape checks passed; {time.time() - started:.1f}s wall time]")
+        print(f"[shape checks passed; {elapsed:.1f}s wall time]")
+    if json_dir is not None:
+        out_dir = pathlib.Path(json_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        payload = scenario.as_dict(result)
+        payload.update({"mode": mode, "jobs": jobs,
+                        "wall_seconds": elapsed})
+        path = out_dir / f"scenario_{name}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True,
+                                   default=str) + "\n", encoding="utf-8")
+        print(f"[results written to {path}]")
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
-        description="Regenerate the paper's evaluation tables.")
-    parser.add_argument("experiment",
-                        choices=["rounds", "fig3", "fig4", "fig5",
-                                 "ablations", "all"])
+        description="Regenerate the paper's evaluation tables and run "
+                    "registered scenarios.")
+    parser.add_argument("experiment", nargs="?",
+                        choices=LEGACY_NAMES + ["all"],
+                        help="legacy experiment name (alias for "
+                             "--scenario)")
+    parser.add_argument("--scenario", metavar="NAME",
+                        help="registered scenario name (see "
+                             "--list-scenarios)")
+    parser.add_argument("--list-scenarios", action="store_true",
+                        help="list every registered scenario and exit")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for the sweep (default 1; "
+                             "results are identical to serial)")
+    parser.add_argument("--json-dir", metavar="DIR",
+                        help="also write per-scenario JSON results here")
     mode = parser.add_mutually_exclusive_group()
     mode.add_argument("--quick", action="store_true", default=True,
                       help="scaled-down configuration (default)")
     mode.add_argument("--full", action="store_true",
                       help="paper-scale configuration")
+    mode.add_argument("--mode", choices=["quick", "full", "smoke"],
+                      help="explicit mode (smoke = CI scale)")
     args = parser.parse_args(argv)
-    names = (["rounds", "fig3", "fig4", "fig5", "ablations"]
-             if args.experiment == "all" else [args.experiment])
+
+    if args.list_scenarios:
+        for name in scenario_names():
+            print(f"{name:16} {get_scenario(name).description}")
+        return 0
+
+    run_mode = args.mode if args.mode else ("full" if args.full else "quick")
+    if args.scenario:
+        names = [args.scenario]
+    elif args.experiment == "all":
+        names = ["rounds", "fig3", "fig4", "fig5", "ablations"]
+    elif args.experiment:
+        names = [args.experiment]
+    else:
+        parser.error("give an experiment name, --scenario, or "
+                     "--list-scenarios")
     for name in names:
-        _run_one(name, args.full)
+        _run_one(name, run_mode, args.jobs, args.json_dir)
         print()
     return 0
 

@@ -10,6 +10,10 @@ reproduction to the choices the paper leaves open:
 - **batch size** -- C-Raft's local-entries-per-global-proposal.
 - **proposer count** -- contention on Fast Raft's fast track (the
   paper's liveness discussion assumes no concurrent proposals).
+
+All four sweeps share two scenario shapes (a flat latency cell and a
+C-Raft throughput cell); ``run_all_ablations`` submits every cell of
+every sweep as one batch so ``--jobs N`` parallelizes across tables.
 """
 
 from __future__ import annotations
@@ -18,15 +22,18 @@ from dataclasses import dataclass
 
 from repro.consensus.timing import TimingConfig
 from repro.craft.batching import BatchPolicy
-from repro.craft.deployment import build_craft_deployment
 from repro.experiments.base import ResultTable, cell_seed
-from repro.experiments.regions import latency_model_for, regions_for
-from repro.fastraft.server import FastRaftServer
-from repro.harness.builder import build_cluster
-from repro.harness.workload import ClosedLoopWorkload
-from repro.metrics.summary import summarize
+from repro.experiments.regions import regions_for
 from repro.net.topology import Topology
-from repro.raft.server import RaftServer
+from repro.scenarios.registry import Scenario, register_scenario
+from repro.scenarios.runner import SweepRunner
+from repro.scenarios.spec import (
+    Cell,
+    LatencySpec,
+    ScenarioSpec,
+    TopologySpec,
+    WorkloadSpec,
+)
 
 
 @dataclass(frozen=True)
@@ -50,35 +57,96 @@ class AblationConfig:
                    batch_sizes=(1, 10), proposer_counts=(1, 3),
                    craft_duration=30.0)
 
-
-def _mean_latency(server_cls, timing: TimingConfig, seed: int,
-                  commits: int, proposers: int = 1) -> float:
-    cluster = build_cluster(server_cls, n_sites=5, seed=seed, timing=timing)
-    cluster.start_all()
-    cluster.run_until_leader(timeout=30.0)
-    workloads = []
-    sites = sorted(cluster.servers)
-    for index in range(proposers):
-        client = cluster.add_client(site=sites[index % len(sites)],
-                                    proposal_timeout=0.3)
-        workload = ClosedLoopWorkload(
-            client, max_requests=commits,
-            command_factory=lambda s, i=index: {"op": "put",
-                                                "key": f"p{i}.{s}",
-                                                "value": s})
-        workload.start()
-        workloads.append(workload)
-    if not cluster.run_until(lambda: all(w.done for w in workloads),
-                             timeout=600.0):
-        raise TimeoutError("ablation workload stalled")
-    latencies = [value for w in workloads for value in w.latencies()]
-    return summarize(latencies).mean
+    @classmethod
+    def smoke(cls) -> "AblationConfig":
+        return cls(commits=10, decision_fractions=(0.5, 1.0),
+                   batch_sizes=(1, 10), proposer_counts=(1, 2),
+                   craft_duration=20.0)
 
 
-def run_decision_interval_ablation(config: AblationConfig | None = None
-                                   ) -> ResultTable:
-    """Fast Raft latency as the decision cadence varies."""
-    config = config or AblationConfig.paper()
+def _flat_cell(key: tuple, engine: str, timing: TimingConfig, seed: int,
+               commits: int, proposers: int = 1) -> Cell:
+    """The old ``_mean_latency`` shape as a spec: 5 sites, round-robin
+    proposers, mean commit latency over every proposer's commits."""
+    spec = ScenarioSpec(
+        name=f"ablation.{engine}.p{proposers}", engine=engine,
+        topology=TopologySpec(n_sites=5), timing=timing,
+        workload=WorkloadSpec(
+            placement="round_robin", proposers=proposers,
+            requests=commits, proposal_timeout=0.3, command="keyed",
+            prefixes=tuple(f"p{i}" for i in range(proposers))),
+        probe="mean_latency", safety_checks=False, timeout=600.0)
+    return Cell(key=key, spec=spec, seed=seed)
+
+
+def _craft_cell(key: tuple, config: AblationConfig, batch_size: int,
+                seed: int) -> Cell:
+    regions = regions_for(config.craft_clusters)
+    topology = Topology.even_clusters(config.craft_sites, regions)
+    spec = ScenarioSpec(
+        name=f"ablation.batch{batch_size}", engine="craft",
+        topology=TopologySpec(n_sites=config.craft_sites,
+                              regions=tuple(regions)),
+        batch=BatchPolicy(batch_size=batch_size, max_outstanding=8),
+        latency=LatencySpec.aws_regions(), trace=False,
+        workload=WorkloadSpec(
+            placement="sites",
+            sites=tuple(topology.nodes_in_cluster(r)[0] for r in regions)),
+        drive="throughput_window",
+        params={"warmup": 10.0, "duration": config.craft_duration,
+                "global_ready_timeout": 90.0})
+    return Cell(key=key, spec=spec, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# Cell grids, one per table
+# ----------------------------------------------------------------------
+def decision_cells(config: AblationConfig) -> list[Cell]:
+    base = TimingConfig.intra_cluster()
+    return [
+        _flat_cell(("decision", fraction), "fastraft",
+                   base.with_overrides(
+                       decision_interval=base.heartbeat_interval * fraction),
+                   cell_seed(config.seed, "decision", fraction),
+                   config.commits)
+        for fraction in config.decision_fractions]
+
+
+def dispatch_cells(config: AblationConfig) -> list[Cell]:
+    base = TimingConfig.intra_cluster()
+    cells = []
+    for name, engine in (("classic Raft", "raft"),
+                         ("Fast Raft", "fastraft")):
+        cells.append(_flat_cell(("dispatch", name, "tick"), engine, base,
+                                cell_seed(config.seed, "tick", name),
+                                config.commits))
+        cells.append(_flat_cell(("dispatch", name, "eager"), engine,
+                                base.with_overrides(eager_append=True),
+                                cell_seed(config.seed, "eager", name),
+                                config.commits))
+    return cells
+
+
+def proposer_cells(config: AblationConfig) -> list[Cell]:
+    base = TimingConfig.intra_cluster()
+    return [
+        _flat_cell(("proposers", count), "fastraft", base,
+                   cell_seed(config.seed, "proposers", count),
+                   config.commits, proposers=count)
+        for count in config.proposer_counts]
+
+
+def batch_cells(config: AblationConfig) -> list[Cell]:
+    return [
+        _craft_cell(("batch", batch_size), config, batch_size,
+                    cell_seed(config.seed, "batch", batch_size))
+        for batch_size in config.batch_sizes]
+
+
+# ----------------------------------------------------------------------
+# Table assembly
+# ----------------------------------------------------------------------
+def _decision_table(config: AblationConfig, results: dict) -> ResultTable:
     table = ResultTable(
         "Ablation -- Fast Raft latency vs decision interval",
         ["decision/heartbeat", "decision ms", "mean latency ms"])
@@ -86,99 +154,106 @@ def run_decision_interval_ablation(config: AblationConfig | None = None
     for fraction in config.decision_fractions:
         timing = base.with_overrides(
             decision_interval=base.heartbeat_interval * fraction)
-        latency = _mean_latency(
-            FastRaftServer, timing,
-            cell_seed(config.seed, "decision", fraction), config.commits)
         table.add_row(fraction, timing.effective_decision_interval * 1000,
-                      latency * 1000)
+                      results[("decision", fraction)] * 1000)
     table.add_note("fast-track latency tracks the decision cadence; the "
                    "default (0.5x heartbeat) yields the paper's 2x ratio")
     return table
 
 
-def run_dispatch_ablation(config: AblationConfig | None = None
-                          ) -> ResultTable:
-    """Tick-driven vs eager AppendEntries dispatch, both protocols."""
-    config = config or AblationConfig.paper()
+def _dispatch_table(config: AblationConfig, results: dict) -> ResultTable:
     table = ResultTable(
         "Ablation -- AppendEntries dispatch policy (mean latency ms)",
         ["protocol", "tick-driven", "eager"])
-    base = TimingConfig.intra_cluster()
-    for name, server_cls in (("classic Raft", RaftServer),
-                             ("Fast Raft", FastRaftServer)):
-        tick = _mean_latency(server_cls, base,
-                             cell_seed(config.seed, "tick", name),
-                             config.commits)
-        eager = _mean_latency(
-            server_cls, base.with_overrides(eager_append=True),
-            cell_seed(config.seed, "eager", name), config.commits)
-        table.add_row(name, tick * 1000, eager * 1000)
+    for name in ("classic Raft", "Fast Raft"):
+        table.add_row(name,
+                      results[("dispatch", name, "tick")] * 1000,
+                      results[("dispatch", name, "eager")] * 1000)
     table.add_note("the paper's prototype is tick-driven; eager dispatch "
                    "removes the half-heartbeat queueing from the classic "
                    "track")
     return table
 
 
-def run_proposer_ablation(config: AblationConfig | None = None
-                          ) -> ResultTable:
-    """Fast Raft under concurrent proposers (fast-track contention)."""
-    config = config or AblationConfig.paper()
+def _proposer_table(config: AblationConfig, results: dict) -> ResultTable:
     table = ResultTable(
         "Ablation -- Fast Raft latency vs concurrent proposers",
         ["proposers", "mean latency ms"])
-    base = TimingConfig.intra_cluster()
-    for proposers in config.proposer_counts:
-        latency = _mean_latency(
-            FastRaftServer, base,
-            cell_seed(config.seed, "proposers", proposers),
-            config.commits, proposers=proposers)
-        table.add_row(proposers, latency * 1000)
+    for count in config.proposer_counts:
+        table.add_row(count, results[("proposers", count)] * 1000)
     table.add_note("concurrent proposals contend for indices; conflicts "
                    "fall back to the classic track (Section IV-F)")
     return table
 
 
-def run_batch_size_ablation(config: AblationConfig | None = None
-                            ) -> ResultTable:
-    """C-Raft global throughput vs batch size."""
-    config = config or AblationConfig.paper()
+def _batch_table(config: AblationConfig, results: dict) -> ResultTable:
     table = ResultTable(
         "Ablation -- C-Raft throughput vs batch size (entries/s)",
         ["batch size", "global throughput"])
-    regions = regions_for(config.craft_clusters)
     for batch_size in config.batch_sizes:
-        topology = Topology.even_clusters(config.craft_sites, regions)
-        deployment = build_craft_deployment(
-            topology, latency_model_for(topology),
-            seed=cell_seed(config.seed, "batch", batch_size),
-            batch_policy=BatchPolicy(batch_size=batch_size,
-                                     max_outstanding=8),
-            trace_enabled=False)
-        deployment.start_all()
-        deployment.run_until_local_leaders(timeout=30.0)
-        deployment.run_until_global_ready(timeout=90.0)
-        for region in regions:
-            client = deployment.add_client(
-                site=topology.nodes_in_cluster(region)[0])
-            ClosedLoopWorkload(client).start()
-        deployment.run_for(10.0)  # warmup
-        start = deployment.total_global_applied()
-        deployment.run_for(config.craft_duration)
-        done = deployment.total_global_applied()
-        table.add_row(batch_size,
-                      (done - start) / config.craft_duration)
+        table.add_row(batch_size, results[("batch", batch_size)])
     table.add_note("larger batches amortize inter-cluster consensus; "
                    "batch size 1 degenerates to one global round per "
                    "entry")
     return table
 
 
-def run_all_ablations(config: AblationConfig | None = None
-                      ) -> list[ResultTable]:
+# ----------------------------------------------------------------------
+# Entry points (one per table, plus the combined sweep)
+# ----------------------------------------------------------------------
+def run_decision_interval_ablation(config: AblationConfig | None = None,
+                                   jobs: int = 1) -> ResultTable:
+    """Fast Raft latency as the decision cadence varies."""
     config = config or AblationConfig.paper()
+    return _decision_table(config,
+                           SweepRunner(jobs).run(decision_cells(config)))
+
+
+def run_dispatch_ablation(config: AblationConfig | None = None,
+                          jobs: int = 1) -> ResultTable:
+    """Tick-driven vs eager AppendEntries dispatch, both protocols."""
+    config = config or AblationConfig.paper()
+    return _dispatch_table(config,
+                           SweepRunner(jobs).run(dispatch_cells(config)))
+
+
+def run_proposer_ablation(config: AblationConfig | None = None,
+                          jobs: int = 1) -> ResultTable:
+    """Fast Raft under concurrent proposers (fast-track contention)."""
+    config = config or AblationConfig.paper()
+    return _proposer_table(config,
+                           SweepRunner(jobs).run(proposer_cells(config)))
+
+
+def run_batch_size_ablation(config: AblationConfig | None = None,
+                            jobs: int = 1) -> ResultTable:
+    """C-Raft global throughput vs batch size."""
+    config = config or AblationConfig.paper()
+    return _batch_table(config,
+                        SweepRunner(jobs).run(batch_cells(config)))
+
+
+def run_all_ablations(config: AblationConfig | None = None,
+                      jobs: int = 1) -> list[ResultTable]:
+    """Every ablation cell in one sweep, assembled into four tables."""
+    config = config or AblationConfig.paper()
+    cells = (decision_cells(config) + dispatch_cells(config)
+             + proposer_cells(config) + batch_cells(config))
+    results = SweepRunner(jobs).run(cells)
     return [
-        run_decision_interval_ablation(config),
-        run_dispatch_ablation(config),
-        run_proposer_ablation(config),
-        run_batch_size_ablation(config),
+        _decision_table(config, results),
+        _dispatch_table(config, results),
+        _proposer_table(config, results),
+        _batch_table(config, results),
     ]
+
+
+register_scenario(Scenario(
+    name="ablations",
+    description="Design-knob sweeps: decision interval, dispatch policy, "
+                "proposer contention, batch size",
+    make_config=lambda mode: {"quick": AblationConfig.quick,
+                              "full": AblationConfig.paper,
+                              "smoke": AblationConfig.smoke}[mode](),
+    run=run_all_ablations,
+    modes=("quick", "full", "smoke")))

@@ -13,34 +13,49 @@ engine -- classic Raft, Fast Raft, and C-Raft (where the churned node is
 a cluster member catching up at the local level, inheriting the global
 image through the composite local snapshot) -- and reports rejoin
 latency, replayed entry counts, and snapshot counters.
+
+The crash is declared in the scenario's event schedule; the measured
+recovery tail (capture the target commit point, recover, time the
+catch-up) is this experiment's registered drive family.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.consensus.config import TransferConfig
 from repro.consensus.timing import TimingConfig
 from repro.errors import ExperimentError
 from repro.experiments.base import ResultTable, require
-from repro.fastraft.server import FastRaftServer
-from repro.harness.builder import build_cluster
 from repro.harness.checkers import (
     check_committed_prefix_agreement,
     check_images_agree,
     run_safety_checks,
 )
-from repro.harness.faults import FaultInjector
 from repro.harness.workload import ClosedLoopWorkload
 from repro.metrics.summary import SnapshotCounters, tally_snapshots
-from repro.net.latency import ConstantLatency, RegionLatencyModel
-from repro.net.topology import Topology
-from repro.snapshot.chunking import snapshot_wire_size
-from repro.craft.batching import BatchPolicy
-from repro.craft.deployment import build_craft_deployment
-from repro.raft.server import RaftServer
+from repro.scenarios.registry import Scenario, register_scenario
+from repro.scenarios.runner import (
+    RunContext,
+    SweepRunner,
+    attach_workloads,
+    drive,
+    elect_flat_leader,
+    run_commit_triggered_events,
+    run_workload_to_completion,
+)
+from repro.scenarios.spec import (
+    Cell,
+    Event,
+    EventSchedule,
+    LatencySpec,
+    ScenarioSpec,
+    TopologySpec,
+    WorkloadSpec,
+)
 from repro.smr.kv import KVStateMachine
 from repro.snapshot import CompactionPolicy
+from repro.snapshot.chunking import snapshot_wire_size
 
 ENGINES = ("raft", "fastraft", "craft")
 
@@ -140,17 +155,6 @@ class CatchupResult:
                 "full_replay": run_dict(self.without_snapshots)}
 
 
-def run_catchup(config: CatchupConfig) -> CatchupResult:
-    """Run the scenario twice (with/without snapshots) and pair them."""
-    if config.engine not in ENGINES:
-        raise ExperimentError(f"unknown engine: {config.engine!r}")
-    runner = _run_craft if config.engine == "craft" else _run_flat
-    return CatchupResult(
-        config=config,
-        with_snapshots=runner(config, snapshots=True),
-        without_snapshots=runner(config, snapshots=False))
-
-
 def _policy(config: CatchupConfig, snapshots: bool) -> CompactionPolicy | None:
     if not snapshots:
         return None
@@ -161,36 +165,41 @@ def _policy(config: CatchupConfig, snapshots: bool) -> CompactionPolicy | None:
 # ----------------------------------------------------------------------
 # Single-cluster engines (classic Raft, Fast Raft)
 # ----------------------------------------------------------------------
-def _run_flat(config: CatchupConfig, snapshots: bool) -> CatchupRun:
-    server_cls = RaftServer if config.engine == "raft" else FastRaftServer
-    timing = TimingConfig(max_append_batch=config.max_append_batch)
-    cluster = build_cluster(
-        server_cls, n_sites=config.n_sites, seed=config.seed,
-        timing=timing, state_machine_factory=KVStateMachine,
-        compaction=_policy(config, snapshots))
+def catchup_flat_spec(config: CatchupConfig, snapshots: bool
+                      ) -> ScenarioSpec:
+    return ScenarioSpec(
+        name=f"catchup.{config.engine}."
+             f"{'snap' if snapshots else 'replay'}",
+        engine=config.engine,
+        topology=TopologySpec(n_sites=config.n_sites),
+        timing=TimingConfig(max_append_batch=config.max_append_batch),
+        state_machine=KVStateMachine,
+        compaction=_policy(config, snapshots),
+        schedule=EventSchedule((
+            Event("crash", target="nonleader:0",
+                  after_commits=config.warmup_commits),)),
+        workload=WorkloadSpec(placement="leader",
+                              requests=config.total_commits),
+        drive="catchup_flat", timeout=config.timeout,
+        params={"snapshots": snapshots})
+
+
+@drive("catchup_flat")
+def drive_catchup_flat(cluster, spec: ScenarioSpec) -> CatchupRun:
+    """Crash per schedule, finish the workload, then time the rejoin."""
+    ctx = RunContext(cluster, spec)
     cluster.start_all()
-    leader_name = cluster.run_until_leader(timeout=30.0)
-    client = cluster.add_client(site=leader_name)
-    workload = ClosedLoopWorkload(client,
-                                  max_requests=config.total_commits)
-    workload.start()
-    if not cluster.run_until(
-            lambda: workload.completed_count >= config.warmup_commits,
-            timeout=config.timeout):
-        raise ExperimentError("warmup did not complete")
-    faults = FaultInjector(cluster)
-    victim = next(n for n in cluster.servers if n != leader_name)
-    faults.crash(victim)
-    if not cluster.run_until(lambda: workload.done, timeout=config.timeout):
-        raise ExperimentError(
-            f"finished only {workload.completed_count}"
-            f"/{config.total_commits} commits")
+    ctx.initial_leader = elect_flat_leader(cluster, spec)
+    attach_workloads(cluster, spec, ctx, ctx.initial_leader)
+    run_commit_triggered_events(ctx)
+    victim = ctx.fired[0][2][0]
+    run_workload_to_completion(ctx)
     target = cluster.servers[cluster.run_until_leader()].engine.commit_index
-    faults.recover(victim)
+    ctx.faults.recover(victim)
     started = cluster.loop.now()
     rejoined = cluster.run_until(
         lambda: cluster.servers[victim].engine.commit_index >= target,
-        timeout=config.timeout)
+        timeout=spec.timeout)
     if not rejoined:
         raise ExperimentError(
             f"{victim} caught up only to "
@@ -200,7 +209,7 @@ def _run_flat(config: CatchupConfig, snapshots: bool) -> CatchupRun:
     run_safety_checks(cluster.servers.values(), cluster.trace)
     recovered = cluster.servers[victim]
     return CatchupRun(
-        snapshots_enabled=snapshots, target_commit=target,
+        snapshots_enabled=spec.params["snapshots"], target_commit=target,
         catchup_time=catchup_time,
         replayed_entries=len(recovered.applied_log),
         installs=recovered.engine.snapshots_installed,
@@ -211,46 +220,59 @@ def _run_flat(config: CatchupConfig, snapshots: bool) -> CatchupRun:
 # ----------------------------------------------------------------------
 # C-Raft (the churned node is a cluster member)
 # ----------------------------------------------------------------------
-def _run_craft(config: CatchupConfig, snapshots: bool) -> CatchupRun:
-    topo = Topology.even_clusters(6, ["east", "west"])
-    latency = RegionLatencyModel(dict(topo.node_regions),
-                                 {("east", "west"): 0.080},
-                                 intra_rtt=0.0008, jitter=0.1)
-    deployment = build_craft_deployment(
-        topo, latency, seed=config.seed,
-        local_timing=TimingConfig(max_append_batch=config.max_append_batch),
-        batch_policy=BatchPolicy(batch_size=config.craft_batch_size),
-        state_machine_factory=KVStateMachine,
-        local_compaction=_policy(config, snapshots))
+def catchup_craft_spec(config: CatchupConfig, snapshots: bool
+                       ) -> ScenarioSpec:
+    from repro.craft.batching import BatchPolicy
+    return ScenarioSpec(
+        name=f"catchup.craft.{'snap' if snapshots else 'replay'}",
+        engine="craft",
+        topology=TopologySpec(n_sites=6, regions=("east", "west")),
+        timing=TimingConfig(max_append_batch=config.max_append_batch),
+        batch=BatchPolicy(batch_size=config.craft_batch_size),
+        state_machine=KVStateMachine,
+        compaction=_policy(config, snapshots),
+        latency=LatencySpec(kind="rtt_matrix",
+                            rtts=(("east", "west", 0.080),),
+                            intra_rtt=0.0008, jitter=0.1),
+        schedule=EventSchedule((
+            Event("crash", target="nonleader:0",
+                  after_commits=config.warmup_commits),)),
+        workload=WorkloadSpec(requests=config.total_commits),
+        drive="catchup_craft", timeout=config.timeout,
+        params={"snapshots": snapshots, "global_ready_timeout": 60.0})
+
+
+@drive("catchup_craft")
+def drive_catchup_craft(deployment, spec: ScenarioSpec) -> CatchupRun:
+    """Same churn at the local level of the first C-Raft cluster."""
+    ctx = RunContext(deployment, spec)
     deployment.start_all()
-    deployment.run_until_local_leaders(timeout=30.0)
-    deployment.run_until_global_ready(timeout=60.0)
+    deployment.run_until_local_leaders(timeout=spec.leader_timeout)
+    deployment.run_until_global_ready(
+        timeout=spec.params.get("global_ready_timeout", 60.0))
+    topo = deployment.topology
     cluster_a = topo.clusters[0]
     leader_a = deployment.local_leader(cluster_a)
+    # The crash event's "nonleader:0" resolves within the churned cluster.
+    ctx.initial_leader = leader_a
+    ctx.server_order = topo.nodes_in_cluster(cluster_a)
     client = deployment.add_client(site=leader_a)
     workload = ClosedLoopWorkload(client,
-                                  max_requests=config.total_commits)
+                                  max_requests=spec.workload.requests)
+    ctx.clients.append(client)
+    ctx.workloads.append(workload)
     workload.start()
-    if not deployment.run_until(
-            lambda: workload.completed_count >= config.warmup_commits,
-            timeout=config.timeout):
-        raise ExperimentError("warmup did not complete")
-    victim = next(n for n in topo.nodes_in_cluster(cluster_a)
-                  if n != leader_a)
-    deployment.servers[victim].crash()
-    if not deployment.run_until(lambda: workload.done,
-                                timeout=config.timeout):
-        raise ExperimentError(
-            f"finished only {workload.completed_count}"
-            f"/{config.total_commits} commits")
+    run_commit_triggered_events(ctx)
+    victim = ctx.fired[0][2][0]
+    run_workload_to_completion(ctx)
     leader_now = deployment.local_leader(cluster_a)
     target = deployment.servers[leader_now].local_engine.commit_index
-    deployment.servers[victim].recover()
+    ctx.faults.recover(victim)
     started = deployment.loop.now()
     rejoined = deployment.run_until(
         lambda: (deployment.servers[victim].local_engine.commit_index
                  >= target),
-        timeout=config.timeout, step=0.01)
+        timeout=spec.timeout, step=0.01)
     if not rejoined:
         raise ExperimentError(
             f"{victim} caught up only to "
@@ -261,12 +283,42 @@ def _run_craft(config: CatchupConfig, snapshots: bool) -> CatchupRun:
     _check_craft_consistency(deployment, topo, cluster_a)
     recovered = deployment.servers[victim]
     return CatchupRun(
-        snapshots_enabled=snapshots, target_commit=target,
+        snapshots_enabled=spec.params["snapshots"], target_commit=target,
         catchup_time=catchup_time,
         replayed_entries=len(recovered.applied_log),
         installs=recovered.local_engine.snapshots_installed,
         counters=tally_snapshots(
             s.local_engine for s in deployment.servers.values()))
+
+
+def catchup_cells(config: CatchupConfig) -> list[Cell]:
+    make_spec = (catchup_craft_spec if config.engine == "craft"
+                 else catchup_flat_spec)
+    return [Cell(key=(config.engine, snapshots),
+                 spec=make_spec(config, snapshots), seed=config.seed)
+            for snapshots in (True, False)]
+
+
+def run_catchup(config: CatchupConfig, jobs: int = 1) -> CatchupResult:
+    """Run the scenario twice (with/without snapshots) and pair them."""
+    if config.engine not in ENGINES:
+        raise ExperimentError(f"unknown engine: {config.engine!r}")
+    runs = SweepRunner(jobs).run(catchup_cells(config))
+    return CatchupResult(
+        config=config,
+        with_snapshots=runs[(config.engine, True)],
+        without_snapshots=runs[(config.engine, False)])
+
+
+def run_catchup_suite(configs: list[CatchupConfig],
+                      jobs: int = 1) -> list[CatchupResult]:
+    """All engines' cells in one sweep (what ``--scenario catchup`` runs)."""
+    cells = [cell for config in configs for cell in catchup_cells(config)]
+    runs = SweepRunner(jobs).run(cells)
+    return [CatchupResult(config=config,
+                          with_snapshots=runs[(config.engine, True)],
+                          without_snapshots=runs[(config.engine, False)])
+            for config in configs]
 
 
 # ----------------------------------------------------------------------
@@ -388,67 +440,59 @@ class WanCatchupResult:
                          for r in self.runs]}
 
 
-def run_wan_catchup(config: WanCatchupConfig) -> WanCatchupResult:
-    """Every size point in both transfer modes, same seed and scenario."""
-    if config.engine not in ("raft", "fastraft"):
-        raise ExperimentError(
-            f"WAN variant runs the flat engines, not {config.engine!r}")
-    runs = []
-    for total_commits in config.size_points:
-        for chunked in (False, True):
-            runs.append(_run_wan_once(config, total_commits, chunked))
-    return WanCatchupResult(config=config, runs=runs)
-
-
-def _run_wan_once(config: WanCatchupConfig, total_commits: int,
-                  chunked: bool) -> WanRun:
-    server_cls = RaftServer if config.engine == "raft" else FastRaftServer
-    timing = TimingConfig(max_append_batch=config.max_append_batch)
+def wan_spec(config: WanCatchupConfig, total_commits: int,
+             chunked: bool) -> ScenarioSpec:
     transfer = (TransferConfig(chunk_size=config.chunk_size,
                                chunk_window=config.chunk_window)
                 if chunked else TransferConfig())
-    cluster = build_cluster(
-        server_cls, n_sites=config.n_sites, seed=config.seed,
-        timing=timing, state_machine_factory=KVStateMachine,
-        latency=ConstantLatency(config.one_way_latency),
-        bandwidth=config.bandwidth,
+    # The crash also cuts the link: otherwise the leader keeps re-shipping
+    # bulk transfers into the void, and whatever happens to be in flight
+    # at recovery time would contaminate the measured catch-up window.
+    schedule = EventSchedule((
+        Event("crash", target="nonleader:0",
+              after_commits=config.warmup_commits),
+        Event("silent_leave", target="nonleader:0",
+              after_commits=config.warmup_commits)))
+    return ScenarioSpec(
+        name=f"catchup_wan.{config.engine}."
+             f"{'chunked' if chunked else 'mono'}.{total_commits}",
+        engine=config.engine,
+        topology=TopologySpec(n_sites=config.n_sites),
+        timing=TimingConfig(max_append_batch=config.max_append_batch),
+        state_machine=KVStateMachine,
+        latency=LatencySpec.constant(config.one_way_latency,
+                                     bandwidth=config.bandwidth),
         compaction=CompactionPolicy(threshold=config.threshold,
                                     retain=config.retain),
-        transfer=transfer)
+        transfer=transfer, schedule=schedule,
+        workload=WorkloadSpec(placement="leader", requests=total_commits,
+                              command="payload",
+                              value_bytes=config.value_bytes),
+        drive="catchup_wan", timeout=config.timeout,
+        params={"chunked": chunked,
+                "warmup_commits": config.warmup_commits})
+
+
+@drive("catchup_wan")
+def drive_catchup_wan(cluster, spec: ScenarioSpec) -> WanRun:
+    ctx = RunContext(cluster, spec)
     cluster.start_all()
-    leader_name = cluster.run_until_leader(timeout=30.0)
-    client = cluster.add_client(site=leader_name)
-    value = "x" * config.value_bytes
-    workload = ClosedLoopWorkload(
-        client, max_requests=total_commits,
-        command_factory=lambda seq: {"op": "put", "key": f"k{seq}",
-                                     "value": f"{value}{seq}"})
-    workload.start()
-    if not cluster.run_until(
-            lambda: workload.completed_count >= config.warmup_commits,
-            timeout=config.timeout):
-        raise ExperimentError("WAN warmup did not complete")
-    faults = FaultInjector(cluster)
-    victim = next(n for n in cluster.servers if n != leader_name)
-    faults.crash(victim)
-    # Also cut the link: otherwise the leader keeps re-shipping bulk
-    # transfers into the void, and whatever happens to be in flight at
-    # recovery time would contaminate the measured catch-up window.
-    cluster.network.disconnect(victim)
-    if not cluster.run_until(lambda: workload.done, timeout=config.timeout):
-        raise ExperimentError(
-            f"finished only {workload.completed_count}/{total_commits}")
+    ctx.initial_leader = elect_flat_leader(cluster, spec)
+    attach_workloads(cluster, spec, ctx, ctx.initial_leader)
+    run_commit_triggered_events(ctx)
+    victim = ctx.fired[0][2][0]
+    run_workload_to_completion(ctx)
     leader_engine = cluster.servers[cluster.run_until_leader()].engine
     target = leader_engine.commit_index
-    if leader_engine.log.snapshot_index <= config.warmup_commits:
+    if leader_engine.log.snapshot_index <= spec.params["warmup_commits"]:
         raise ExperimentError("leader never compacted past the crash point")
     snapshot_bytes = snapshot_wire_size(leader_engine.snapshot_store.latest)
-    cluster.network.reconnect(victim)
-    faults.recover(victim)
+    ctx.faults.silent_return(victim)
+    ctx.faults.recover(victim)
     started = cluster.loop.now()
     if not cluster.run_until(
             lambda: cluster.servers[victim].engine.commit_index >= target,
-            timeout=config.timeout):
+            timeout=spec.timeout):
         raise ExperimentError(
             f"{victim} caught up only to "
             f"{cluster.servers[victim].engine.commit_index}/{target}")
@@ -457,12 +501,35 @@ def _run_wan_once(config: WanCatchupConfig, total_commits: int,
     run_safety_checks(cluster.servers.values(), cluster.trace)
     recovered = cluster.servers[victim]
     return WanRun(
-        mode="chunked" if chunked else "monolithic",
-        total_commits=total_commits, snapshot_bytes=snapshot_bytes,
+        mode="chunked" if spec.params["chunked"] else "monolithic",
+        total_commits=spec.workload.requests,
+        snapshot_bytes=snapshot_bytes,
         catchup_time=catchup_time,
         installs=recovered.engine.snapshots_installed,
         chunks_sent=sum(s.engine.snapshot_chunks_sent
                         for s in cluster.servers.values()))
+
+
+def wan_cells(config: WanCatchupConfig) -> list[Cell]:
+    return [Cell(key=(total_commits, chunked),
+                 spec=wan_spec(config, total_commits, chunked),
+                 seed=config.seed)
+            for total_commits in config.size_points
+            for chunked in (False, True)]
+
+
+def run_wan_catchup(config: WanCatchupConfig,
+                    jobs: int = 1) -> WanCatchupResult:
+    """Every size point in both transfer modes, same seed and scenario."""
+    if config.engine not in ("raft", "fastraft"):
+        raise ExperimentError(
+            f"WAN variant runs the flat engines, not {config.engine!r}")
+    runs = SweepRunner(jobs).run(wan_cells(config))
+    return WanCatchupResult(
+        config=config,
+        runs=[runs[(total_commits, chunked)]
+              for total_commits in config.size_points
+              for chunked in (False, True)])
 
 
 def _check_craft_consistency(deployment, topo, cluster_name: str) -> None:
@@ -477,3 +544,33 @@ def _check_craft_consistency(deployment, topo, cluster_name: str) -> None:
          for s in deployment.servers.values()
          if s.global_state_machine is not None),
         what="global state machines")
+
+
+# ----------------------------------------------------------------------
+# Registry entries
+# ----------------------------------------------------------------------
+def _catchup_configs(mode: str) -> list[CatchupConfig]:
+    maker = {"quick": CatchupConfig.quick, "full": CatchupConfig.paper,
+             "smoke": CatchupConfig.smoke}[mode]
+    return [maker(engine) for engine in ENGINES]
+
+
+register_scenario(Scenario(
+    name="catchup",
+    description="Rejoin catch-up under churn, snapshots vs full replay, "
+                "all three engines",
+    make_config=_catchup_configs,
+    run=run_catchup_suite,
+    modes=("quick", "full", "smoke")))
+
+
+register_scenario(Scenario(
+    name="catchup_wan",
+    description="WAN rejoin over a bandwidth-limited link: monolithic vs "
+                "chunked InstallSnapshot",
+    make_config=lambda mode: {"quick": WanCatchupConfig.quick,
+                              "full": WanCatchupConfig.paper,
+                              "smoke": WanCatchupConfig.smoke}[mode](
+                                  "fastraft"),
+    run=run_wan_catchup,
+    modes=("quick", "full", "smoke")))

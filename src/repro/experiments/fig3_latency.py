@@ -8,6 +8,10 @@ Expected shape (paper): Fast Raft commits in about half the classic-Raft
 latency at low loss; as loss grows the fast track fails more often, the
 extra classic-track round dominates, and Fast Raft meets/exceeds classic
 Raft around 5-10 % loss while classic Raft stays roughly flat.
+
+The sweep is declared as scenario cells (one per protocol x loss grid
+point) and executed by the :class:`~repro.scenarios.SweepRunner`, so
+``--jobs N`` fans the grid out across worker processes.
 """
 
 from __future__ import annotations
@@ -16,13 +20,16 @@ from dataclasses import dataclass, field
 
 from repro.consensus.timing import TimingConfig
 from repro.experiments.base import ResultTable, cell_seed, require
-from repro.harness.builder import build_cluster
-from repro.harness.checkers import run_safety_checks
-from repro.harness.workload import ClosedLoopWorkload
-from repro.fastraft.server import FastRaftServer
-from repro.metrics.summary import SummaryStats, summarize
-from repro.net.loss import BernoulliLoss
-from repro.raft.server import RaftServer
+from repro.metrics.summary import SummaryStats
+from repro.scenarios.registry import Scenario, register_scenario
+from repro.scenarios.runner import SweepRunner
+from repro.scenarios.spec import (
+    Cell,
+    LossSpec,
+    ScenarioSpec,
+    TopologySpec,
+    WorkloadSpec,
+)
 
 
 @dataclass(frozen=True)
@@ -46,6 +53,10 @@ class Fig3Config:
     @classmethod
     def quick(cls) -> "Fig3Config":
         return cls(loss_rates=(0.0, 0.05, 0.10), trials=25)
+
+    @classmethod
+    def smoke(cls) -> "Fig3Config":
+        return cls(loss_rates=(0.0, 0.10), trials=15)
 
 
 @dataclass
@@ -113,41 +124,45 @@ class Fig3Result:
                 f"({first.speedup:.2f}x -> {last.speedup:.2f}x)")
 
 
-def measure_latency(server_cls, loss_rate: float, config: Fig3Config,
-                    seed: int) -> SummaryStats:
-    """One grid point: commit ``trials`` entries, return latency stats."""
-    cluster = build_cluster(
-        server_cls, n_sites=config.n_sites, seed=seed,
-        timing=config.timing,
-        loss=BernoulliLoss(loss_rate) if loss_rate else None,
-        trace_enabled=True)
-    cluster.start_all()
-    cluster.run_until_leader(timeout=30.0)
-    # "We chose a site at random to be the proposer."
-    proposer_site = cluster.rng.stream("fig3.proposer").choice(
-        sorted(cluster.servers))
-    client = cluster.add_client(site=proposer_site,
-                                proposal_timeout=config.proposal_timeout)
-    workload = ClosedLoopWorkload(client, max_requests=config.trials)
-    workload.start()
-    if not cluster.run_until(lambda: workload.done, timeout=config.timeout):
-        raise TimeoutError(
-            f"{server_cls.__name__} at {loss_rate:.0%} loss finished only "
-            f"{workload.completed_count}/{config.trials}")
-    run_safety_checks(cluster.servers.values(), cluster.trace)
-    return summarize(workload.latencies())
+def fig3_spec(config: Fig3Config, protocol: str,
+              loss_rate: float) -> ScenarioSpec:
+    """One grid point: ``trials`` commits from a random proposer."""
+    engine = "raft" if protocol == "classic" else "fastraft"
+    return ScenarioSpec(
+        name=f"fig3.{protocol}.loss{loss_rate:g}", engine=engine,
+        topology=TopologySpec(n_sites=config.n_sites),
+        timing=config.timing, loss=LossSpec(loss_rate),
+        workload=WorkloadSpec(
+            placement="random", rng_stream="fig3.proposer",
+            requests=config.trials,
+            proposal_timeout=config.proposal_timeout),
+        probe="latency_summary", timeout=config.timeout)
 
 
-def run_fig3(config: Fig3Config | None = None) -> Fig3Result:
+def fig3_cells(config: Fig3Config) -> list[Cell]:
+    return [Cell(key=(protocol, loss_rate),
+                 spec=fig3_spec(config, protocol, loss_rate),
+                 seed=cell_seed(config.seed, protocol, loss_rate))
+            for loss_rate in config.loss_rates
+            for protocol in ("classic", "fast")]
+
+
+def run_fig3(config: Fig3Config | None = None, jobs: int = 1) -> Fig3Result:
     config = config or Fig3Config.paper()
-    points = []
-    for loss_rate in config.loss_rates:
-        classic = measure_latency(
-            RaftServer, loss_rate, config,
-            cell_seed(config.seed, "classic", loss_rate))
-        fast = measure_latency(
-            FastRaftServer, loss_rate, config,
-            cell_seed(config.seed, "fast", loss_rate))
-        points.append(Fig3Point(loss_rate=loss_rate, classic=classic,
-                                fast=fast))
+    stats = SweepRunner(jobs).run(fig3_cells(config))
+    points = [Fig3Point(loss_rate=loss_rate,
+                        classic=stats[("classic", loss_rate)],
+                        fast=stats[("fast", loss_rate)])
+              for loss_rate in config.loss_rates]
     return Fig3Result(config=config, points=points)
+
+
+register_scenario(Scenario(
+    name="fig3",
+    description="Commit latency vs message loss, classic Raft vs Fast "
+                "Raft (Fig. 3)",
+    make_config=lambda mode: {"quick": Fig3Config.quick,
+                              "full": Fig3Config.paper,
+                              "smoke": Fig3Config.smoke}[mode](),
+    run=run_fig3,
+    modes=("quick", "full", "smoke")))

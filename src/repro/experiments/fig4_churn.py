@@ -7,6 +7,10 @@ fast track (fast quorum 4 of 5); right after it, the fast track is
 unavailable and a latency spike above 200 ms appears around the
 configuration change; once the leader commits the exclusion entries the
 fast quorum shrinks to 3 of 3 and latency returns to the 50-100 ms band.
+
+The silent leaves are declared in the scenario's
+:class:`~repro.scenarios.spec.EventSchedule` (commit-count triggered),
+not hand-scripted -- the same vocabulary every other churn scenario uses.
 """
 
 from __future__ import annotations
@@ -15,13 +19,18 @@ from dataclasses import dataclass, field
 
 from repro.consensus.timing import TimingConfig
 from repro.experiments.base import ResultTable, require
-from repro.fastraft.server import FastRaftServer
-from repro.harness.builder import build_cluster
-from repro.harness.checkers import run_safety_checks
-from repro.harness.faults import FaultInjector
-from repro.harness.workload import ClosedLoopWorkload
 from repro.metrics.summary import summarize
-from repro.net.loss import BernoulliLoss
+from repro.scenarios.registry import Scenario, register_scenario
+from repro.scenarios.runner import RunContext, SweepRunner, probe
+from repro.scenarios.spec import (
+    Cell,
+    Event,
+    EventSchedule,
+    LossSpec,
+    ScenarioSpec,
+    TopologySpec,
+    WorkloadSpec,
+)
 
 
 @dataclass(frozen=True)
@@ -43,6 +52,10 @@ class Fig4Config:
     @classmethod
     def quick(cls) -> "Fig4Config":
         return cls(warmup_commits=15, total_commits=80)
+
+    @classmethod
+    def smoke(cls) -> "Fig4Config":
+        return cls(warmup_commits=10, total_commits=60)
 
 
 @dataclass
@@ -109,37 +122,60 @@ class Fig4Result:
                 f"got {list(self.final_members)}")
 
 
-def run_fig4(config: Fig4Config | None = None) -> Fig4Result:
-    config = config or Fig4Config.paper()
-    cluster = build_cluster(
-        FastRaftServer, n_sites=config.n_sites, seed=config.seed,
-        timing=config.timing, loss=BernoulliLoss(config.loss_rate))
-    cluster.start_all()
-    leader_name = cluster.run_until_leader(timeout=30.0)
-    # The proposer sits on the leader's site so that proposer-side retries
-    # never mask the protocol's own latency (as in the paper's timeline).
-    client = cluster.add_client(site=leader_name)
-    workload = ClosedLoopWorkload(client, max_requests=config.total_commits)
-    workload.start()
-    if not cluster.run_until(
-            lambda: workload.completed_count >= config.warmup_commits,
-            timeout=config.timeout):
-        raise TimeoutError("warmup did not complete")
-    leave_time = cluster.loop.now()
-    faults = FaultInjector(cluster)
-    victims = [n for n in cluster.servers if n != leader_name]
-    for victim in victims[:config.leavers]:
-        faults.silent_leave(victim)
-    if not cluster.run_until(lambda: workload.done, timeout=config.timeout):
-        raise TimeoutError(
-            f"finished only {workload.completed_count}"
-            f"/{config.total_commits} commits")
-    cluster.run_for(1.0)
-    run_safety_checks(cluster.servers.values(), cluster.trace)
-    engine = cluster.servers[leader_name].engine
+@probe("fig4_timeline")
+def probe_fig4_timeline(ctx: RunContext) -> dict:
+    """Latency timeline relative to the (first) scheduled leave, plus the
+    recovered configuration at the initial leader.
+
+    The proposer sits on the leader's site so that proposer-side retries
+    never mask the protocol's own latency (as in the paper's timeline).
+    """
+    leave_time = ctx.fired[0][0]
+    engine = ctx.system.servers[ctx.initial_leader].engine
     timeline = [(record.submitted_at - leave_time, record.latency)
-                for record in workload.records if record.done]
-    return Fig4Result(config=config, leave_time=leave_time,
-                      timeline=timeline,
-                      final_members=engine.configuration.members,
-                      final_fast_quorum=engine.configuration.fast_quorum)
+                for record in ctx.workloads[0].records if record.done]
+    return {"leave_time": leave_time,
+            "timeline": timeline,
+            "final_members": engine.configuration.members,
+            "final_fast_quorum": engine.configuration.fast_quorum}
+
+
+def fig4_spec(config: Fig4Config) -> ScenarioSpec:
+    schedule = EventSchedule(tuple(
+        Event("silent_leave", target=f"nonleader:{i}",
+              after_commits=config.warmup_commits)
+        for i in range(config.leavers)))
+    return ScenarioSpec(
+        name="fig4.silent_leave", engine="fastraft",
+        topology=TopologySpec(n_sites=config.n_sites),
+        timing=config.timing, loss=LossSpec(config.loss_rate),
+        schedule=schedule,
+        workload=WorkloadSpec(placement="leader",
+                              requests=config.total_commits),
+        probe="fig4_timeline", settle=1.0, timeout=config.timeout)
+
+
+def fig4_cells(config: Fig4Config) -> list[Cell]:
+    return [Cell(key=("timeline",), spec=fig4_spec(config),
+                 seed=config.seed)]
+
+
+def run_fig4(config: Fig4Config | None = None, jobs: int = 1) -> Fig4Result:
+    config = config or Fig4Config.paper()
+    metrics = SweepRunner(jobs).map(fig4_cells(config))[0]
+    return Fig4Result(config=config,
+                      leave_time=metrics["leave_time"],
+                      timeline=metrics["timeline"],
+                      final_members=metrics["final_members"],
+                      final_fast_quorum=metrics["final_fast_quorum"])
+
+
+register_scenario(Scenario(
+    name="fig4",
+    description="Fast Raft latency timeline across two silent leaves "
+                "(Fig. 4)",
+    make_config=lambda mode: {"quick": Fig4Config.quick,
+                              "full": Fig4Config.paper,
+                              "smoke": Fig4Config.smoke}[mode](),
+    run=run_fig4,
+    modes=("quick", "full", "smoke")))

@@ -13,30 +13,31 @@ The classic baseline spans the same sites in the same regions; its timing
 uses the intra-cluster preset when everything sits in one region and the
 inter-cluster preset once the deployment is geo-distributed, mirroring
 how the paper configures heartbeats per deployment scope.
+
+Every (protocol, cluster count, trial) is one scenario cell sharing the
+``throughput_window`` drive, so the whole grid parallelizes across
+worker processes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.consensus.config import Configuration
-from repro.consensus.engine import Role
-from repro.consensus.entry import EntryKind
 from repro.consensus.timing import TimingConfig
 from repro.craft.batching import BatchPolicy
-from repro.craft.deployment import build_craft_deployment
 from repro.experiments.base import ResultTable, cell_seed, require
-from repro.experiments.regions import latency_model_for, regions_for
-from repro.harness.checkers import check_election_safety
-from repro.harness.workload import ClosedLoopWorkload
-from repro.net.network import Network
+from repro.experiments.regions import regions_for
 from repro.net.topology import Topology
-from repro.raft.server import RaftServer
-from repro.sim.loop import SimLoop
-from repro.sim.rng import RngRegistry
-from repro.sim.trace import TraceRecorder
+from repro.scenarios.registry import Scenario, register_scenario
+from repro.scenarios.runner import SweepRunner
+from repro.scenarios.spec import (
+    Cell,
+    LatencySpec,
+    ScenarioSpec,
+    TopologySpec,
+    WorkloadSpec,
+)
 from repro.smr.kv import KVStateMachine
-from repro.storage.stable import StorageFabric
 
 
 @dataclass(frozen=True)
@@ -61,6 +62,11 @@ class Fig5Config:
     def quick(cls) -> "Fig5Config":
         return cls(cluster_counts=(1, 4, 10), trial_duration=40.0,
                    trials=1, warmup=10.0)
+
+    @classmethod
+    def smoke(cls) -> "Fig5Config":
+        return cls(cluster_counts=(1, 10), trial_duration=30.0, trials=1,
+                   warmup=10.0)
 
 
 @dataclass
@@ -108,121 +114,96 @@ class Fig5Result:
                 "C-Raft's advantage should grow with cluster count")
 
 
-# ----------------------------------------------------------------------
-# Classic Raft baseline over the same geo-distributed sites
-# ----------------------------------------------------------------------
-def _classic_trial(cluster_count: int, config: Fig5Config,
-                   seed: int) -> float:
+def _grid(config: Fig5Config, cluster_count: int
+          ) -> tuple[list[str], Topology]:
     regions = regions_for(cluster_count)
-    topology = Topology.even_clusters(config.total_sites, regions)
+    return regions, Topology.even_clusters(config.total_sites, regions)
+
+
+def fig5_classic_spec(config: Fig5Config, cluster_count: int
+                      ) -> ScenarioSpec:
+    """One flat Raft group spanning every region of the grid point."""
+    regions, topology = _grid(config, cluster_count)
     timing = (TimingConfig.intra_cluster() if cluster_count == 1
               else TimingConfig.inter_cluster())
-    loop = SimLoop()
-    rng = RngRegistry(seed)
-    trace = TraceRecorder(enabled=False)
-    network = Network(loop, rng, latency_model_for(topology), None, trace)
-    fabric = StorageFabric()
-    members = Configuration(tuple(topology.nodes))
-    servers = {}
-    for name in topology.nodes:
-        server = RaftServer(
-            name=name, loop=loop, network=network,
-            store=fabric.store_for(name), bootstrap_config=members,
-            timing=timing, rng=rng, trace=trace,
-            state_machine_factory=KVStateMachine)
-        servers[name] = server
-        network.register(server)
-    for server in servers.values():
-        server.start()
-
-    def leader_exists() -> bool:
-        return any(s.engine.role is Role.LEADER for s in servers.values())
-
-    deadline = loop.now() + 60.0
-    while loop.now() < deadline and not leader_exists():
-        loop.run_for(0.1)
-    if not leader_exists():
-        raise TimeoutError("classic baseline elected no leader")
-    # One proposer per cluster, as in the paper.
-    workloads = []
-    for index, region in enumerate(regions):
-        site = topology.nodes_in_region(region)[0]
-        client_name = f"client.{region}"
-        from repro.smr.client import Client
-        client = Client(client_name, loop, network, site,
-                        proposal_timeout=timing.proposal_timeout)
-        network.register(client)
-        workload = ClosedLoopWorkload(
-            client, command_factory=lambda s, r=region: {
-                "op": "put", "key": f"{r}.{s}", "value": s})
-        workload.start()
-        workloads.append(workload)
-    loop.run_for(config.warmup)
-    leader = next(s for s in servers.values()
-                  if s.engine.role is Role.LEADER)
-    start_count = _data_commits(leader)
-    loop.run_for(config.trial_duration)
-    end_count = _data_commits(leader)
-    for workload in workloads:
-        workload.stop()
-    return (end_count - start_count) / config.trial_duration
+    return ScenarioSpec(
+        name=f"fig5.classic.c{cluster_count}", engine="raft",
+        topology=TopologySpec(n_sites=config.total_sites,
+                              regions=tuple(regions)),
+        timing=timing, latency=LatencySpec.aws_regions(),
+        trace=False, state_machine=KVStateMachine,
+        workload=WorkloadSpec(
+            placement="sites",
+            sites=tuple(topology.nodes_in_region(r)[0] for r in regions),
+            client_names=tuple(f"client.{r}" for r in regions),
+            command="keyed", prefixes=tuple(regions)),
+        drive="throughput_window", leader_timeout=60.0,
+        params={"warmup": config.warmup,
+                "duration": config.trial_duration,
+                "leader_step": 0.1})
 
 
-def _data_commits(server) -> int:
-    return sum(1 for _, e in server.applied_log
-               if e.kind is EntryKind.DATA)
-
-
-# ----------------------------------------------------------------------
-# C-Raft
-# ----------------------------------------------------------------------
-def _craft_trial(cluster_count: int, config: Fig5Config, seed: int) -> float:
-    regions = regions_for(cluster_count)
-    topology = Topology.even_clusters(config.total_sites, regions)
-    deployment = build_craft_deployment(
-        topology, latency_model_for(topology), seed=seed,
-        local_timing=TimingConfig.intra_cluster(),
+def fig5_craft_spec(config: Fig5Config, cluster_count: int) -> ScenarioSpec:
+    regions, topology = _grid(config, cluster_count)
+    return ScenarioSpec(
+        name=f"fig5.craft.c{cluster_count}", engine="craft",
+        topology=TopologySpec(n_sites=config.total_sites,
+                              regions=tuple(regions)),
+        timing=TimingConfig.intra_cluster(),
         global_timing=TimingConfig.inter_cluster(),
-        batch_policy=BatchPolicy(
-            batch_size=config.batch_size,
-            max_outstanding=config.max_outstanding_batches),
-        trace_enabled=False,
-        state_machine_factory=KVStateMachine)
-    deployment.start_all()
-    deployment.run_until_local_leaders(timeout=30.0)
-    deployment.run_until_global_ready(timeout=90.0)
-    workloads = []
-    for region in regions:
-        site = topology.nodes_in_cluster(region)[0]
-        client = deployment.add_client(site=site)
-        workload = ClosedLoopWorkload(
-            client, command_factory=lambda s, r=region: {
-                "op": "put", "key": f"{r}.{s}", "value": s})
-        workload.start()
-        workloads.append(workload)
-    deployment.run_for(config.warmup)
-    start_count = deployment.total_global_applied()
-    deployment.run_for(config.trial_duration)
-    end_count = deployment.total_global_applied()
-    for workload in workloads:
-        workload.stop()
-    return (end_count - start_count) / config.trial_duration
+        batch=BatchPolicy(batch_size=config.batch_size,
+                          max_outstanding=config.max_outstanding_batches),
+        latency=LatencySpec.aws_regions(),
+        trace=False, state_machine=KVStateMachine,
+        workload=WorkloadSpec(
+            placement="sites",
+            sites=tuple(topology.nodes_in_cluster(r)[0] for r in regions),
+            command="keyed", prefixes=tuple(regions)),
+        drive="throughput_window",
+        params={"warmup": config.warmup,
+                "duration": config.trial_duration,
+                "global_ready_timeout": 90.0})
 
 
-def run_fig5(config: Fig5Config | None = None) -> Fig5Result:
+def fig5_cells(config: Fig5Config) -> list[Cell]:
+    cells = []
+    for cluster_count in config.cluster_counts:
+        for trial in range(config.trials):
+            cells.append(Cell(
+                key=("classic", cluster_count, trial),
+                spec=fig5_classic_spec(config, cluster_count),
+                seed=cell_seed(config.seed, "classic", cluster_count,
+                               trial)))
+            cells.append(Cell(
+                key=("craft", cluster_count, trial),
+                spec=fig5_craft_spec(config, cluster_count),
+                seed=cell_seed(config.seed, "craft", cluster_count,
+                               trial)))
+    return cells
+
+
+def run_fig5(config: Fig5Config | None = None, jobs: int = 1) -> Fig5Result:
     config = config or Fig5Config.paper()
+    rates = SweepRunner(jobs).run(fig5_cells(config))
     points = []
     for cluster_count in config.cluster_counts:
-        classic_rates, craft_rates = [], []
-        for trial in range(config.trials):
-            classic_rates.append(_classic_trial(
-                cluster_count, config,
-                cell_seed(config.seed, "classic", cluster_count, trial)))
-            craft_rates.append(_craft_trial(
-                cluster_count, config,
-                cell_seed(config.seed, "craft", cluster_count, trial)))
+        classic = [rates[("classic", cluster_count, t)]
+                   for t in range(config.trials)]
+        craft = [rates[("craft", cluster_count, t)]
+                 for t in range(config.trials)]
         points.append(Fig5Point(
             clusters=cluster_count,
-            classic_throughput=sum(classic_rates) / len(classic_rates),
-            craft_throughput=sum(craft_rates) / len(craft_rates)))
+            classic_throughput=sum(classic) / len(classic),
+            craft_throughput=sum(craft) / len(craft)))
     return Fig5Result(config=config, points=points)
+
+
+register_scenario(Scenario(
+    name="fig5",
+    description="Global commit throughput vs cluster count, classic Raft "
+                "vs C-Raft (Fig. 5)",
+    make_config=lambda mode: {"quick": Fig5Config.quick,
+                              "full": Fig5Config.paper,
+                              "smoke": Fig5Config.smoke}[mode](),
+    run=run_fig5,
+    modes=("quick", "full", "smoke")))

@@ -11,7 +11,8 @@ wait shrunk to a negligible epsilon (eager AppendEntries dispatch, a tiny
 decision interval), so measured times become exact hop multiples of ``d``
 and the hop count can be read off the latency (``repro.metrics.rounds``).
 The commit instant comes from the leader's trace; the proposer-observed
-latency from the client record.
+latency from the client record. That per-commit trace probing is this
+experiment's registered scenario drive (``rounds_hops``).
 """
 
 from __future__ import annotations
@@ -20,11 +21,10 @@ from dataclasses import dataclass
 
 from repro.consensus.timing import TimingConfig
 from repro.experiments.base import ResultTable, cell_seed, require
-from repro.fastraft.server import FastRaftServer
-from repro.harness.builder import build_cluster
 from repro.metrics.rounds import hops_from_latency
-from repro.net.latency import ConstantLatency
-from repro.raft.server import RaftServer
+from repro.scenarios.registry import Scenario, register_scenario
+from repro.scenarios.runner import SweepRunner, drive, elect_flat_leader
+from repro.scenarios.spec import Cell, LatencySpec, ScenarioSpec, TopologySpec
 
 
 @dataclass(frozen=True)
@@ -89,19 +89,18 @@ def _epsilon_timing() -> TimingConfig:
         member_timeout_beats=10 ** 9)
 
 
-def _measure(server_cls, config: RoundsConfig) -> tuple[int, int]:
-    cluster = build_cluster(
-        server_cls, n_sites=config.n_sites,
-        seed=cell_seed(config.seed, server_cls.__name__),
-        timing=_epsilon_timing(),
-        latency=ConstantLatency(config.one_way_delay))
+@drive("rounds_hops")
+def drive_rounds_hops(cluster, spec: ScenarioSpec) -> tuple[int, int]:
+    """Per-commit trace probing: read hop counts off exact latencies."""
+    one_way_delay = spec.params["one_way_delay"]
+    commits = spec.params["commits"]
     cluster.start_all()
-    leader = cluster.run_until_leader(timeout=30.0)
+    leader = elect_flat_leader(cluster, spec)
     proposer_site = next(n for n in cluster.servers if n != leader)
     client = cluster.add_client(site=proposer_site)
     cluster.run_for(1.0)  # drain election-time traffic
     commit_hops, proposer_hops = [], []
-    for i in range(config.commits):
+    for i in range(commits):
         commits_seen = len(cluster.trace.select(
             category=f"{cluster.servers[leader].engine.protocol_name}.commit",
             node=leader))
@@ -114,9 +113,9 @@ def _measure(server_cls, config: RoundsConfig) -> tuple[int, int]:
         new_commits = commit_events[commits_seen:]
         commit_time = new_commits[0].time
         commit_hops.append(hops_from_latency(
-            commit_time - submit_time, config.one_way_delay))
+            commit_time - submit_time, one_way_delay))
         proposer_hops.append(hops_from_latency(
-            record.latency, config.one_way_delay))
+            record.latency, one_way_delay))
         cluster.run_for(0.2)  # let replication settle between probes
     # Hop counts must be stable across commits; take the mode.
     commit_mode = max(set(commit_hops), key=commit_hops.count)
@@ -124,12 +123,40 @@ def _measure(server_cls, config: RoundsConfig) -> tuple[int, int]:
     return commit_mode, proposer_mode
 
 
-def run_rounds(config: RoundsConfig | None = None) -> RoundsResult:
+def rounds_cells(config: RoundsConfig) -> list[Cell]:
+    cells = []
+    for key, engine, seed_tag in (("classic", "raft", "RaftServer"),
+                                  ("fast", "fastraft", "FastRaftServer")):
+        spec = ScenarioSpec(
+            name=f"rounds.{key}", engine=engine,
+            topology=TopologySpec(n_sites=config.n_sites),
+            timing=_epsilon_timing(),
+            latency=LatencySpec.constant(config.one_way_delay),
+            drive="rounds_hops",
+            params={"one_way_delay": config.one_way_delay,
+                    "commits": config.commits})
+        cells.append(Cell(key=(key,), spec=spec,
+                          seed=cell_seed(config.seed, seed_tag)))
+    return cells
+
+
+def run_rounds(config: RoundsConfig | None = None,
+               jobs: int = 1) -> RoundsResult:
     config = config or RoundsConfig.paper()
-    classic_commit, classic_proposer = _measure(RaftServer, config)
-    fast_commit, fast_proposer = _measure(FastRaftServer, config)
+    hops = SweepRunner(jobs).run(rounds_cells(config))
+    classic_commit, classic_proposer = hops[("classic",)]
+    fast_commit, fast_proposer = hops[("fast",)]
     return RoundsResult(config=config,
                         classic_commit_hops=classic_commit,
                         classic_proposer_hops=classic_proposer,
                         fast_commit_hops=fast_commit,
                         fast_proposer_hops=fast_proposer)
+
+
+register_scenario(Scenario(
+    name="rounds",
+    description="Message-hop validation of the Figs. 1-2 commit paths",
+    make_config=lambda mode: (RoundsConfig.paper() if mode == "full"
+                              else RoundsConfig.quick()),
+    run=run_rounds,
+    modes=("quick", "full", "smoke")))

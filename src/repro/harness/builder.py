@@ -9,9 +9,15 @@ from repro.consensus.engine import Role
 from repro.consensus.server import ConsensusServer
 from repro.consensus.timing import TimingConfig
 from repro.errors import ExperimentError
-from repro.net.latency import BandwidthLatencyModel, LatencyModel, UniformLatency
+from repro.net.latency import (
+    BandwidthLatencyModel,
+    LatencyModel,
+    SharedLinkBandwidthModel,
+    UniformLatency,
+)
 from repro.net.loss import LossModel, NoLoss
 from repro.net.network import Network
+from repro.net.topology import Topology
 from repro.sim.loop import SimLoop
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import TraceRecorder
@@ -135,11 +141,14 @@ def build_cluster(server_cls: type[ConsensusServer], n_sites: int = 5,
                   compaction: CompactionPolicy | None = None,
                   transfer: TransferConfig | None = None,
                   bandwidth: float | None = None,
+                  shared_link: bool = False,
                   name_prefix: str = "n") -> Cluster:
     """Standard single-group cluster: ``n_sites`` voting members.
 
     ``bandwidth`` (simulated bytes/second) wraps the latency model in a
-    :class:`BandwidthLatencyModel` so message delays charge payload size;
+    :class:`BandwidthLatencyModel` so message delays charge payload size
+    (``shared_link=True`` upgrades it to the congestion-aware
+    :class:`SharedLinkBandwidthModel` where concurrent transfers queue);
     ``transfer`` tunes how snapshots ship (monolithic vs chunked).
 
     The result is not started; call :meth:`Cluster.start_all` (tests often
@@ -147,12 +156,16 @@ def build_cluster(server_cls: type[ConsensusServer], n_sites: int = 5,
     """
     if n_sites < 1:
         raise ExperimentError(f"need at least one site: {n_sites!r}")
+    if shared_link and bandwidth is None:
+        raise ExperimentError("shared_link needs a bandwidth")
     loop = SimLoop()
     rng = RngRegistry(seed)
     trace = TraceRecorder(enabled=trace_enabled)
     latency = latency if latency is not None else DEFAULT_LATENCY
     if bandwidth is not None:
-        latency = BandwidthLatencyModel(latency, bandwidth)
+        wrapper = (SharedLinkBandwidthModel if shared_link
+                   else BandwidthLatencyModel)
+        latency = wrapper(latency, bandwidth)
     network = Network(loop, rng, latency,
                       loss if loss is not None else NoLoss(), trace)
     fabric = StorageFabric()
@@ -169,3 +182,91 @@ def build_cluster(server_cls: type[ConsensusServer], n_sites: int = 5,
             compaction=compaction, transfer=transfer)
         cluster.add_server(server)
     return cluster
+
+
+def build_topology_cluster(server_cls: type[ConsensusServer],
+                           topology: Topology,
+                           latency: LatencyModel | None = None,
+                           loss: LossModel | None = None,
+                           seed: int = 0,
+                           timing: TimingConfig | None = None,
+                           trace_enabled: bool = True,
+                           state_machine_factory: Callable[[], Any] | None = None,
+                           compaction: CompactionPolicy | None = None,
+                           transfer: TransferConfig | None = None) -> Cluster:
+    """One flat consensus group spanning every node of ``topology``.
+
+    The geo-distributed classic-Raft baseline of Fig. 5: a single voting
+    configuration whose members sit in different regions (the latency
+    model decides what that costs). Nodes are created in
+    ``topology.nodes`` order.
+    """
+    loop = SimLoop()
+    rng = RngRegistry(seed)
+    trace = TraceRecorder(enabled=trace_enabled)
+    network = Network(loop, rng,
+                      latency if latency is not None else DEFAULT_LATENCY,
+                      loss, trace)
+    fabric = StorageFabric()
+    timing = timing if timing is not None else TimingConfig()
+    cluster = Cluster(loop, network, rng, trace, fabric, timing)
+    members = Configuration(tuple(topology.nodes))
+    for name in topology.nodes:
+        server = server_cls(
+            name=name, loop=loop, network=network,
+            store=fabric.store_for(name), bootstrap_config=members,
+            timing=timing, rng=rng, trace=trace,
+            state_machine_factory=state_machine_factory,
+            compaction=compaction, transfer=transfer)
+        cluster.add_server(server)
+    return cluster
+
+
+def server_class_for(engine: str) -> type[ConsensusServer]:
+    """Map a scenario engine name to its flat server class."""
+    from repro.fastraft.server import FastRaftServer
+    from repro.raft.server import RaftServer
+    if engine == "raft":
+        return RaftServer
+    if engine == "fastraft":
+        return FastRaftServer
+    raise ExperimentError(f"not a flat engine: {engine!r}")
+
+
+def build_from_spec(spec, seed: int):
+    """Construct the system a :class:`~repro.scenarios.spec.ScenarioSpec`
+    describes: a :class:`Cluster` for the flat engines, a
+    :class:`~repro.craft.deployment.CRaftDeployment` for ``craft``.
+
+    This is the single construction path the scenario runner uses; the
+    spec decides topology, engine, timing, network models, snapshotting,
+    and transfer tuning.
+    """
+    topology = spec.topology.build()
+    latency = spec.latency.build(topology)
+    loss = spec.loss.build()
+    if spec.engine == "craft":
+        from repro.craft.deployment import build_craft_deployment
+        return build_craft_deployment(
+            topology, latency if latency is not None else DEFAULT_LATENCY,
+            loss=loss, seed=seed, local_timing=spec.timing,
+            global_timing=spec.global_timing, batch_policy=spec.batch,
+            trace_enabled=spec.trace,
+            state_machine_factory=spec.state_machine,
+            local_compaction=spec.compaction,
+            global_compaction=spec.global_compaction,
+            transfer=spec.transfer)
+    server_cls = server_class_for(spec.engine)
+    if topology is None:
+        return build_cluster(
+            server_cls, n_sites=spec.topology.n_sites, seed=seed,
+            timing=spec.timing, latency=latency, loss=loss,
+            trace_enabled=spec.trace,
+            state_machine_factory=spec.state_machine,
+            compaction=spec.compaction, transfer=spec.transfer,
+            name_prefix=spec.topology.name_prefix)
+    return build_topology_cluster(
+        server_cls, topology, latency=latency, loss=loss, seed=seed,
+        timing=spec.timing, trace_enabled=spec.trace,
+        state_machine_factory=spec.state_machine,
+        compaction=spec.compaction, transfer=spec.transfer)

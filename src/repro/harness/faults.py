@@ -7,8 +7,13 @@
   but nothing gets in or out.
 - **announced leave / join** -- membership churn through the protocol's
   own request messages.
+- **network swaps** -- replacing the loss / latency model mid-run (the
+  paper's ``tc`` changes) and partition installs/heals.
 
-Faults can be applied immediately or scheduled at absolute sim times.
+Faults can be applied immediately, scheduled at absolute sim times, or --
+the declarative path -- described as :class:`repro.scenarios.spec.Event`
+records that the scenario runner resolves and fires, so experiments no
+longer hand-script injection code.
 """
 
 from __future__ import annotations
@@ -16,10 +21,48 @@ from __future__ import annotations
 from repro.consensus.messages import JoinRequest, LeaveRequest
 from repro.errors import ExperimentError
 from repro.harness.builder import Cluster
+from repro.net.loss import BernoulliLoss, NoLoss
+
+
+def resolve_event_targets(event, server_order: list[str],
+                          initial_leader: str | None,
+                          topology=None) -> list[str]:
+    """Resolve an :class:`~repro.scenarios.spec.Event` target selector.
+
+    ``server_order`` is the site list the positional selectors index
+    into (server insertion order for a flat cluster, cluster members for
+    a C-Raft cluster-scoped event).
+    """
+    target = event.target
+    if not target:
+        return []
+    if target == "leader":
+        if initial_leader is None:
+            raise ExperimentError("event targets 'leader' but no leader "
+                                  "was recorded")
+        return [initial_leader]
+    if target.startswith("nonleader:"):
+        if initial_leader is None:
+            raise ExperimentError(
+                f"event targets {target!r} but no leader was recorded -- "
+                f"the selector could silently hit the leader")
+        index = int(target.split(":", 1)[1])
+        others = [n for n in server_order if n != initial_leader]
+        if index >= len(others):
+            raise ExperimentError(f"no such non-leader: {target!r}")
+        return [others[index]]
+    if target.startswith("cluster:"):
+        if topology is None:
+            raise ExperimentError(
+                f"event targets {target!r} but the scenario has no "
+                f"cluster topology")
+        return topology.nodes_in_cluster(target.split(":", 1)[1])
+    return [target]
 
 
 class FaultInjector:
-    """Applies faults to a :class:`Cluster`."""
+    """Applies faults to a :class:`Cluster` (or C-Raft deployment --
+    anything with ``servers`` / ``network`` / ``loop`` / ``trace``)."""
 
     def __init__(self, cluster: Cluster) -> None:
         self._cluster = cluster
@@ -84,6 +127,17 @@ class FaultInjector:
         self._cluster.network.heal_partition()
         self._record("heal", "*")
 
+    def set_loss(self, rate: float) -> None:
+        """Swap the network-wide loss model (the paper's ``tc`` change)."""
+        self._cluster.network.set_loss(
+            BernoulliLoss(rate) if rate else NoLoss())
+        self._record("set_loss", f"{rate:g}")
+
+    def set_latency(self, model) -> None:
+        """Swap the latency model mid-run (e.g. a degraded WAN phase)."""
+        self._cluster.network.set_latency(model)
+        self._record("set_latency", repr(model))
+
     # ------------------------------------------------------------------
     # Scheduled faults
     # ------------------------------------------------------------------
@@ -93,3 +147,37 @@ class FaultInjector:
         if action is None or kind.startswith("_"):
             raise ExperimentError(f"unknown fault kind: {kind!r}")
         self._cluster.loop.call_at(at, lambda: action(site, **kwargs))
+
+    # ------------------------------------------------------------------
+    # Declarative events (repro.scenarios.spec.Event)
+    # ------------------------------------------------------------------
+    def apply_event(self, event, *, server_order: list[str] | None = None,
+                    initial_leader: str | None = None,
+                    topology=None) -> list[str]:
+        """Fire one scenario event now; returns the resolved sites."""
+        order = (server_order if server_order is not None
+                 else list(self._cluster.servers))
+        if event.action == "partition":
+            self.partition([list(group) for group in event.args[0]])
+            return []
+        if event.action == "heal_partition":
+            self.heal_partition()
+            return []
+        if event.action == "set_loss":
+            self.set_loss(event.args[0])
+            return []
+        if event.action == "set_latency":
+            model = event.args[0].build(topology)
+            if model is None:
+                from repro.harness.builder import DEFAULT_LATENCY
+                model = DEFAULT_LATENCY
+            self.set_latency(model)
+            return []
+        sites = resolve_event_targets(event, order, initial_leader,
+                                      topology=topology)
+        for site in sites:
+            if event.action == "request_join":
+                self.request_join(site, contact=event.args[0])
+            else:
+                getattr(self, event.action)(site)
+        return sites

@@ -23,11 +23,14 @@ class LatencyModel:
         raise NotImplementedError
 
     def transfer_delay(self, rng: random.Random, src: str, dst: str,
-                       size: int) -> float:
+                       size: int, now: float = 0.0) -> float:
         """One-way delay for a message of ``size`` simulated bytes.
 
         The default ignores size (pure propagation delay); decorators
         like :class:`BandwidthLatencyModel` add serialization cost.
+        ``now`` is the send instant on the simulation clock; stateful
+        models (:class:`SharedLinkBandwidthModel`) use it to queue
+        concurrent transfers behind each other.
         """
         return self.sample(rng, src, dst)
 
@@ -99,12 +102,47 @@ class BandwidthLatencyModel(LatencyModel):
         return max(0, size) / self.bandwidth
 
     def transfer_delay(self, rng: random.Random, src: str, dst: str,
-                       size: int) -> float:
-        return (self.base.transfer_delay(rng, src, dst, size)
+                       size: int, now: float = 0.0) -> float:
+        return (self.base.transfer_delay(rng, src, dst, size, now)
                 + self.serialization_delay(size))
 
     def __repr__(self) -> str:
         return (f"BandwidthLatencyModel({self.base!r}, "
+                f"bandwidth={self.bandwidth!r})")
+
+
+class SharedLinkBandwidthModel(BandwidthLatencyModel):
+    """Bandwidth model where concurrent transfers on one link contend.
+
+    :class:`BandwidthLatencyModel` charges every message independently,
+    as if each had the link to itself. Here each directed ``src -> dst``
+    link is a FIFO queue: a message starts serializing only when the
+    link finishes the previous one, so two overlapping chunk windows
+    slow each other down exactly as on a real saturated pipe.
+
+    The model is stateful (it remembers when each link frees up), which
+    is still deterministic: state advances only on ``transfer_delay``
+    calls, and those happen in simulation order.
+    """
+
+    def __init__(self, base: LatencyModel, bandwidth: float) -> None:
+        super().__init__(base, bandwidth)
+        self._busy_until: dict[tuple[str, str], float] = {}
+
+    def link_busy_until(self, src: str, dst: str) -> float:
+        """Time the ``src -> dst`` link finishes its queued transfers."""
+        return self._busy_until.get((src, dst), 0.0)
+
+    def transfer_delay(self, rng: random.Random, src: str, dst: str,
+                       size: int, now: float = 0.0) -> float:
+        start = max(now, self.link_busy_until(src, dst))
+        finish = start + self.serialization_delay(size)
+        self._busy_until[(src, dst)] = finish
+        return ((finish - now)
+                + self.base.transfer_delay(rng, src, dst, size, now))
+
+    def __repr__(self) -> str:
+        return (f"SharedLinkBandwidthModel({self.base!r}, "
                 f"bandwidth={self.bandwidth!r})")
 
 

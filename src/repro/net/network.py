@@ -149,7 +149,8 @@ class Network:
             return
         if self._latency.size_aware:
             delay = self._latency.transfer_delay(self._latency_rng,
-                                                 src, dst, size)
+                                                 src, dst, size,
+                                                 self._loop.now())
         else:
             delay = self._latency.sample(self._latency_rng, src, dst)
         self._loop.call_later(delay, self._deliver, src, dst, message)

@@ -1,0 +1,42 @@
+"""Declarative scenarios: specs, a named registry, and a parallel sweep
+runner (see README "Scenario registry")."""
+
+from repro.scenarios.registry import (
+    Scenario,
+    get_scenario,
+    register_scenario,
+    run_scenario,
+    scenario_names,
+)
+from repro.scenarios.runner import RunContext, SweepRunner, drive, probe, run_cell
+from repro.scenarios.spec import (
+    Cell,
+    Event,
+    EventSchedule,
+    LatencySpec,
+    LossSpec,
+    ScenarioSpec,
+    TopologySpec,
+    WorkloadSpec,
+)
+
+__all__ = [
+    "Cell",
+    "Event",
+    "EventSchedule",
+    "LatencySpec",
+    "LossSpec",
+    "RunContext",
+    "Scenario",
+    "ScenarioSpec",
+    "SweepRunner",
+    "TopologySpec",
+    "WorkloadSpec",
+    "drive",
+    "get_scenario",
+    "probe",
+    "register_scenario",
+    "run_cell",
+    "run_scenario",
+    "scenario_names",
+]

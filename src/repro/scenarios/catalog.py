@@ -1,0 +1,19 @@
+"""Import-for-effect module: pulls in every scenario provider.
+
+Importing this module populates the drive, probe, and scenario
+registries. Worker processes import it (via ``load_catalog``) before
+resolving any registered name, so specs built in the parent resolve
+identically in the pool.
+"""
+
+from __future__ import annotations
+
+# Each import registers drives/probes/scenarios as a side effect.
+import repro.experiments.ablations      # noqa: F401
+import repro.experiments.catchup        # noqa: F401
+import repro.experiments.fig3_latency   # noqa: F401
+import repro.experiments.fig4_churn     # noqa: F401
+import repro.experiments.fig5_throughput  # noqa: F401
+import repro.experiments.flapping       # noqa: F401
+import repro.experiments.migrated_region  # noqa: F401
+import repro.experiments.rounds         # noqa: F401

@@ -1,0 +1,95 @@
+"""The named scenario registry.
+
+Every experiment registers a :class:`Scenario`: how to build its config
+for a mode (``quick`` / ``full`` / ``smoke``), how to run its sweep (with
+a ``jobs`` fan-out degree), and how to render / verify the result. The
+CLI (``python -m repro.experiments --scenario <name> --jobs N``), the
+benchmarks, and CI all go through this registry instead of importing
+driver functions ad hoc.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import ExperimentError
+
+
+def _default_tables(result: Any) -> list:
+    # Imported lazily: the experiment modules import this registry at
+    # module level, so the reverse import must not happen at load time.
+    from repro.experiments.base import ResultTable
+    if isinstance(result, ResultTable):
+        return [result]
+    if isinstance(result, (list, tuple)):
+        return [t for r in result for t in _default_tables(r)]
+    return [result.table()]
+
+
+def _default_check(result: Any) -> None:
+    if isinstance(result, (list, tuple)):
+        for item in result:
+            _default_check(item)
+        return
+    check = getattr(result, "check_shape", None)
+    if check is not None:
+        check()
+
+
+@dataclass
+class Scenario:
+    """A registered, runnable scenario (usually a sweep of cells)."""
+
+    name: str
+    description: str
+    #: mode -> config object understood by :attr:`run`.
+    make_config: Callable[[str], Any]
+    #: ``run(config, jobs=N) -> result``.
+    run: Callable[..., Any]
+    modes: tuple[str, ...] = ("quick", "full")
+    tables: Callable[[Any], list] = _default_tables
+    check: Callable[[Any], None] = _default_check
+
+    def as_dict(self, result: Any) -> dict[str, Any]:
+        return {"scenario": self.name,
+                "tables": [t.as_dict() for t in self.tables(result)]}
+
+
+_REGISTRY: dict[str, Scenario] = {}
+
+
+def register_scenario(scenario: Scenario) -> Scenario:
+    if scenario.name in _REGISTRY:
+        raise ExperimentError(
+            f"scenario already registered: {scenario.name!r}")
+    _REGISTRY[scenario.name] = scenario
+    return scenario
+
+
+def get_scenario(name: str) -> Scenario:
+    from repro.scenarios.runner import load_catalog
+    load_catalog()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown scenario: {name!r} (known: {scenario_names()})"
+        ) from None
+
+
+def scenario_names() -> list[str]:
+    from repro.scenarios.runner import load_catalog
+    load_catalog()
+    return sorted(_REGISTRY)
+
+
+def run_scenario(name: str, mode: str = "quick", jobs: int = 1):
+    """Convenience: resolve, configure, and run a scenario by name."""
+    scenario = get_scenario(name)
+    if mode not in scenario.modes:
+        raise ExperimentError(
+            f"scenario {name!r} has no mode {mode!r} "
+            f"(choose from {scenario.modes})")
+    config = scenario.make_config(mode)
+    return scenario, scenario.run(config, jobs=jobs)

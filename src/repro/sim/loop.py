@@ -21,25 +21,35 @@ class Handle:
     """Cancellation handle returned by :meth:`SimLoop.call_later`.
 
     Cancellation is lazy: the entry stays in the heap and is skipped when
-    popped. This makes ``cancel()`` O(1).
+    popped. This makes ``cancel()`` O(1). The owning loop keeps a count of
+    cancelled entries still in its heap so ``pending_count()`` stays O(1)
+    and the heap can be compacted when cancellations dominate it.
     """
 
-    __slots__ = ("when", "_callback", "_args", "_cancelled", "seq")
+    __slots__ = ("when", "_callback", "_args", "_cancelled", "seq",
+                 "_loop", "_in_heap")
 
     def __init__(self, when: float, seq: int,
-                 callback: Callable[..., None], args: tuple) -> None:
+                 callback: Callable[..., None], args: tuple,
+                 loop: "SimLoop | None" = None) -> None:
         self.when = when
         self.seq = seq
         self._callback = callback
         self._args = args
         self._cancelled = False
+        self._loop = loop
+        self._in_heap = False
 
     def cancel(self) -> None:
         """Prevent the callback from running. Idempotent."""
+        if self._cancelled:
+            return
         self._cancelled = True
         # Drop references so cancelled closures can be collected early.
         self._callback = None
         self._args = ()
+        if self._in_heap and self._loop is not None:
+            self._loop._note_cancelled()
 
     @property
     def cancelled(self) -> bool:
@@ -68,12 +78,16 @@ class SimLoop:
         loop.run_until(60.0)
     """
 
+    #: Compaction never bothers with heaps smaller than this.
+    _COMPACT_MIN = 64
+
     def __init__(self) -> None:
         self._now = 0.0
         self._heap: list[Handle] = []
         self._seq = itertools.count()
         self._events_processed = 0
         self._running = False
+        self._cancelled_in_heap = 0
 
     # ------------------------------------------------------------------
     # Clock
@@ -103,7 +117,8 @@ class SimLoop:
         if when < self._now:
             raise SimulationError(
                 f"cannot schedule at {when!r}, now is {self._now!r}")
-        handle = Handle(when, next(self._seq), callback, args)
+        handle = Handle(when, next(self._seq), callback, args, loop=self)
+        handle._in_heap = True
         heapq.heappush(self._heap, handle)
         return handle
 
@@ -130,7 +145,9 @@ class SimLoop:
             heap = self._heap
             while heap and heap[0].when <= deadline:
                 handle = heapq.heappop(heap)
+                handle._in_heap = False
                 if handle.cancelled:
+                    self._cancelled_in_heap -= 1
                     continue
                 self._now = handle.when
                 self._events_processed += 1
@@ -157,7 +174,9 @@ class SimLoop:
             heap = self._heap
             while heap:
                 handle = heapq.heappop(heap)
+                handle._in_heap = False
                 if handle.cancelled:
+                    self._cancelled_in_heap -= 1
                     continue
                 self._now = handle.when
                 self._events_processed += 1
@@ -171,8 +190,22 @@ class SimLoop:
         return executed
 
     def pending_count(self) -> int:
-        """Number of scheduled, non-cancelled callbacks."""
-        return sum(1 for h in self._heap if not h.cancelled)
+        """Number of scheduled, non-cancelled callbacks. O(1)."""
+        return len(self._heap) - self._cancelled_in_heap
+
+    def _note_cancelled(self) -> None:
+        """A handle still in the heap was cancelled; maybe compact.
+
+        Compaction rewrites the heap *in place* (slice assignment) so any
+        local alias held by a running ``run_until`` stays valid.
+        """
+        self._cancelled_in_heap += 1
+        heap = self._heap
+        if (len(heap) >= self._COMPACT_MIN
+                and self._cancelled_in_heap * 2 > len(heap)):
+            heap[:] = [h for h in heap if not h.cancelled]
+            heapq.heapify(heap)
+            self._cancelled_in_heap = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"<SimLoop now={self._now:.6f} "

@@ -1,0 +1,283 @@
+"""Scenario subsystem battery.
+
+Three guarantees are pinned here:
+
+1. **Migration fidelity** -- every migrated figure driver reproduces the
+   exact table values the hand-written (pre-scenario) drivers produced
+   for a pinned seed. The golden values below were captured from the
+   seed-state code before the refactor; any drift in RNG stream usage,
+   construction order, or event scheduling shows up as a mismatch.
+2. **Serial == parallel** -- the SweepRunner produces identical metrics
+   with ``jobs=1`` and ``jobs>1`` for the same cells.
+3. **Spec semantics** -- the declarative layer (topology placement,
+   event triggers, schedules, registry) behaves as documented.
+"""
+
+import math
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.ablations import (
+    AblationConfig,
+    run_decision_interval_ablation,
+)
+from repro.experiments.catchup import CatchupConfig, run_catchup
+from repro.experiments.fig3_latency import Fig3Config, run_fig3
+from repro.experiments.fig4_churn import Fig4Config, run_fig4
+from repro.experiments.fig5_throughput import Fig5Config, run_fig5
+from repro.experiments.flapping import FlappingConfig, run_flapping
+from repro.experiments.migrated_region import (
+    MigratedRegionConfig,
+    run_migrated_region,
+)
+from repro.experiments.rounds import RoundsConfig, run_rounds
+from repro.scenarios.registry import get_scenario, scenario_names
+from repro.scenarios.runner import SweepRunner, run_cell
+from repro.scenarios.spec import (
+    Cell,
+    Event,
+    EventSchedule,
+    LatencySpec,
+    ScenarioSpec,
+    TopologySpec,
+    WorkloadSpec,
+)
+
+
+def rows_equal(actual, expected):
+    """Cell-wise equality that treats NaN == NaN (empty phases)."""
+    assert len(actual) == len(expected)
+    for row_a, row_e in zip(actual, expected):
+        assert len(row_a) == len(row_e)
+        for a, e in zip(row_a, row_e):
+            if (isinstance(a, float) and isinstance(e, float)
+                    and math.isnan(a) and math.isnan(e)):
+                continue
+            assert a == e, f"{row_a} != {row_e}"
+
+
+# ----------------------------------------------------------------------
+# 1. Migration fidelity: pinned-seed goldens from the pre-scenario code
+# ----------------------------------------------------------------------
+class TestGoldenTables:
+    def test_rounds_golden(self):
+        r = run_rounds(RoundsConfig.quick())
+        assert [r.classic_commit_hops, r.classic_proposer_hops,
+                r.fast_commit_hops, r.fast_proposer_hops] == [3, 4, 2, 3]
+
+    def test_fig3_golden(self):
+        r = run_fig3(Fig3Config(loss_rates=(0.0, 0.05), trials=8))
+        rows_equal(r.table().as_dict()["rows"], [
+            [0.0, 99.63279773782213, 49.3842454428823,
+             100.07348202911001, 50.12365861729137, 2.01750167172357],
+            [5.0, 161.77169408559584, 55.692111127086086,
+             394.4196759970233, 82.99195823140847, 2.904750615692094],
+        ])
+
+    def test_fig4_golden(self):
+        r = run_fig4(Fig4Config(warmup_commits=10, total_commits=50))
+        table = r.table().as_dict()
+        rows_equal(table["rows"], [
+            ["before leave", 11, 49.22197213695124, 50.00000000000004,
+             50.00000000000004],
+            ["transition", 39, 62.82051282051274, 100.72072294255966,
+             150.81615631430833],
+            ["recovered", 0, float("nan"), float("nan"), float("nan")],
+        ])
+        assert table["notes"] == [
+            "members after recovery: ['n2', 'n3', 'n4'], fast quorum 3",
+            "silent leave at t=0.82s, loss 5%, member timeout 5 beats",
+        ]
+
+    def test_fig5_golden(self):
+        r = run_fig5(Fig5Config(cluster_counts=(2,), trial_duration=20.0,
+                                trials=1, warmup=5.0))
+        rows_equal(r.table().as_dict()["rows"], [[2, 4.0, 31.0, 7.75]])
+
+    def test_ablation_decision_golden(self):
+        table = run_decision_interval_ablation(
+            AblationConfig(commits=10, decision_fractions=(0.5, 1.0)))
+        rows_equal(table.as_dict()["rows"], [
+            [0.5, 50.0, 49.257631255792674],
+            [1.0, 100.0, 99.38668269739864],
+        ])
+
+    def test_catchup_golden(self):
+        r = run_catchup(CatchupConfig.smoke("fastraft"))
+        rows_equal(r.table().as_dict()["rows"], [
+            ["full replay", 71, 72, 0, 1749.9999999999632],
+            ["snapshots", 71, 3, 1, 1449.9999999999695],
+        ])
+
+
+# ----------------------------------------------------------------------
+# 2. Serial vs parallel: the identical-results guarantee
+# ----------------------------------------------------------------------
+class TestSweepRunnerParallel:
+    def test_fig3_serial_equals_parallel(self):
+        config = Fig3Config(loss_rates=(0.0, 0.05), trials=6)
+        serial = run_fig3(config, jobs=1)
+        parallel = run_fig3(config, jobs=3)
+        assert serial.table().as_dict() == parallel.table().as_dict()
+
+    def test_catchup_serial_equals_parallel(self):
+        config = CatchupConfig.smoke("raft")
+        serial = run_catchup(config, jobs=1)
+        parallel = run_catchup(config, jobs=2)
+        assert serial.table().as_dict() == parallel.table().as_dict()
+
+    def test_single_cell_runs_inline(self):
+        """jobs > 1 with one cell must not pay the pool overhead."""
+        config = Fig4Config(warmup_commits=5, total_commits=25)
+        serial = run_fig4(config).table().as_dict()
+        parallel = run_fig4(config, jobs=4).table().as_dict()
+        rows_equal(serial["rows"], parallel["rows"])
+        assert serial["notes"] == parallel["notes"]
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ExperimentError):
+            SweepRunner(0)
+
+
+# ----------------------------------------------------------------------
+# 3. Spec semantics
+# ----------------------------------------------------------------------
+class TestSpecs:
+    def test_topology_region_sizes(self):
+        topo = TopologySpec(n_sites=5, regions=("core", "edge"),
+                            region_sizes=(3, 2)).build()
+        assert topo.nodes_in_region("core") == ["n0", "n1", "n2"]
+        assert topo.nodes_in_region("edge") == ["n3", "n4"]
+
+    def test_topology_rejects_bad_sizes(self):
+        with pytest.raises(ExperimentError):
+            TopologySpec(n_sites=5, regions=("a", "b"),
+                         region_sizes=(3, 3))
+
+    def test_event_needs_exactly_one_trigger(self):
+        with pytest.raises(ExperimentError):
+            Event("crash", target="n0")
+        with pytest.raises(ExperimentError):
+            Event("crash", target="n0", at=1.0, after_commits=5)
+        with pytest.raises(ExperimentError):
+            Event("explode", target="n0", at=1.0)
+
+    def test_flapping_schedule_windows(self):
+        schedule = EventSchedule.flapping_link(
+            (("a",), ("b",)), first_outage=1.0, outage=0.5, stable=2.0,
+            cycles=2)
+        assert schedule.outage_windows() == [(1.0, 1.5), (3.5, 4.0)]
+
+    def test_craft_requires_regions(self):
+        with pytest.raises(ExperimentError):
+            ScenarioSpec(name="x", engine="craft")
+
+    def test_unknown_placement_rejected(self):
+        with pytest.raises(ExperimentError):
+            WorkloadSpec(placement="everywhere")
+
+    def test_latency_spec_builds_bandwidth_wrappers(self):
+        from repro.net.latency import (
+            BandwidthLatencyModel,
+            SharedLinkBandwidthModel,
+        )
+        plain = LatencySpec.constant(0.01, bandwidth=1000.0).build(None)
+        shared = LatencySpec.constant(0.01, bandwidth=1000.0,
+                                      shared_link=True).build(None)
+        assert type(plain) is BandwidthLatencyModel
+        assert type(shared) is SharedLinkBandwidthModel
+
+    def test_shared_link_without_bandwidth_rejected(self):
+        """The congestion knob must never silently no-op."""
+        from repro.harness.builder import build_cluster
+        from repro.raft.server import RaftServer
+        with pytest.raises(ExperimentError):
+            LatencySpec.constant(0.01, shared_link=True)
+        with pytest.raises(ExperimentError):
+            build_cluster(RaftServer, n_sites=3, shared_link=True)
+
+    def test_duplicate_cell_keys_rejected(self):
+        spec = ScenarioSpec(name="dup", engine="raft",
+                            topology=TopologySpec(n_sites=3),
+                            workload=WorkloadSpec(requests=1))
+        cells = [Cell(key=("same",), spec=spec, seed=1),
+                 Cell(key=("same",), spec=spec, seed=2)]
+        with pytest.raises(ExperimentError):
+            SweepRunner().run(cells)
+
+    def test_nonleader_target_requires_recorded_leader(self):
+        from repro.harness.faults import resolve_event_targets
+        event = Event("crash", target="nonleader:0", at=1.0)
+        with pytest.raises(ExperimentError):
+            resolve_event_targets(event, ["n0", "n1"], None)
+
+    def test_timed_event_before_election_fires_instead_of_crashing(self):
+        spec = ScenarioSpec(
+            name="unit.early_event", engine="raft",
+            topology=TopologySpec(n_sites=3),
+            schedule=EventSchedule((
+                Event("set_loss", at=0.05, args=(0.0,)),)),
+            workload=WorkloadSpec(placement="leader", requests=5))
+        stats = run_cell(spec, seed=4)
+        assert stats.count == 5
+
+    def test_run_cell_executes_spec_directly(self):
+        spec = ScenarioSpec(
+            name="unit.direct", engine="raft",
+            topology=TopologySpec(n_sites=3),
+            workload=WorkloadSpec(placement="leader", requests=5))
+        stats = run_cell(spec, seed=1)
+        assert stats.count == 5
+
+    def test_timed_events_fire_in_order(self):
+        spec = ScenarioSpec(
+            name="unit.timed", engine="raft",
+            topology=TopologySpec(n_sites=3),
+            schedule=EventSchedule((
+                Event("crash", target="nonleader:0", at=2.0),
+                Event("recover", target="nonleader:0", at=4.0))),
+            workload=WorkloadSpec(placement="leader", requests=30))
+        stats = run_cell(spec, seed=2)
+        assert stats.count == 30
+
+
+# ----------------------------------------------------------------------
+# Registry + new scenarios
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_all_scenarios_registered(self):
+        names = scenario_names()
+        for expected in ("rounds", "fig3", "fig4", "fig5", "ablations",
+                         "catchup", "catchup_wan", "flapping_wan",
+                         "migrated_region"):
+            assert expected in names
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(ExperimentError):
+            get_scenario("no_such_scenario")
+
+    def test_registry_runs_a_scenario_end_to_end(self):
+        scenario = get_scenario("fig4")
+        result = scenario.run(Fig4Config(warmup_commits=5,
+                                         total_commits=25), jobs=1)
+        tables = scenario.tables(result)
+        assert len(tables) == 1
+        payload = scenario.as_dict(result)
+        assert payload["scenario"] == "fig4"
+
+
+class TestNewScenarios:
+    def test_flapping_wan_smoke(self):
+        result = run_flapping(FlappingConfig.smoke())
+        result.check_shape()
+        # The link spends real time down, yet every commit lands and the
+        # completions cluster into the stability windows.
+        assert result.outage_commits <= result.stable_commits / 4
+
+    def test_migrated_region_smoke(self):
+        result = run_migrated_region(MigratedRegionConfig.smoke())
+        result.check_shape()
+        # The whole region adopted the image through the gated path.
+        assert result.gated_sites == 3
+        assert result.installs >= 1

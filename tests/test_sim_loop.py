@@ -186,3 +186,59 @@ def test_reentrant_run_rejected():
     loop.call_later(0.1, nested)
     with pytest.raises(SimulationError):
         loop.run_until(1.0)
+
+
+def test_pending_count_is_live_counter():
+    """pending_count is O(1): it tracks pushes, pops, and cancels."""
+    loop = SimLoop()
+    handles = [loop.call_later(float(i + 1), lambda: None)
+               for i in range(10)]
+    assert loop.pending_count() == 10
+    for handle in handles[:4]:
+        handle.cancel()
+        handle.cancel()  # idempotent: must not double-decrement
+    assert loop.pending_count() == 6
+    loop.run_until(20.0)
+    assert loop.pending_count() == 0
+
+
+def test_cancel_after_run_does_not_corrupt_count():
+    loop = SimLoop()
+    handle = loop.call_later(1.0, lambda: None)
+    loop.call_later(2.0, lambda: None)
+    loop.run_until(1.5)  # pops the first handle
+    handle.cancel()      # cancelling an executed handle is a no-op
+    assert loop.pending_count() == 1
+
+
+def test_heap_compacts_when_cancellations_dominate():
+    loop = SimLoop()
+    doomed = [loop.call_later(float(i + 1), lambda: None)
+              for i in range(100)]
+    keep = [loop.call_later(200.0 + i, lambda: None) for i in range(10)]
+    for handle in doomed:
+        handle.cancel()
+    # More than half the heap was cancelled: it must have been compacted
+    # (dead entries dropped), not left to linger at full size.
+    assert len(loop._heap) < len(doomed) + len(keep) - 40
+    assert loop.pending_count() == 10
+    loop.run_until(300.0)
+    assert loop.events_processed == 10
+
+
+def test_compaction_during_run_keeps_heap_alias_valid():
+    """Compaction triggered from inside a callback must not strand the
+    running loop on a stale heap list."""
+    loop = SimLoop()
+    doomed = [loop.call_later(50.0 + i, lambda: None) for i in range(80)]
+    seen = []
+
+    def cancel_all():
+        for handle in doomed:
+            handle.cancel()
+
+    loop.call_later(1.0, cancel_all)
+    loop.call_later(2.0, lambda: seen.append(loop.now()))
+    loop.run_until(100.0)
+    assert seen == [2.0]
+    assert loop.pending_count() == 0
