@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.consensus.config import Configuration, TransferConfig
-from repro.consensus.entry import LogEntry
+from repro.consensus.entry import EntryKind, LogEntry
 from repro.consensus.log import RaftLog
 from repro.consensus.messages import (
     AppendEntries,
@@ -88,6 +88,10 @@ class EngineContext:
     #: Called after every role transition (C-Raft reacts to local
     #: leadership changes by joining/leaving the global configuration).
     on_role_change: Callable[["Role"], None] = lambda role: None
+    #: Called whenever the engine's known leader changes (C-Raft tracks
+    #: the previous local leader so a successor's global join can name
+    #: the member it replaces).
+    on_leader_change: Callable[[str | None], None] = lambda leader: None
     #: Called when the engine adopts a new configuration.
     on_config_change: Callable[[Configuration], None] = lambda config: None
     #: Snapshotting. ``capture_snapshot`` returns the host's contribution
@@ -159,7 +163,7 @@ class BaseEngine:
         # --- volatile state ---
         self.commit_index = 0
         self.role = Role.FOLLOWER
-        self.leader_id: str | None = None
+        self._leader_id: str | None = None
         self._votes_received: set[str] = set()
         persisted = self.snapshot_store.latest
         if persisted is not None:
@@ -187,6 +191,16 @@ class BaseEngine:
     @property
     def configuration(self) -> Configuration:
         return self._configuration
+
+    @property
+    def leader_id(self) -> str | None:
+        return self._leader_id
+
+    @leader_id.setter
+    def leader_id(self, value: str | None) -> None:
+        if value != self._leader_id:
+            self._leader_id = value
+            self.ctx.on_leader_change(value)
 
     @property
     def is_leader(self) -> bool:
@@ -237,12 +251,18 @@ class BaseEngine:
         """Highest-versioned CONFIG entry wins; else the configuration the
         snapshot carried (its CONFIG entries are compacted away); else the
         bootstrap config (see ConfigPayload.version for why not simply
-        "last inserted")."""
-        __, members = governing_config(self.snapshot_store.latest,
-                                       self.log.best_config_entry())
+        "last inserted").
+
+        Tentative entries are excluded (``decided_upto``): a CONFIG entry
+        governs once it is leader-approved or committed, not from its own
+        proposal broadcast -- see ``RaftLog.best_config_entry`` for the
+        2-voter split-brain this prevents."""
+        __, members, observers = governing_config(
+            self.snapshot_store.latest,
+            self.log.best_config_entry(decided_upto=self.commit_index))
         if members is None:
             return self._bootstrap_config
-        return Configuration(members)
+        return Configuration(members, observers)
 
     def _max_known_config_version(self) -> int:
         """Highest configuration version in the log *or* swallowed by the
@@ -254,8 +274,18 @@ class BaseEngine:
     def _refresh_configuration(self) -> None:
         new_config = self._derive_configuration()
         if new_config != self._configuration:
+            previous = self._configuration
             self._configuration = new_config
-            self._trace("config.adopt", members=new_config.members)
+            self._trace("config.adopt", members=new_config.members,
+                        observers=new_config.observers)
+            if (self.name in previous.observers
+                    and self.name in new_config.members):
+                # Observer-to-voter promotion changes the governing
+                # config mid-stream: a partially assembled snapshot
+                # transfer was addressed to the old role and could carry
+                # a pre-promotion configuration -- discard it and let the
+                # leader restart the ship, like a term bump does.
+                self._discard_partial_transfer("promoted")
             self._on_configuration_changed()
             self.ctx.on_config_change(new_config)
 
@@ -301,6 +331,10 @@ class BaseEngine:
         if not isinstance(message, _GATED_TYPES):
             return True
         if sender == self.name or sender in self._configuration:
+            return True
+        if sender in self._configuration.observers:
+            # Observers replicate the log: their acks and slot votes must
+            # reach the leader (quorum rules decide what they count for).
             return True
         if sender in self._extra_allowed:
             return True
@@ -366,8 +400,8 @@ class BaseEngine:
         self._votes_received = {self.name}
         self._trace("role.candidate", term=self.current_term)
         request = self._make_vote_request()
-        for member in self._configuration.others(self.name):
-            self._send(member, request)
+        for site in self._vote_request_targets():
+            self._send(site, request)
         self._arm_election_timer()
         self._maybe_win_election()  # single-member configuration
 
@@ -378,6 +412,12 @@ class BaseEngine:
         self._trace("role.leader", term=self.current_term)
         self._init_leader_state()
         self.ctx.on_role_change(Role.LEADER)
+
+    def _vote_request_targets(self) -> list[str]:
+        """Members plus observers: observer ballots are only *counted*
+        when the tiebreaker rule applies, but soliciting them is always
+        harmless (one vote per term either way)."""
+        return list(self._configuration.replicas_without(self.name))
 
     # Subclass responsibilities ----------------------------------------
     def _make_vote_request(self) -> RequestVote:
@@ -442,7 +482,9 @@ class BaseEngine:
         self._observe_term(msg.term)
         if self.role is not Role.CANDIDATE or msg.term < self.current_term:
             return
-        if msg.vote_granted and msg.voter in self._configuration:
+        if msg.vote_granted and (msg.voter in self._configuration
+                                 or msg.voter in
+                                 self._configuration.observers):
             self._votes_received.add(msg.voter)
             self._absorb_vote_response(msg)
             self._maybe_win_election()
@@ -453,7 +495,9 @@ class BaseEngine:
     def _maybe_win_election(self) -> None:
         if self.role is not Role.CANDIDATE:
             return
-        if self._configuration.is_classic_quorum(self._votes_received):
+        # is_election_quorum == classic quorum unless the voting set is
+        # degenerate (<= 2 members) and an observer tiebreaker exists.
+        if self._configuration.is_election_quorum(self._votes_received):
             self._trace("election.won", term=self.current_term,
                         votes=sorted(self._votes_received))
             self._become_leader()
@@ -477,6 +521,11 @@ class BaseEngine:
             advanced = True
             self._trace("commit", index=next_index, entry_id=entry.entry_id,
                         kind=entry.kind.value, term=entry.term)
+            if entry.kind is EntryKind.CONFIG:
+                # A fast-track commit can land on a still-self-approved
+                # copy of the entry; tentative configs do not govern
+                # until decided, so activation happens here at latest.
+                self._refresh_configuration()
             self._on_entry_committed(next_index, entry)
             self.ctx.on_apply(next_index, entry)
             if entry.origin == self.name:
@@ -511,7 +560,7 @@ class BaseEngine:
         # one, which may come from an uncommitted CONFIG entry that a new
         # leader could still truncate (the snapshot copy would survive
         # that truncation and immortalize a never-committed membership).
-        version, members = governing_config(
+        version, members, observers = governing_config(
             self.snapshot_store.latest,
             self.log.best_config_entry(upto=self.commit_index))
         snapshot = Snapshot(
@@ -520,6 +569,7 @@ class BaseEngine:
             machine_state=image.machine_state,
             applied_ids=image.applied_ids,
             config_members=members, config_version=version,
+            config_observers=observers,
             taken_at=self.now(), origin=self.name)
         self.snapshot_store.save(snapshot)
         retain = self.compaction.retain if self.compaction is not None else 0

@@ -95,7 +95,8 @@ def make_noop(origin: str, term: int,
 
 @dataclass(frozen=True)
 class ConfigPayload:
-    """Payload of a CONFIG entry: the full voting-member list.
+    """Payload of a CONFIG entry: the full voting-member list, plus any
+    standing non-voting observers (see ``Configuration.observers``).
 
     ``version`` increases with every configuration entry a leader
     creates, and sites adopt the highest version present in their log
@@ -108,9 +109,11 @@ class ConfigPayload:
 
     members: tuple[str, ...]
     version: int = 0
+    observers: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "members", tuple(sorted(self.members)))
+        object.__setattr__(self, "observers", tuple(sorted(self.observers)))
 
 
 @dataclass(frozen=True)

@@ -211,17 +211,32 @@ class RaftLog:
                 return index, entry
         return None
 
-    def best_config_entry(self, upto: int | None = None
+    def best_config_entry(self, upto: int | None = None,
+                          decided_upto: int | None = None
                           ) -> tuple[int, LogEntry] | None:
         """The governing CONFIG entry: highest version, then highest
         index (see ConfigPayload.version). ``upto`` restricts the scan to
-        indices at or below it (e.g. the committed prefix)."""
+        indices at or below it (e.g. the committed prefix).
+
+        ``decided_upto`` (the caller's commit index) excludes *tentative*
+        CONFIG entries: self-approved ones above it. A proposed-but-
+        undecided configuration must not govern -- otherwise a 2-voter
+        leader proposing its dead peer's exclusion would activate the
+        shrunk config from its own proposal insert and decide the entry
+        as a 1-of-1 quorum, bypassing the degraded-reconfiguration guard
+        (split-brain under partition once the other side can elect via
+        the observer tiebreaker). Leader-approved entries govern from
+        insert, which is what the paper's Section IV-F degraded chain
+        relies on; committed ones govern regardless of provenance."""
         best: tuple[int, LogEntry] | None = None
         for index, entry in self:
             if upto is not None and index > upto:
                 break  # iteration is index-ordered
             if entry.kind is not EntryKind.CONFIG:
                 continue
+            if (decided_upto is not None and index > decided_upto
+                    and entry.inserted_by is not InsertedBy.LEADER):
+                continue  # tentative proposal: not yet governing
             if best is None:
                 best = (index, entry)
                 continue

@@ -232,9 +232,16 @@ class RequestVoteResponse:
 @dataclass(frozen=True)
 class JoinRequest:
     """A site asks to join the configuration (sent to any member;
-    non-leaders forward it to the leader)."""
+    non-leaders forward it to the leader).
+
+    ``replaces`` is a liveness hint from C-Raft's leader handoff: the
+    previous cluster leader whose seat this joiner takes over. While the
+    exclusion of ``replaces`` is pending and this joiner is fully caught
+    up, the joiner's votes count toward the exclusion quorum -- that is
+    what un-wedges a two-voter configuration whose other voter died."""
 
     site: str
+    replaces: str | None = None
 
 
 @dataclass(frozen=True)
@@ -248,9 +255,15 @@ class JoinAccepted:
 @dataclass(frozen=True)
 class LeaveRequest:
     """A site announces its departure (or the leader self-generates this
-    after a member timeout for silent leaves)."""
+    after a member timeout for silent leaves).
+
+    With ``as_observer`` the site does not leave outright: it asks to be
+    *demoted* from voting member to standing non-voting observer (the
+    bootstrap seed's retirement), keeping a replica alive as the
+    tiebreaker for degenerate voting sets."""
 
     site: str
+    as_observer: bool = False
 
 
 @dataclass(frozen=True)

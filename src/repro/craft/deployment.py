@@ -98,10 +98,15 @@ class CRaftDeployment:
 
     def run_until_global_ready(self, timeout: float = 30.0) -> str:
         """Run until every cluster leader sits in the global configuration
-        and a global leader exists; returns the global leader site."""
+        and one of them is the global leader; returns the global leader
+        site. (Requiring the global leader to be a *current* local leader
+        skips the transient where the retiring bootstrap seed still holds
+        global leadership while its demotion to observer is in flight.)"""
         def ready() -> bool:
-            if self.global_leader() is None:
+            global_leader = self.global_leader()
+            if global_leader is None:
                 return False
+            locals_now = set()
             for cluster in self.topology.clusters:
                 leader = self.local_leader(cluster)
                 if leader is None:
@@ -109,7 +114,8 @@ class CRaftDeployment:
                 engine = self.servers[leader].global_engine
                 if engine is None or not engine.is_member:
                     return False
-            return True
+                locals_now.add(leader)
+            return global_leader in locals_now
         if not self.run_until(ready, timeout):
             raise ExperimentError(f"global level not ready within {timeout}s")
         return self.global_leader()
@@ -147,6 +153,18 @@ class CRaftDeployment:
         any site (the Fig. 5 throughput numerator)."""
         return max((len(s._global_applied_ids)
                     for s in self.servers.values()), default=0)
+
+    def global_observers(self) -> tuple[str, ...]:
+        """Standing non-voting observers of the governing global
+        configuration, as seen by the global leader (else by any live
+        global engine -- the retired seed's own engine included)."""
+        leader = self.global_leader()
+        if leader is not None:
+            return self.servers[leader].global_engine.configuration.observers
+        for server in self.servers.values():
+            if server.alive and server.global_engine is not None:
+                return server.global_engine.configuration.observers
+        return ()
 
 
 def build_craft_deployment(

@@ -20,6 +20,18 @@ global configuration as soon as another member exists (unless it is a
 cluster leader itself). The paper configures its AWS deployment manually
 and leaves bootstrap unspecified; see DESIGN.md.
 
+Retirement is a *demotion*, not a departure: the retired seed stays
+registered as a standing **non-voting observer** that replicates the
+global log but never counts toward commit quorums. While the voting set
+is degenerate (two cluster leaders or fewer), the observer is promoted to
+a tiebreaker for leader elections and CONFIG-entry decisions, so a
+two-region deployment that loses one leader can still elect a global
+leader, commit the dead leader's exclusion, and admit its successor --
+the ROADMAP's "global-membership deadlock". Independently, a successor's
+join names the crashed leader it replaces (``JoinRequest.replaces``), and
+once caught up the successor counts toward that exclusion's quorum (see
+README "Global membership liveness").
+
 Crash recovery needs no special view logic: the view is a pure function of
 the locally *applied* prefix, and on restart the local protocol re-applies
 the committed prefix from stable storage, rebuilding the view, the state
@@ -101,6 +113,9 @@ class CRaftServer(Actor):
     def _reset_volatile(self) -> None:
         self.global_view = RaftLog()
         self.global_commit = 0
+        #: Last local leader other than this site (successor joins name
+        #: it as the global member they replace).
+        self._prior_local_leader: str | None = None
         #: Advisory value from the AppendEntries piggyback; never used to
         #: apply (see GlobalStatePayload.global_commit for why).
         self.global_commit_hint = 0
@@ -148,6 +163,7 @@ class CRaftServer(Actor):
             on_apply=self._on_local_apply,
             on_origin_commit=self._on_local_origin_commit,
             on_role_change=self._on_local_role_change,
+            on_leader_change=self._note_local_leader,
             capture_snapshot=self._capture_local_snapshot,
             on_snapshot_restore=self._restore_local_snapshot,
             compaction=self._local_compaction, transfer=self._transfer)
@@ -252,6 +268,11 @@ class CRaftServer(Actor):
         self.local_engine = self._build_local_engine()
         self.revive()
         self.local_engine.start()
+        if self.name == self.global_seed:
+            # The seed's global engine (voter at bootstrap, standing
+            # observer after retirement) survives crashes: recreate it
+            # from its own stable store, mirroring construction.
+            self._ensure_global_engine()
         self._batch_tick = PeriodicTimer(
             self.loop, self._local_timing.heartbeat_interval,
             self._maybe_propose_batch)
@@ -292,7 +313,7 @@ class CRaftServer(Actor):
         # capture does. (Found by the migrated-region scenario: a late
         # region's join was silently dropped at the retired seed once
         # every CONFIG entry fell below the prune point.)
-        _, members = governing_config(
+        _, members, __ = governing_config(
             self._global_snapshot_base,
             self.global_view.best_config_entry())
         if not members:
@@ -405,10 +426,20 @@ class CRaftServer(Actor):
         else:
             self._lost_local_leadership()
 
+    def _note_local_leader(self, leader: str | None) -> None:
+        """Local-engine leader hint: remember the last leader that was
+        not this site, so a takeover's global join can name the member
+        whose seat it claims (the exclusion-quorum rule)."""
+        if leader is not None and leader != self.name:
+            self._prior_local_leader = leader
+
     def _became_local_leader(self) -> None:
         covered = self._covered_by_cluster.get(self.cluster, 0)
         self.batcher.rebuild(self._uncovered_data, covered + 1, self.now())
         self._ensure_global_engine()
+        replaces = (self._prior_local_leader
+                    if self._prior_local_leader != self.name else None)
+        self.global_engine.seek_membership(replaces=replaces)
         self._trace.record(self.now(), self.name, "craft.local_leader",
                            cluster=self.cluster,
                            next_unbatched=self.batcher.next_unbatched)
@@ -417,13 +448,17 @@ class CRaftServer(Actor):
         engine = self.global_engine
         if engine is None:
             return
+        engine.wants_membership = False
+        engine.join_replaces = None
         if self.name in engine.configuration:
-            # Announce the departure; the global member timeout covers the
-            # case where this message is lost.
-            leave = LeaveRequest(site=self.name)
+            # Announce the departure; the global member timeout covers
+            # the case where this message is lost. The bootstrap seed
+            # retires into a standing observer instead of leaving.
+            leave = LeaveRequest(site=self.name,
+                                 as_observer=(self.name == self.global_seed))
             for member in engine.configuration.others(self.name):
                 self._send_global_level(member, leave)
-        else:
+        elif self.name not in engine.configuration.observers:
             self._drop_global_engine()
 
     # ------------------------------------------------------------------
@@ -464,12 +499,17 @@ class CRaftServer(Actor):
         am_member = self.name in config
         local_leader = self.local_engine.role is Role.LEADER
         if not am_member and not local_leader:
-            self._drop_global_engine()
+            if self.name not in config.observers:
+                self._drop_global_engine()
+            # A standing observer keeps its engine: it replicates the
+            # global log and serves as the degenerate-config tiebreaker.
             return
         if (am_member and not local_leader and config.size > 1
                 and self.name == self.global_seed):
-            # Seed retirement: a real cluster leader has joined.
-            leave = LeaveRequest(site=self.name)
+            # Seed retirement: a real cluster leader has joined. Demote
+            # to a standing non-voting observer rather than leaving, so
+            # a two-leader voting set keeps a tiebreaker.
+            leave = LeaveRequest(site=self.name, as_observer=True)
             for member in config.others(self.name):
                 self._send_global_level(member, leave)
 
@@ -604,7 +644,7 @@ class CRaftServer(Actor):
         index too, so the base is necessarily None in this branch.)"""
         if self.global_applied_index == 0:
             return self._global_snapshot_base
-        version, members = governing_config(
+        version, members, observers = governing_config(
             self._global_snapshot_base,
             self.global_view.best_config_entry(
                 upto=self.global_applied_index))
@@ -615,6 +655,7 @@ class CRaftServer(Actor):
             machine_state=image.machine_state,
             applied_ids=image.applied_ids,
             config_members=members, config_version=version,
+            config_observers=observers,
             taken_at=self.now(), origin=self.name)
 
     def _prune_uncovered_data(self) -> None:

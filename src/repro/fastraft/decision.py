@@ -67,7 +67,7 @@ class DecisionMixin:
             # fast-quorum check can change anything now.
             return self._after_decision(k)
         voters = self.possible_entries.voters_at(k)
-        if not self.configuration.is_classic_quorum(voters):
+        if not self._decision_quorum_met(k, voters):
             self._maybe_gap_fill(k)
             return "blocked"
         self._gap_since.pop(k, None)
@@ -82,6 +82,36 @@ class DecisionMixin:
         if k in self._gating_indices:
             return "pending"
         return self._last_decision_outcome
+
+    def _decision_quorum_met(self, k: int, voters: set[str]) -> bool:
+        """Vote quorum for deciding index ``k``.
+
+        Ordinary entries need the classic quorum of members, full stop.
+        When that fails and the plurality winner at ``k`` is a CONFIG
+        entry, the per-entry override applies: tiebreaker observers
+        (voting set <= 2) and a caught-up joiner replacing the member
+        being excluded expand the electorate, and a strict majority of
+        the expanded electorate -- which must include this leader's own
+        vote -- decides. This is what un-wedges a 2-voter configuration
+        after one voter dies (see ROADMAP "Global-membership deadlock").
+        """
+        if self.configuration.is_classic_quorum(voters):
+            return True
+        for record in self.possible_entries.candidates(k):
+            # Only the plurality winner matters: it is what _choose_entry
+            # will pick if the quorum passes.
+            if record.is_null or record.entry.kind is not EntryKind.CONFIG:
+                break
+            if self.name not in voters:
+                break  # an expanded electorate never decides leaderless
+            extra = self._replacement_joiners_for(record.entry)
+            if self.configuration.config_entry_quorum(voters, extra):
+                self._trace("decision.tiebreak", index=k,
+                            entry_id=record.entry.entry_id,
+                            votes=sorted(voters), extra=sorted(extra))
+                return True
+            break
+        return False
 
     def _decision_insert_done(self, k: int) -> None:
         """Continuation once the decided entry reached the log (immediately
@@ -177,5 +207,5 @@ class DecisionMixin:
                                inserted_by=InsertedBy.SELF)
         self._trace("gap_fill", index=k, entry_id=refill.entry_id)
         message = ProposeEntry(index=k, entry=refill)
-        for member in self.configuration.members:
-            self._send(member, message)
+        for site in self._proposal_targets():
+            self._send(site, message)

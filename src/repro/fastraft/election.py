@@ -66,10 +66,10 @@ class ElectionMixin:
     def _init_leader_state(self) -> None:
         self._evicted = False  # a winner is a member by definition
         start = self.commit_index + 1  # paper: last committed entry + 1
-        members = self.configuration.members
-        self.next_index = {m: start for m in members}
-        self.match_index = {m: 0 for m in members}
-        self.fast_match_index = {m: 0 for m in members}
+        replicas = self.configuration.replicas
+        self.next_index = {m: start for m in replicas}
+        self.match_index = {m: 0 for m in replicas}
+        self.fast_match_index = {m: 0 for m in replicas}
         self.possible_entries.clear()
         self._beats_missed = {}
         self._gap_since = {}

@@ -71,6 +71,20 @@ class FastRaftEngine(ProposalMixin, DecisionMixin, ReplicationMixin,
         self._recovery_votes: dict[str, tuple] = {}
         self._internal_seq = 0
         self._evicted = False
+        # A standing observer keeps replicating without asking to join;
+        # the host flips this on when the site actually wants a voting
+        # seat (C-Raft: its local leadership demands global membership).
+        self.wants_membership = False
+        # Liveness hint carried on this site's JoinRequests: the member
+        # whose seat it takes over (C-Raft: the crashed previous cluster
+        # leader). While that member's exclusion is pending, this
+        # caught-up joiner counts toward the exclusion quorum.
+        self.join_replaces: str | None = None
+        self._last_join_request = float("-inf")
+        # Lingering step-down after committing our own exclusion or
+        # demotion (see MembershipMixin._begin_leader_stepdown).
+        self._stepdown_index: int | None = None
+        self._stepdown_deadline = 0.0
         self._config_version_floor = self._max_known_config_version()
         # Proposals this site originated that have not committed yet.
         # When a commit reveals that one lost its slot to a concurrent
@@ -86,6 +100,7 @@ class FastRaftEngine(ProposalMixin, DecisionMixin, ReplicationMixin,
     def _decision_tick(self) -> None:
         self._run_decision()
         self._retry_pending_config()
+        self._maybe_complete_stepdown()
 
     def _stop_role_timers(self) -> None:
         self._heartbeat.stop()
@@ -102,6 +117,7 @@ class FastRaftEngine(ProposalMixin, DecisionMixin, ReplicationMixin,
         self._pending_config = None
         self._config_queue.clear()
         self._awaiting_commit.clear()
+        self._stepdown_index = None
 
     # ------------------------------------------------------------------
     # Log insertion (single funnel, C-Raft's extension point)
@@ -213,10 +229,10 @@ class FastRaftEngine(ProposalMixin, DecisionMixin, ReplicationMixin,
         if self.role is not Role.LEADER:
             return
         start = self.commit_index + 1
-        for member in self.configuration.members:
-            self.next_index.setdefault(member, start)
-            self.match_index.setdefault(member, 0)
-            self.fast_match_index.setdefault(member, 0)
+        for site in self.configuration.replicas:
+            self.next_index.setdefault(site, start)
+            self.match_index.setdefault(site, 0)
+            self.fast_match_index.setdefault(site, 0)
 
     # ------------------------------------------------------------------
     # Dispatch additions

@@ -10,6 +10,16 @@ its stale configuration, so it cannot know it was removed; when its
 messages are ignored, members answer with ``NotInConfiguration`` and the
 site switches to join mode -- the paper's "it will need to send a join
 request to return to the configuration".
+
+Beyond the paper (global-membership liveness, see README):
+
+- a member can retire into a standing **non-voting observer** instead of
+  leaving (``LeaveRequest(as_observer=True)`` -> a *demote* change);
+- a joiner may name the member whose seat it takes over
+  (``JoinRequest.replaces``); while that member's exclusion is pending
+  the leader catches the joiner up early, and the caught-up joiner's
+  votes count toward deciding the exclusion entry
+  (``_replacement_joiners_for`` / ``DecisionMixin._decision_quorum_met``).
 """
 
 from __future__ import annotations
@@ -46,8 +56,14 @@ class MembershipMixin:
             return
         if self._membership_change_known(site):
             return  # duplicate request
-        self._trace("join.accepted_for_catchup", site=site)
-        self._enqueue_config_change({"action": "add", "site": site})
+        self._trace("join.accepted_for_catchup", site=site,
+                    replaces=msg.replaces)
+        self._enqueue_config_change({"action": "add", "site": site,
+                                     "replaces": msg.replaces})
+        # If the seat being taken over is already mid-exclusion, start
+        # replicating to the joiner now -- its caught-up votes are what
+        # let the exclusion decide when the voters alone cannot.
+        self._begin_replacement_catchup()
 
     def _handle_leave_request(self, msg: LeaveRequest, sender: str) -> None:
         if self.role is not Role.LEADER:
@@ -56,9 +72,18 @@ class MembershipMixin:
             return
         site = msg.site
         if site not in self.configuration:
-            self._send(site, LeaveAccepted(site=site))
+            if not msg.as_observer and site not in self.configuration.observers:
+                self._send(site, LeaveAccepted(site=site))
+            # A demotion request from a site that is already (or is
+            # becoming) an observer needs no ack: the config entry
+            # replicates to it like any other. Never LeaveAccepted-ack a
+            # demotion -- the requester is staying, not leaving.
             return
         if self._membership_change_known(site):
+            return
+        if msg.as_observer:
+            self._trace("demote.accepted", site=site)
+            self._enqueue_config_change({"action": "demote", "site": site})
             return
         self._trace("leave.accepted", site=site)
         self._enqueue_config_change({"action": "remove", "site": site,
@@ -75,13 +100,19 @@ class MembershipMixin:
         activate on *insert*, so by (re)proposal time the current config
         may already reflect the change."""
         members = set(self.configuration.members)
+        observers = set(self.configuration.observers)
         if action == "add":
             members.add(site)
+            observers.discard(site)  # observer-to-voter promotion
+        elif action == "demote":
+            members.discard(site)
+            observers.add(site)
         else:
             members.discard(site)
+            observers.discard(site)
         if not members:
             return None  # never commit an empty configuration
-        return Configuration(tuple(members))
+        return Configuration(tuple(members), tuple(observers))
 
     # ------------------------------------------------------------------
     # Serialized configuration changes
@@ -99,25 +130,32 @@ class MembershipMixin:
         self._pending_config = change
         site = change["site"]
         if change["action"] == "add":
-            # Non-voting catch-up before the configuration entry.
-            self._catchup_targets.add(site)
-            self._extra_allowed.add(site)
-            self.next_index[site] = 1
-            self.match_index[site] = 0
-            self.fast_match_index.setdefault(site, 0)
+            # Non-voting catch-up before the configuration entry. The
+            # setdefaults preserve progress a pre-exclusion catch-up (or
+            # a standing observer's replication) has already made.
+            self._start_joiner_catchup(site)
             self._send_append_entries(site)
             return
-        target = self._target_config("remove", site)
+        target = self._target_config(change["action"], site)
         if target is None:
             self._pending_config = None
             self._start_next_config_change()
             return
-        if self._should_degrade():
+        if change["action"] == "remove" and self._should_degrade():
             # No quorum can decide the proposal; removals fall back to the
             # degraded direct insert regardless of who initiated them.
             self._degraded_config_insert(target, change)
             return
         self._propose_config_entry(target, change)
+
+    def _start_joiner_catchup(self, site: str) -> None:
+        """Begin (or continue) non-voting catch-up replication to a
+        joining site."""
+        self._catchup_targets.add(site)
+        self._extra_allowed.add(site)
+        self.next_index.setdefault(site, 1)
+        self.match_index.setdefault(site, 0)
+        self.fast_match_index.setdefault(site, 0)
 
     def _should_degrade(self) -> bool:
         """Degraded reconfiguration applies when enabled, no classic
@@ -141,7 +179,7 @@ class MembershipMixin:
     def _quorum_of_members_responsive(self) -> bool:
         """Can the current configuration still decide proposals?"""
         threshold = self.timing.member_timeout_beats
-        live = 1  # the leader itself
+        live = 1 if self.name in self.configuration else 0
         for member in self.configuration.others(self.name):
             if self._beats_missed.get(member, 0) <= threshold:
                 live += 1
@@ -155,12 +193,17 @@ class MembershipMixin:
         and decrease the leader's perception of quorum sizes" (Section
         IV-F). Configurations activate on insert, so chained removals
         shrink the quorum until the survivors can commit the entries.
-        Leader-approved slots are never overwritten."""
+
+        The entry lands at the first *empty* slot: overwriting even a
+        self-approved occupant is unsafe, because a surviving replica's
+        copy of a fast-committed entry is exactly a self-approved slot
+        whose commit the replica has not heard about yet (the crashed
+        leader acked the client). Occupied slots below the insert point
+        are settled afterwards by the decision procedure under the
+        shrunk configuration, which re-derives any fast-committed value
+        from the recorded votes (Lemma 2)."""
         k = self.commit_index + 1
-        while True:
-            existing = self.log.get(k)
-            if existing is None or existing.inserted_by is not InsertedBy.LEADER:
-                break
+        while self.log.get(k) is not None:
             k += 1
         self._internal_seq += 1
         entry = LogEntry(
@@ -168,6 +211,7 @@ class MembershipMixin:
                       f".t{self.current_term}"),
             kind=EntryKind.CONFIG,
             payload=ConfigPayload(members=new_config.members,
+                                  observers=new_config.observers,
                                   version=self._next_config_version()),
             origin=self.name, term=self.current_term,
             inserted_by=InsertedBy.LEADER)
@@ -191,6 +235,88 @@ class MembershipMixin:
             self._propose_config_entry(
                 self._target_config("add", follower), pending)
 
+    # ------------------------------------------------------------------
+    # Joining-leader exclusion quorum (the two-voter liveness fix)
+    # ------------------------------------------------------------------
+    def _begin_replacement_catchup(self) -> None:
+        """While an exclusion is pending, start catch-up replication to
+        any queued joiner that replaces the member being excluded, ahead
+        of its turn in the change queue. The exclusion may be undecidable
+        by the voters alone (2-of-2 with one dead); the caught-up joiner
+        supplies the missing vote (see ``_decision_quorum_met``)."""
+        pending = self._pending_config
+        if pending is None or pending["action"] != "remove":
+            return
+        removed = pending["site"]
+        for change in self._config_queue:
+            if (change["action"] == "add"
+                    and change.get("replaces") == removed
+                    and change["site"] not in self._catchup_targets):
+                self._start_joiner_catchup(change["site"])
+                self._send_append_entries(change["site"])
+                self._trace("join.replacement_catchup",
+                            site=change["site"], replaces=removed)
+
+    def _maybe_tiebreaker_insert(self, pending: dict[str, Any]) -> None:
+        """A pending exclusion endorsed by a majority of the expanded
+        electorate (tiebreaker observers / replacement joiner) but
+        undecidable in order -- e.g. wedged behind a DATA slot that can
+        never gather a classic quorum again: insert it directly at the
+        next open slot, exactly like the degraded path, except backed by
+        real votes instead of silence. The in-order decision path
+        (``_decision_quorum_met``) handles the unwedged case."""
+        if pending["action"] != "remove" or self.role is not Role.LEADER:
+            return
+        live = [i for i in self.log.indices_of(pending["entry_id"])
+                if i > self.commit_index]
+        if not live:
+            return
+        k = min(live)
+        if k in self._gating_indices:
+            return  # mid-gate: the decision path is already landing it
+        entry = self.log.get(k)
+        if entry.inserted_by is InsertedBy.LEADER:
+            return  # decided; replication will commit it
+        record = self.possible_entries.record_for(k, entry.entry_id)
+        supporters = set(record.voters) if record is not None else set()
+        if self.name not in supporters:
+            return
+        if self.configuration.is_classic_quorum(supporters):
+            return  # a live classic quorum decides in order eventually
+        extra = self._replacement_joiners_for(entry)
+        if not self.configuration.config_entry_quorum(supporters, extra):
+            return
+        target = self._target_config("remove", pending["site"])
+        if target is None:
+            return
+        self._trace("config.tiebreaker_insert", site=pending["site"],
+                    from_index=k, supporters=sorted(supporters),
+                    extra=sorted(extra))
+        self._degraded_config_insert(target, pending)
+
+    def _replacement_joiners_for(self, entry) -> set[str]:
+        """Caught-up joiners whose votes count toward deciding ``entry``
+        (a CONFIG entry): those replacing exactly a member the entry
+        excludes. Caught up means the joiner mirrors the whole
+        leader-approved region, i.e. it is as good a replica as any
+        voter."""
+        removed = set(self.configuration.members) - set(entry.payload.members)
+        if not removed:
+            return set()
+        joiners: set[str] = set()
+        changes = list(self._config_queue)
+        if self._pending_config is not None:
+            changes.append(self._pending_config)
+        for change in changes:
+            site = change["site"]
+            if (change["action"] == "add"
+                    and change.get("replaces") in removed
+                    and site in self._catchup_targets
+                    and self.match_index.get(site, 0)
+                    >= self.last_leader_index):
+                joiners.add(site)
+        return joiners
+
     def _next_config_version(self) -> int:
         version = max(self._max_known_config_version(),
                       self._config_version_floor) + 1
@@ -207,6 +333,7 @@ class MembershipMixin:
             entry_id=f"{self.name}:config{self._internal_seq}.t{self.current_term}",
             kind=EntryKind.CONFIG,
             payload=ConfigPayload(members=new_config.members,
+                                  observers=new_config.observers,
                                   version=self._next_config_version()),
             origin=self.name, term=self.current_term,
             inserted_by=InsertedBy.SELF)
@@ -218,6 +345,7 @@ class MembershipMixin:
     def _retry_pending_config(self) -> None:
         """Re-propose a pending configuration entry that lost its slot
         (called from the leader's decision tick; cheap no-op otherwise)."""
+        self._begin_replacement_catchup()
         pending = self._pending_config
         if pending is None or "entry_id" not in pending:
             return
@@ -230,6 +358,7 @@ class MembershipMixin:
                 return
         entry_id = pending["entry_id"]
         if self.log.indices_of(entry_id):
+            self._maybe_tiebreaker_insert(pending)
             return
         # The config entry was overwritten by a concurrent proposal before
         # being decided anywhere we can see; propose it afresh.
@@ -255,34 +384,107 @@ class MembershipMixin:
             self._extra_allowed.discard(site)
             self._send(site, JoinAccepted(
                 members=self.configuration.members, leader_id=self.name))
+        elif pending["action"] == "demote":
+            # The site stays a replicated observer: keep its next/match
+            # bookkeeping and let the config entry inform it. A demoted
+            # self steps down like a removed self (lingering, below).
+            if site == self.name:
+                self._begin_leader_stepdown(entry)
+                return
         else:
             self._send(site, LeaveAccepted(site=site))
+            if site == self.name:
+                # Keep the replication bookkeeping until the lingering
+                # step-down completes.
+                self._begin_leader_stepdown(entry)
+                return
             self.next_index.pop(site, None)
             self.match_index.pop(site, None)
             self.fast_match_index.pop(site, None)
             self._beats_missed.pop(site, None)
             self.possible_entries.forget_voter(site)
-            if site == self.name:
-                self._become_follower()
-                return
         self._trace("config.committed", action=pending["action"], site=site)
         self._start_next_config_change()
 
     # ------------------------------------------------------------------
+    # Lingering step-down (self-removal / self-demotion)
+    # ------------------------------------------------------------------
+    def _begin_leader_stepdown(self, entry: LogEntry) -> None:
+        """This leader just committed its own exclusion or demotion. Do
+        not abdicate yet: tentative configurations do not govern (see
+        ``RaftLog.best_config_entry``), so the successors only adopt the
+        new membership once they hold this CONFIG entry leader-approved
+        or committed -- which a fast-track commit does not guarantee.
+        Keep replicating until every new-config member has it, bounded
+        by the member timeout so a dead successor cannot pin the old
+        leader to the throne."""
+        indices = self.log.indices_of(entry.entry_id)
+        self._stepdown_index = max(indices) if indices else self.commit_index
+        self._stepdown_deadline = self.now() + (
+            self.timing.member_timeout_beats
+            * self.timing.heartbeat_interval)
+        self._trace("config.stepdown_pending", index=self._stepdown_index)
+        self._maybe_complete_stepdown()
+
+    def _maybe_complete_stepdown(self) -> None:
+        if self._stepdown_index is None or self.role is not Role.LEADER:
+            return
+        successors = [m for m in self.configuration.members
+                      if m != self.name]
+        replicated = all(self.match_index.get(m, 0) >= self._stepdown_index
+                         for m in successors)
+        if replicated or self.now() >= self._stepdown_deadline:
+            self._trace("config.stepdown", index=self._stepdown_index,
+                        replicated=replicated)
+            self._stepdown_index = None
+            self._become_follower()
+
+    # ------------------------------------------------------------------
     # Joining / evicted site behaviour
     # ------------------------------------------------------------------
+    def seek_membership(self, replaces: str | None = None) -> None:
+        """The host wants this site in the voting set *now* (C-Raft: it
+        just won its local election). Needed because a standing observer
+        receives the leader's heartbeats, which keep re-arming the
+        election timer -- the timeout path that normally launches join
+        requests never fires for it."""
+        self.wants_membership = True
+        self.join_replaces = replaces
+        if (not self.is_member and not self._stopped
+                and self.role is not Role.LEADER):
+            self._send_join_requests()
+            self._election_timer.reset(self.timing.join_timeout)
+
+    def _maybe_retry_join(self) -> None:
+        """Heartbeat-paced join retry for membership seekers that keep
+        receiving AppendEntries (observers; joiners mid-catch-up whose
+        accepting leader died): their election timer never times out, so
+        lost join requests must be re-sent from the replication path."""
+        if (self.wants_membership and not self.is_member
+                and self.now() - self._last_join_request
+                >= self.timing.join_timeout):
+            self._send_join_requests()
+
     def _on_election_timeout_as_nonmember(self) -> None:
         """Not in the configuration (never admitted, or evicted): ask to
-        join instead of starting unwinnable elections."""
+        join instead of starting unwinnable elections. A standing
+        observer that does not want a voting seat simply keeps watching
+        -- being outside the voting set is its job, not an eviction."""
+        if (self.name in self.configuration.observers
+                and not self.wants_membership):
+            self._election_timer.reset(self.timing.join_timeout)
+            return
         self._send_join_requests()
         self._election_timer.reset(self.timing.join_timeout)
 
     def _send_join_requests(self) -> None:
-        request = JoinRequest(site=self.name)
+        self._last_join_request = self.now()
+        request = JoinRequest(site=self.name, replaces=self.join_replaces)
         contacts = [m for m in self._join_contacts() if m != self.name]
         for contact in contacts:
             self._send(contact, request)
-        self._trace("join.requested", contacts=contacts)
+        self._trace("join.requested", contacts=contacts,
+                    replaces=self.join_replaces)
 
     def _join_contacts(self) -> tuple[str, ...]:
         """All known members plus the last leader hint: a lone hint can go
@@ -302,6 +504,11 @@ class MembershipMixin:
     def _handle_leave_accepted(self, msg: LeaveAccepted, sender: str) -> None:
         if msg.site != self.name:
             return
+        if self.name in self.configuration.observers:
+            # A demoted site asked to *observe*, not to leave; a stray
+            # LeaveAccepted (e.g. a duplicate request racing the
+            # demotion) must not shut the standing observer down.
+            return
         # Our announced departure committed: exit the system. Without
         # this, the site's election timeout would immediately ask to
         # rejoin (the paper assumes a leaving site actually leaves).
@@ -318,6 +525,11 @@ class MembershipMixin:
             # notice is live feedback to the votes it is soliciting now.
             return
         self._observe_term(msg.term)
+        if (self.name in self.configuration.observers
+                and not self.wants_membership):
+            # A standing observer is outside the voting set by design; a
+            # peer with a stale (pre-demotion) config is not evicting us.
+            return
         if not self._evicted:
             self._evicted = True
             self._trace("evicted.detected", via=sender)

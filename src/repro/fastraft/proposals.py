@@ -52,8 +52,17 @@ class ProposalMixin:
         self._trace("propose", index=index, entry_id=entry.entry_id,
                     retry=bool(live))
         message = ProposeEntry(index=index, entry=entry)
-        for member in self.configuration.members:
-            self._send(member, message)
+        for site in self._proposal_targets():
+            self._send(site, message)
+
+    def _proposal_targets(self) -> list[str]:
+        """All replicas plus catch-up joiners: observer and joiner slot
+        votes are counted only where the quorum rules say so (tiebreaker
+        CONFIG decisions), but they must mirror the slots to vote at
+        all."""
+        targets = list(self.configuration.replicas)
+        targets.extend(sorted(self._catchup_targets))
+        return list(dict.fromkeys(targets))
 
     # ------------------------------------------------------------------
     # Receiving proposals (every site, the leader included)

@@ -25,9 +25,10 @@ class ReplicationMixin:
     # Leader side
     # ------------------------------------------------------------------
     def _append_targets(self) -> list[str]:
-        targets = list(self.configuration.others(self.name))
+        targets = list(self.configuration.replicas_without(self.name))
         targets.extend(sorted(self._catchup_targets))
-        return targets
+        # An observer under pre-join catch-up would appear twice.
+        return list(dict.fromkeys(targets))
 
     def _broadcast_append_entries(self) -> None:
         if self.role is not Role.LEADER:
@@ -81,6 +82,7 @@ class ReplicationMixin:
                 self.match_index[follower] + 1)
             self._classic_track_commit()
             self._check_catchup_complete(follower)
+            self._maybe_complete_stepdown()
         else:
             current = self.next_index.get(follower,
                                           self.last_leader_index + 1)
@@ -90,10 +92,13 @@ class ReplicationMixin:
 
     def _classic_track_commit(self) -> None:
         """Commit rule over matchIndex (identical to classic Raft but
-        bounded by the leader-approved region)."""
+        bounded by the leader-approved region). A leader that is no
+        longer a configuration member (lingering step-down after its own
+        exclusion committed) holds no vote of its own -- counting itself
+        would let it commit entries its successors never saw."""
         best = self.commit_index
         for k in range(self.commit_index + 1, self.last_leader_index + 1):
-            votes = 1  # leader
+            votes = 1 if self.name in self.configuration else 0
             for member in self.configuration.members:
                 if (member != self.name
                         and self.match_index.get(member, 0) >= k):
@@ -151,6 +156,7 @@ class ReplicationMixin:
             # Current-term replication from the leader is authoritative:
             # any earlier eviction notice is superseded.
             self._evicted = False
+        self._maybe_retry_join()
         if not self._log_matches(msg.prev_log_index, msg.prev_log_term):
             self._send(sender, AppendEntriesResponse(
                 term=self.current_term, success=False, follower=self.name,

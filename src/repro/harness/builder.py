@@ -142,8 +142,15 @@ def build_cluster(server_cls: type[ConsensusServer], n_sites: int = 5,
                   transfer: TransferConfig | None = None,
                   bandwidth: float | None = None,
                   shared_link: bool = False,
+                  n_observers: int = 0,
                   name_prefix: str = "n") -> Cluster:
     """Standard single-group cluster: ``n_sites`` voting members.
+
+    ``n_observers`` adds that many standing non-voting observers (named
+    after the voters: ``n<n_sites>`` onward) to the bootstrap
+    configuration -- replicas that receive everything but only tip
+    quorums as tiebreakers for CONFIG entries and elections while the
+    voting set is degenerate (see ``Configuration.observers``).
 
     ``bandwidth`` (simulated bytes/second) wraps the latency model in a
     :class:`BandwidthLatencyModel` so message delays charge payload size
@@ -156,6 +163,8 @@ def build_cluster(server_cls: type[ConsensusServer], n_sites: int = 5,
     """
     if n_sites < 1:
         raise ExperimentError(f"need at least one site: {n_sites!r}")
+    if n_observers < 0:
+        raise ExperimentError(f"n_observers must be >= 0: {n_observers!r}")
     if shared_link and bandwidth is None:
         raise ExperimentError("shared_link needs a bandwidth")
     loop = SimLoop()
@@ -172,8 +181,9 @@ def build_cluster(server_cls: type[ConsensusServer], n_sites: int = 5,
     timing = timing if timing is not None else TimingConfig()
     cluster = Cluster(loop, network, rng, trace, fabric, timing)
     names = [f"{name_prefix}{i}" for i in range(n_sites)]
-    config = Configuration(tuple(names))
-    for name in names:
+    watchers = [f"{name_prefix}{n_sites + i}" for i in range(n_observers)]
+    config = Configuration(tuple(names), tuple(watchers))
+    for name in names + watchers:
         server = server_cls(
             name=name, loop=loop, network=network,
             store=fabric.store_for(name), bootstrap_config=config,

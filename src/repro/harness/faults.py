@@ -21,17 +21,25 @@ from __future__ import annotations
 from repro.consensus.messages import JoinRequest, LeaveRequest
 from repro.errors import ExperimentError
 from repro.harness.builder import Cluster
-from repro.net.loss import BernoulliLoss, NoLoss
+from repro.net.latency import BandwidthLatencyModel, SharedLinkBandwidthModel
+from repro.net.loss import BernoulliLoss, NoLoss, PerLinkLoss
 
 
 def resolve_event_targets(event, server_order: list[str],
                           initial_leader: str | None,
-                          topology=None) -> list[str]:
+                          topology=None,
+                          current_leader: str | None = None) -> list[str]:
     """Resolve an :class:`~repro.scenarios.spec.Event` target selector.
 
     ``server_order`` is the site list the positional selectors index
     into (server insertion order for a flat cluster, cluster members for
-    a C-Raft cluster-scoped event).
+    a C-Raft cluster-scoped event). ``leader`` always means the *initial*
+    leader (the documented spec semantics); ``nonleader:<i>`` resolves at
+    fire time against ``current_leader`` (falling back to the initial
+    one) and pins the index to the sorted site ids -- leadership may have
+    moved between schedule evaluation and application, and without the
+    fire-time resolution the selector could silently crash the live
+    leader, turning a follower fault into a leader fault.
     """
     target = event.target
     if not target:
@@ -42,12 +50,14 @@ def resolve_event_targets(event, server_order: list[str],
                                   "was recorded")
         return [initial_leader]
     if target.startswith("nonleader:"):
-        if initial_leader is None:
+        leader = current_leader if current_leader is not None \
+            else initial_leader
+        if leader is None:
             raise ExperimentError(
                 f"event targets {target!r} but no leader was recorded -- "
                 f"the selector could silently hit the leader")
         index = int(target.split(":", 1)[1])
-        others = [n for n in server_order if n != initial_leader]
+        others = sorted(n for n in server_order if n != leader)
         if index >= len(others):
             raise ExperimentError(f"no such non-leader: {target!r}")
         return [others[index]]
@@ -133,6 +143,36 @@ class FaultInjector:
             BernoulliLoss(rate) if rate else NoLoss())
         self._record("set_loss", f"{rate:g}")
 
+    def set_link_loss(self, src: str, dst: str, rate: float,
+                      symmetric: bool = True) -> None:
+        """Degrade one link (``tc`` on a single route): messages from
+        ``src`` to ``dst`` (both directions when ``symmetric``) drop with
+        probability ``rate``; all other traffic keeps the current model.
+        Repeated calls accumulate overrides on the same overlay."""
+        current = self._cluster.network.loss_model
+        if not isinstance(current, PerLinkLoss):
+            current = PerLinkLoss({}, base=current)
+            self._cluster.network.set_loss(current)
+        current.set_rate(src, dst, rate)
+        if symmetric:
+            current.set_rate(dst, src, rate)
+        self._record("set_link_loss", f"{src}<->{dst}:{rate:g}"
+                     if symmetric else f"{src}->{dst}:{rate:g}")
+
+    def set_bandwidth(self, bandwidth: float, shared: bool = False) -> None:
+        """Swap the link bandwidth mid-run (a WAN capacity change):
+        re-wraps the current latency model's base so message delays
+        charge payload size at the new rate. ``shared`` upgrades to the
+        congestion-aware queueing model."""
+        model = self._cluster.network.latency_model
+        base = model.base if isinstance(model, BandwidthLatencyModel) \
+            else model
+        wrapper = SharedLinkBandwidthModel if shared \
+            else BandwidthLatencyModel
+        self._cluster.network.set_latency(wrapper(base, bandwidth))
+        self._record("set_bandwidth",
+                     f"{bandwidth:g}{'(shared)' if shared else ''}")
+
     def set_latency(self, model) -> None:
         """Swap the latency model mid-run (e.g. a degraded WAN phase)."""
         self._cluster.network.set_latency(model)
@@ -166,6 +206,12 @@ class FaultInjector:
         if event.action == "set_loss":
             self.set_loss(event.args[0])
             return []
+        if event.action == "set_link_loss":
+            self.set_link_loss(*event.args)
+            return []
+        if event.action == "set_bandwidth":
+            self.set_bandwidth(*event.args)
+            return []
         if event.action == "set_latency":
             model = event.args[0].build(topology)
             if model is None:
@@ -174,10 +220,19 @@ class FaultInjector:
             self.set_latency(model)
             return []
         sites = resolve_event_targets(event, order, initial_leader,
-                                      topology=topology)
+                                      topology=topology,
+                                      current_leader=self._current_leader())
         for site in sites:
             if event.action == "request_join":
                 self.request_join(site, contact=event.args[0])
             else:
                 getattr(self, event.action)(site)
         return sites
+
+    def _current_leader(self) -> str | None:
+        """The live leader at fire time, if the system can name one (a
+        flat Cluster can; a C-Raft deployment has one per level, so
+        positional selectors there fall back to the recorded initial
+        leader)."""
+        getter = getattr(self._cluster, "leader", None)
+        return getter() if callable(getter) else None

@@ -101,6 +101,20 @@ class PoissonWorkload:
     def stop(self) -> None:
         self._stopped = True
 
+    @property
+    def completed_count(self) -> int:
+        return sum(1 for r in self.records if r.done)
+
+    @property
+    def done(self) -> bool:
+        """True once the requested number of submissions all committed
+        (mirrors :class:`ClosedLoopWorkload` so the scenario runner can
+        drive either arrival process)."""
+        if self._max_requests is None:
+            return False
+        return (self._submitted >= self._max_requests
+                and self.completed_count >= self._max_requests)
+
     def latencies(self) -> list[float]:
         return [r.latency for r in self.records if r.latency is not None]
 

@@ -51,14 +51,18 @@ class BernoulliLoss(LossModel):
 
 
 class PerLinkLoss(LossModel):
-    """Directional per-link loss rates with a default fallback.
+    """Directional per-link loss rates over a fallback.
 
     ``rates`` maps ``(src, dst)`` pairs to Bernoulli rates. Useful for
     modelling one bad link without touching the rest of the fabric.
+    Links without an override fall back to ``base`` (an arbitrary loss
+    model -- this is how ``set_link_loss`` events overlay a running
+    network's existing model) or, without one, to the ``default`` rate.
+    A zero-rate override re-enables the reliable path for that link.
     """
 
     def __init__(self, rates: dict[tuple[str, str], float],
-                 default: float = 0.0) -> None:
+                 default: float = 0.0, base: LossModel | None = None) -> None:
         for pair, rate in rates.items():
             if not 0 <= rate <= 1:
                 raise NetworkError(
@@ -67,6 +71,7 @@ class PerLinkLoss(LossModel):
             raise NetworkError(f"default rate must be in [0, 1]: {default!r}")
         self._rates = dict(rates)
         self._default = default
+        self.base = base
 
     def set_rate(self, src: str, dst: str, rate: float) -> None:
         if not 0 <= rate <= 1:
@@ -75,13 +80,19 @@ class PerLinkLoss(LossModel):
 
     def should_drop(self, rng: random.Random, src: str, dst: str,
                     now: float) -> bool:
-        rate = self._rates.get((src, dst), self._default)
+        rate = self._rates.get((src, dst))
+        if rate is None:
+            if self.base is not None:
+                return self.base.should_drop(rng, src, dst, now)
+            rate = self._default
         if rate == 0:
             return False
         return rng.random() < rate
 
     def __repr__(self) -> str:
-        return f"PerLinkLoss({len(self._rates)} links, default={self._default})"
+        tail = (f"base={self.base!r}" if self.base is not None
+                else f"default={self._default}")
+        return f"PerLinkLoss({len(self._rates)} links, {tail})"
 
 
 class ScheduledLoss(LossModel):

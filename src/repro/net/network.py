@@ -118,6 +118,10 @@ class Network:
     def latency_model(self) -> LatencyModel:
         return self._latency
 
+    @property
+    def loss_model(self) -> LossModel:
+        return self._loss
+
     # ------------------------------------------------------------------
     # Sending
     # ------------------------------------------------------------------

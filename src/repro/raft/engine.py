@@ -92,9 +92,9 @@ class ClassicRaftEngine(BaseEngine):
     def _on_configuration_changed(self) -> None:
         if self.role is not Role.LEADER:
             return
-        for member in self._configuration.members:
-            self.next_index.setdefault(member, self.log.last_index + 1)
-            self.match_index.setdefault(member, 0)
+        for site in self._configuration.replicas:
+            self.next_index.setdefault(site, self.log.last_index + 1)
+            self.match_index.setdefault(site, 0)
 
     # ------------------------------------------------------------------
     # Proposals
@@ -156,9 +156,11 @@ class ClassicRaftEngine(BaseEngine):
     # Replication: leader side
     # ------------------------------------------------------------------
     def _append_targets(self) -> list[str]:
-        targets = list(self._configuration.others(self.name))
+        # Replicas = members + standing observers (which replicate but
+        # never vote commits); plus any joiners mid-catch-up.
+        targets = list(self._configuration.replicas_without(self.name))
         targets.extend(sorted(self._catchup_targets))
-        return targets
+        return list(dict.fromkeys(targets))
 
     def _broadcast_append_entries(self) -> None:
         if self.role is not Role.LEADER:
@@ -356,6 +358,7 @@ class ClassicRaftEngine(BaseEngine):
         version = self._max_known_config_version() + 1
         entry = self._make_internal_entry(
             EntryKind.CONFIG, ConfigPayload(members=new_config.members,
+                                            observers=new_config.observers,
                                             version=version))
         change["entry_id"] = entry.entry_id
         self._append_as_leader(entry)

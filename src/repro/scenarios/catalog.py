@@ -17,3 +17,4 @@ import repro.experiments.fig5_throughput  # noqa: F401
 import repro.experiments.flapping       # noqa: F401
 import repro.experiments.migrated_region  # noqa: F401
 import repro.experiments.rounds         # noqa: F401
+import repro.experiments.two_region_failover  # noqa: F401

@@ -186,7 +186,7 @@ class LossSpec:
 EVENT_ACTIONS = frozenset({
     "crash", "recover", "silent_leave", "silent_return", "announced_leave",
     "request_join", "partition", "heal_partition", "set_loss",
-    "set_latency",
+    "set_link_loss", "set_bandwidth", "set_latency",
 })
 
 
@@ -197,10 +197,12 @@ class Event:
     Exactly one trigger must be set: ``at`` (absolute sim seconds) or
     ``after_commits`` (total completed workload commits). ``target`` is
     a site selector -- a literal site name, ``"leader"`` (the initial
-    leader), ``"nonleader:<i>"`` (the i-th non-leader in server order),
-    or ``"cluster:<name>"`` (every site of that cluster). ``args`` carry
-    action parameters: partition groups, a loss rate, a
-    :class:`LatencySpec`, or a join contact.
+    leader), ``"nonleader:<i>"`` (the i-th non-leader by sorted site id,
+    excluding the *fire-time* leader), or ``"cluster:<name>"`` (every
+    site of that cluster). ``args`` carry action parameters: partition
+    groups, a loss rate, ``(src, dst, rate)`` for ``set_link_loss``,
+    ``(bytes_per_second,)`` (optionally ``(bytes_per_second, shared)``)
+    for ``set_bandwidth``, a :class:`LatencySpec`, or a join contact.
     """
 
     action: str
@@ -278,7 +280,7 @@ class EventSchedule:
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class WorkloadSpec:
-    """Closed-loop proposers: where they sit and what they submit.
+    """Proposers: where they sit, what they submit, and how they pace.
 
     ``placement`` decides the proposer sites: ``leader``, ``random``
     (one site drawn from ``rng_stream``), ``first_nonleader``,
@@ -286,7 +288,10 @@ class WorkloadSpec:
     or ``sites`` (the explicit ``sites`` tuple, in order). ``command``
     picks the submitted payloads: ``default`` (``k<seq>``), ``keyed``
     (``<prefixes[i]>.<seq>``), or ``payload`` (``value_bytes`` of
-    filler per value).
+    filler per value). ``arrival`` picks the pacing: ``closed_loop``
+    (the paper's proposers -- next command after the previous commit) or
+    ``poisson`` (open-loop, exponential inter-arrivals at ``rate``
+    requests/second from the ``rng_stream`` random stream).
     """
 
     placement: str = "leader"
@@ -298,6 +303,8 @@ class WorkloadSpec:
     command: str = "default"
     prefixes: tuple[str, ...] = ()
     value_bytes: int = 0
+    arrival: str = "closed_loop"
+    rate: float = 0.0
     rng_stream: str = "scenario.proposer"
 
     def __post_init__(self) -> None:
@@ -309,6 +316,11 @@ class WorkloadSpec:
             raise ExperimentError("placement 'sites' needs a sites tuple")
         if self.command not in ("default", "keyed", "payload"):
             raise ExperimentError(f"unknown command kind: {self.command!r}")
+        if self.arrival not in ("closed_loop", "poisson"):
+            raise ExperimentError(f"unknown arrival kind: {self.arrival!r}")
+        if self.arrival == "poisson" and self.rate <= 0:
+            raise ExperimentError(
+                "poisson arrivals need a positive rate (requests/second)")
 
     def command_factory(self, index: int):
         """The per-proposer command factory (None = workload default)."""

@@ -38,6 +38,11 @@ class Snapshot:
     #: Governing configuration at capture time (None: bootstrap applies).
     config_members: tuple[str, ...] | None = None
     config_version: int = 0
+    #: Standing non-voting observers of that configuration -- the
+    #: observer role must survive compaction exactly like membership,
+    #: or a tiebreaker would silently vanish when its CONFIG entry is
+    #: swallowed by a snapshot.
+    config_observers: tuple[str, ...] = ()
     #: Simulation time of capture and the capturing site (diagnostics).
     taken_at: float = 0.0
     origin: str = ""
@@ -67,19 +72,22 @@ def newest(a: Snapshot | None, b: Snapshot | None) -> Snapshot | None:
 
 
 def governing_config(snapshot: Snapshot | None, best_config_entry
-                     ) -> tuple[int, tuple[str, ...] | None]:
-    """Resolve ``(version, members)`` between a snapshot's carried
-    configuration and a log's best CONFIG entry (``(index, entry)`` or
-    None). The log wins ties: it is at least as fresh as the snapshot
-    that preceded it. ``members`` is None when neither source has a
-    configuration (the bootstrap config applies)."""
+                     ) -> tuple[int, tuple[str, ...] | None, tuple[str, ...]]:
+    """Resolve ``(version, members, observers)`` between a snapshot's
+    carried configuration and a log's best CONFIG entry (``(index,
+    entry)`` or None). The log wins ties: it is at least as fresh as the
+    snapshot that preceded it. ``members`` is None when neither source
+    has a configuration (the bootstrap config applies)."""
     version: int = 0
     members: tuple[str, ...] | None = None
+    observers: tuple[str, ...] = ()
     if snapshot is not None and snapshot.config_members:
         version, members = snapshot.config_version, snapshot.config_members
+        observers = snapshot.config_observers
     if best_config_entry is not None:
         payload = best_config_entry[1].payload
         best_version = getattr(payload, "version", 0)
         if members is None or best_version >= version:
             version, members = best_version, payload.members
-    return version, members
+            observers = getattr(payload, "observers", ())
+    return version, members, observers

@@ -197,27 +197,31 @@ class TestLocalLeaderFailover:
 
 
 class TestTwoMemberGlobalDeadlock:
-    @pytest.mark.xfail(
-        strict=True,
-        reason="Pre-existing 2-member global-configuration deadlock (see "
-               "ROADMAP.md, 'Global-membership deadlock'): with exactly "
-               "two cluster leaders in the global configuration, a crashed "
-               "one cannot be excluded (quorum 2-of-2) and the "
-               "degraded-reconfig guard refuses to shrink, so the "
-               "successor's global join never completes. Flips to XPASS "
-               "when a fix (non-voting tiebreaker seed, or counting the "
-               "joining leader toward the exclusion quorum) lands.")
-    def test_successor_joins_global_after_leader_crash(self):
+    """Formerly a strict xfail pinning the 2-member global-configuration
+    deadlock (ROADMAP, 'Global-membership deadlock'): with exactly two
+    cluster leaders in the global configuration, a crashed one could not
+    be excluded (quorum 2-of-2) and the degraded-reconfig guard rightly
+    refused to shrink, so the successor's global join never completed.
+    Fixed by the standing non-voting observer (the retired bootstrap
+    seed) acting as election/CONFIG tiebreaker for degenerate voting
+    sets, plus the joining-leader exclusion quorum -- see README 'Global
+    membership liveness'."""
+
+    def _two_cluster_deployment(self):
         topo = Topology.even_clusters(6, ["east", "west"])
         latency = RegionLatencyModel(dict(topo.node_regions),
                                      {("east", "west"): 0.080},
                                      intra_rtt=0.0008, jitter=0.1)
-        dep = build_craft_deployment(
+        return topo, build_craft_deployment(
             topo, latency, seed=18, batch_policy=BatchPolicy(batch_size=5),
             state_machine_factory=KVStateMachine)
+
+    def test_successor_joins_global_after_leader_crash(self):
+        topo, dep = self._two_cluster_deployment()
         dep.start_all()
         leaders = dep.run_until_local_leaders(timeout=30.0)
         dep.run_until_global_ready(timeout=60.0)
+        assert dep.global_observers()  # the retired seed stands by
         victim = leaders["east"]
         dep.servers[victim].crash()
         assert dep.run_until(
@@ -225,9 +229,47 @@ class TestTwoMemberGlobalDeadlock:
                      and dep.local_leader("east") != victim),
             timeout=30.0)
         successor = dep.local_leader("east")
-        # Deadlock: this join can only complete once the dead leader's
-        # exclusion commits, which needs both of the two global voters.
+        # The join completes only once the dead leader's exclusion can
+        # commit -- the observer tiebreaker supplies the missing vote.
         assert dep.run_until(
             lambda: (dep.servers[successor].global_engine is not None
                      and dep.servers[successor].global_engine.is_member),
             timeout=60.0)
+
+    def test_exclusion_commits_and_batches_flow_without_dead_site(self):
+        topo, dep = self._two_cluster_deployment()
+        dep.start_all()
+        leaders = dep.run_until_local_leaders(timeout=30.0)
+        dep.run_until_global_ready(timeout=60.0)
+        victim = leaders["east"]
+        dep.servers[victim].crash()
+        dep.run_until(lambda: (dep.local_leader("east") is not None
+                               and dep.local_leader("east") != victim),
+                      timeout=30.0)
+
+        def victim_excluded():
+            leader = dep.global_leader()
+            if leader is None:
+                return False
+            engine = dep.servers[leader].global_engine
+            return victim not in engine.configuration.members
+        assert dep.run_until(victim_excluded, timeout=60.0)
+        # Batches from both surviving clusters reach the global log
+        # while the dead site never returns.
+        workloads = []
+        for cluster in topo.clusters:
+            site = next(n for n in topo.nodes_in_cluster(cluster)
+                        if n != victim and dep.servers[n].alive)
+            client = dep.add_client(site=site)
+            workload = ClosedLoopWorkload(
+                client, max_requests=10,
+                command_factory=lambda s, c=cluster: {
+                    "op": "put", "key": f"{c}.{s}", "value": s})
+            workload.start()
+            workloads.append(workload)
+        assert dep.run_until(lambda: all(w.done for w in workloads),
+                             timeout=120.0)
+        assert dep.run_until(lambda: dep.total_global_applied() >= 20,
+                             timeout=120.0)
+        assert not dep.servers[victim].alive
+        check_election_safety(dep.trace)

@@ -79,6 +79,89 @@ class TestFaults:
         with pytest.raises(ExperimentError):
             FaultInjector(cluster).crash("ghost")
 
+    def test_set_link_loss_overlays_current_model(self):
+        from repro.net.loss import PerLinkLoss
+        cluster = started_cluster(RaftServer, seed=1)
+        faults = FaultInjector(cluster)
+        faults.set_loss(0.05)
+        base = cluster.network.loss_model
+        faults.set_link_loss("n0", "n1", 1.0)
+        model = cluster.network.loss_model
+        assert isinstance(model, PerLinkLoss)
+        assert model.base is base
+        rng = cluster.rng.stream("test.loss")
+        # the degraded link always drops, both directions
+        assert model.should_drop(rng, "n0", "n1", 0.0)
+        assert model.should_drop(rng, "n1", "n0", 0.0)
+        # a second override accumulates on the same overlay
+        faults.set_link_loss("n0", "n2", 1.0, symmetric=False)
+        assert cluster.network.loss_model is model
+        assert model.should_drop(rng, "n0", "n2", 0.0)
+        # zero-rate override re-enables the reliable path on that link
+        faults.set_link_loss("n0", "n1", 0.0)
+        assert not model.should_drop(rng, "n0", "n1", 0.0)
+
+    def test_set_bandwidth_wraps_and_rewraps(self):
+        from repro.net.latency import (
+            BandwidthLatencyModel,
+            SharedLinkBandwidthModel,
+        )
+        cluster = started_cluster(RaftServer, seed=1)
+        base = cluster.network.latency_model
+        faults = FaultInjector(cluster)
+        faults.set_bandwidth(1_000_000.0)
+        model = cluster.network.latency_model
+        assert isinstance(model, BandwidthLatencyModel)
+        assert model.base is base and model.bandwidth == 1_000_000.0
+        # re-wrapping swaps the rate without nesting wrappers
+        faults.set_bandwidth(500.0, shared=True)
+        model = cluster.network.latency_model
+        assert isinstance(model, SharedLinkBandwidthModel)
+        assert model.base is base and model.bandwidth == 500.0
+
+
+class TestNonleaderSelector:
+    def test_resolves_against_fire_time_leader(self):
+        """Leadership moved between schedule evaluation and application:
+        the selector must exclude the *current* leader, or a follower
+        fault silently becomes a leader fault."""
+        from repro.harness.faults import resolve_event_targets
+        from repro.scenarios.spec import Event
+        event = Event("crash", target="nonleader:0", at=1.0)
+        order = ["n0", "n1", "n2"]
+        assert resolve_event_targets(event, order, "n0") == ["n1"]
+        # the initial leader n0 lost leadership to n1 before fire time
+        assert resolve_event_targets(event, order, "n0",
+                                     current_leader="n1") == ["n0"]
+
+    def test_pinned_by_sorted_node_id(self):
+        """Selection is pinned to sorted site ids, not builder insertion
+        order, so two construction paths agree on nonleader:i."""
+        from repro.harness.faults import resolve_event_targets
+        from repro.scenarios.spec import Event
+        event = Event("crash", target="nonleader:1", at=1.0)
+        shuffled = ["n2", "n0", "n1"]
+        assert resolve_event_targets(event, shuffled, "n0") == ["n2"]
+
+    def test_fire_time_resolution_end_to_end(self):
+        """A scheduled nonleader crash after a leader change hits a
+        follower of the *new* leader (regression: it used to be able to
+        crash the live leader recorded as a non-leader initially)."""
+        cluster = started_cluster(RaftServer, seed=1)
+        initial = cluster.leader()
+        faults = FaultInjector(cluster)
+        # Depose the initial leader by crashing it; a new one emerges.
+        faults.crash(initial)
+        assert cluster.run_until(
+            lambda: cluster.leader() not in (None, initial), timeout=15.0)
+        faults.recover(initial)
+        cluster.run_for(0.5)
+        new_leader = cluster.leader()
+        from repro.scenarios.spec import Event
+        event = Event("crash", target="nonleader:0", at=1.0)
+        sites = faults.apply_event(event, initial_leader=initial)
+        assert sites and sites[0] != new_leader
+
 
 class TestWorkloads:
     def test_closed_loop_completes_exactly_max(self):

@@ -32,6 +32,10 @@ from repro.experiments.migrated_region import (
     run_migrated_region,
 )
 from repro.experiments.rounds import RoundsConfig, run_rounds
+from repro.experiments.two_region_failover import (
+    TwoRegionFailoverConfig,
+    run_two_region_failover,
+)
 from repro.scenarios.registry import get_scenario, scenario_names
 from repro.scenarios.runner import SweepRunner, run_cell
 from repro.scenarios.spec import (
@@ -91,9 +95,13 @@ class TestGoldenTables:
         ]
 
     def test_fig5_golden(self):
+        # Re-pinned for the global-membership liveness work (PR 4): the
+        # bootstrap seed now retires into a standing observer that keeps
+        # receiving replication, which shifts the shared latency-RNG
+        # stream and therefore the committed count within the window.
         r = run_fig5(Fig5Config(cluster_counts=(2,), trial_duration=20.0,
                                 trials=1, warmup=5.0))
-        rows_equal(r.table().as_dict()["rows"], [[2, 4.0, 31.0, 7.75]])
+        rows_equal(r.table().as_dict()["rows"], [[2, 4.0, 31.5, 7.875]])
 
     def test_ablation_decision_golden(self):
         table = run_decision_interval_ablation(
@@ -250,7 +258,7 @@ class TestRegistry:
         names = scenario_names()
         for expected in ("rounds", "fig3", "fig4", "fig5", "ablations",
                          "catchup", "catchup_wan", "flapping_wan",
-                         "migrated_region"):
+                         "migrated_region", "two_region_failover"):
             assert expected in names
 
     def test_unknown_scenario_raises(self):
@@ -281,3 +289,59 @@ class TestNewScenarios:
         # The whole region adopted the image through the gated path.
         assert result.gated_sites == 3
         assert result.installs >= 1
+
+    def test_two_region_failover_smoke(self):
+        """The formerly-deadlocked shape at its pinned seed: the east
+        leader's crash must not wedge the global configuration."""
+        result = run_two_region_failover(TwoRegionFailoverConfig.smoke())
+        result.check_shape()
+        assert result.observer  # a standing tiebreaker existed
+        assert result.victim not in result.members_after
+        assert result.successor in result.members_after
+
+
+class TestScenarioVocabulary:
+    def test_new_actions_registered(self):
+        from repro.scenarios.spec import EVENT_ACTIONS
+        assert "set_link_loss" in EVENT_ACTIONS
+        assert "set_bandwidth" in EVENT_ACTIONS
+
+    def test_poisson_workload_spec_validation(self):
+        with pytest.raises(ExperimentError):
+            WorkloadSpec(arrival="poisson")  # needs a positive rate
+        with pytest.raises(ExperimentError):
+            WorkloadSpec(arrival="burst")
+        spec = WorkloadSpec(arrival="poisson", rate=25.0, requests=10)
+        assert spec.rate == 25.0
+
+    def test_poisson_cell_runs_and_completes(self):
+        spec = ScenarioSpec(
+            name="unit.poisson", engine="raft",
+            topology=TopologySpec(n_sites=3),
+            workload=WorkloadSpec(placement="leader", requests=20,
+                                  arrival="poisson", rate=50.0))
+        stats = run_cell(spec, seed=7)
+        assert stats.count == 20
+
+    def test_poisson_cell_deterministic(self):
+        spec = ScenarioSpec(
+            name="unit.poisson_det", engine="raft",
+            topology=TopologySpec(n_sites=3),
+            workload=WorkloadSpec(placement="leader", requests=12,
+                                  arrival="poisson", rate=40.0))
+        first = run_cell(spec, seed=5)
+        second = run_cell(spec, seed=5)
+        assert first.mean == second.mean
+
+    def test_link_loss_and_bandwidth_events_fire(self):
+        spec = ScenarioSpec(
+            name="unit.link_events", engine="raft",
+            topology=TopologySpec(n_sites=3),
+            schedule=EventSchedule((
+                Event("set_link_loss", at=0.5, args=("n0", "n1", 0.3)),
+                Event("set_bandwidth", at=0.8, args=(10_000_000.0,)),
+                Event("set_link_loss", at=1.2, args=("n0", "n1", 0.0)),
+            )),
+            workload=WorkloadSpec(placement="leader", requests=25))
+        stats = run_cell(spec, seed=4)
+        assert stats.count == 25

@@ -13,7 +13,12 @@ import pytest
 
 from repro.consensus.config import Configuration, TransferConfig
 from repro.consensus.engine import EngineContext
-from repro.consensus.entry import EntryKind, InsertedBy, LogEntry
+from repro.consensus.entry import (
+    ConfigPayload,
+    EntryKind,
+    InsertedBy,
+    LogEntry,
+)
 from repro.consensus.messages import (
     AppendEntries,
     Envelope,
@@ -275,7 +280,7 @@ def _chunks_for(snapshot, term, leader, chunk_size=16):
 class DrivenFollower:
     """A ClassicRaftEngine fed messages by hand; sends are collected."""
 
-    def __init__(self):
+    def __init__(self, config: Configuration | None = None):
         self.loop = SimLoop()
         self.sent = []
         ctx = EngineContext(
@@ -285,7 +290,7 @@ class DrivenFollower:
             store=StableStore("f1"), timing=TimingConfig(),
             transfer=TransferConfig(chunk_size=16))
         self.engine = ClassicRaftEngine(
-            ctx, Configuration(("f1", "n1", "n2")))
+            ctx, config or Configuration(("f1", "n1", "n2")))
 
     def deliver(self, message, sender):
         self.engine.handle(message, sender)
@@ -371,6 +376,52 @@ class TestFollowerDiscardRules:
         assert follower.engine.snapshots_installed == 1
         assert follower.engine.commit_index == 12
         assert follower.engine.snapshot_store.latest.origin == "n2"
+
+    def test_partial_transfer_discarded_on_observer_promotion(self):
+        """Mid-transfer observer-to-voter promotion: the governing
+        config changes under the partial buffer, so it is discarded
+        (same family as the term-bump / newer-snapshot rules) and the
+        transfer restarts cleanly from the leader's next chunks."""
+        follower = DrivenFollower(
+            config=Configuration(("n1", "n2"), observers=("f1",)))
+        assert not follower.engine.is_member
+        chunks = _chunks_for(_snapshot(10), term=1, leader="n1")
+        for chunk in chunks[:2]:
+            follower.deliver(chunk, "n1")
+        assert follower.engine._chunk_assembler is not None
+        # The leader promotes f1: a CONFIG entry carrying it as a voter.
+        promotion = LogEntry(
+            entry_id="n1:config9.t1", kind=EntryKind.CONFIG,
+            payload=ConfigPayload(members=("f1", "n1", "n2"), version=9),
+            origin="n1", term=1, inserted_by=InsertedBy.LEADER)
+        follower.deliver(AppendEntries(
+            term=1, leader_id="n1", prev_log_index=0, prev_log_term=0,
+            entries=((1, promotion),), leader_commit=0), "n1")
+        assert follower.engine.is_member
+        assert follower.engine._chunk_assembler is None  # partial gone
+        # A fresh full transfer still installs.
+        for chunk in chunks:
+            follower.deliver(chunk, "n1")
+        assert follower.engine.snapshots_installed == 1
+        assert follower.engine.commit_index == 10
+
+    def test_demotion_keeps_partial_transfer(self):
+        """Only the observer-to-voter direction voids the buffer: an
+        unrelated config change mid-transfer (here: some other site
+        joining) leaves the reassembly untouched."""
+        follower = DrivenFollower()
+        chunks = _chunks_for(_snapshot(10), term=1, leader="n1")
+        for chunk in chunks[:2]:
+            follower.deliver(chunk, "n1")
+        join = LogEntry(
+            entry_id="n1:config9.t1", kind=EntryKind.CONFIG,
+            payload=ConfigPayload(members=("f1", "n1", "n2", "n3"),
+                                  version=9),
+            origin="n1", term=1, inserted_by=InsertedBy.LEADER)
+        follower.deliver(AppendEntries(
+            term=1, leader_id="n1", prev_log_index=0, prev_log_term=0,
+            entries=((1, join),), leader_commit=0), "n1")
+        assert follower.engine._chunk_assembler is not None
 
     def test_chunks_for_covered_prefix_full_confirmed(self):
         """A follower already past the snapshot point short-circuits with
