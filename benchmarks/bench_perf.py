@@ -1,0 +1,53 @@
+"""Benchmark: simulation-core events/sec, current core vs legacy core.
+
+Unlike the scientific benchmarks (which regenerate the paper's tables),
+this one measures the simulator itself: the same three cells run on the
+pre-refactor core (heap scheduler, full-log config scans, per-follower
+broadcast construction, un-fast-pathed network -- all kept behind
+``repro.perf``'s legacy switch) and on the current core, in the same
+process on the same machine. Both runs execute the identical event
+sequence, so the wall-clock ratio is the core speedup.
+
+Results go three places: printed, persisted under
+``benchmarks/results/``, and appended to the ``BENCH_perf.json``
+trajectory at the repository root (the acceptance artifact: the
+``raft_lan_steady`` cell must show >= 3x at full scale).
+
+``REPRO_BENCH_SMOKE=1`` shrinks the cells for CI; the smoke bar only
+asserts the current core is not *slower* (tiny cells amortize less of
+the quadratic legacy tax, and shared runners are noisy).
+
+Run directly (``python benchmarks/bench_perf.py``) or through pytest.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+if __package__ in (None, ""):  # direct execution: make the repo root
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from benchmarks._common import emit, smoke_scale
+from repro.bench import run_bench_perf, write_trajectory
+from repro.bench.perf import TARGET_SPEEDUP
+
+#: Smoke asserts sanity, full asserts the acceptance bar.
+SMOKE_MIN_SPEEDUP = 1.0
+
+
+def _run() -> None:
+    smoke = smoke_scale()
+    report = run_bench_perf(smoke=smoke)
+    emit("bench_perf", report.format(), data=report.as_dict())
+    path = write_trajectory(report)
+    print(f"[perf trajectory appended to {path}]")
+    report.check(SMOKE_MIN_SPEEDUP if smoke else TARGET_SPEEDUP)
+
+
+def test_bench_perf() -> None:
+    _run()
+
+
+if __name__ == "__main__":
+    sys.exit(_run())

@@ -1,0 +1,27 @@
+"""Performance measurement harness.
+
+:mod:`repro.bench.perf` measures the simulation core itself -- events
+per second and wall clock on fixed cells, current core vs the legacy
+(pre-refactor) core kept behind :mod:`repro.perf` -- and maintains the
+``BENCH_perf.json`` trajectory at the repository root. The scientific
+benchmarks (figures, catch-up, chunking) live under ``benchmarks/``;
+this package is about how fast the simulator runs them.
+"""
+
+from repro.bench.perf import (
+    CellComparison,
+    PerfReport,
+    PerfSample,
+    default_output_path,
+    run_bench_perf,
+    write_trajectory,
+)
+
+__all__ = [
+    "CellComparison",
+    "PerfReport",
+    "PerfSample",
+    "default_output_path",
+    "run_bench_perf",
+    "write_trajectory",
+]

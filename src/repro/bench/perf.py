@@ -1,0 +1,277 @@
+"""Simulation-core throughput: events/sec on fixed cells, both cores.
+
+Three cells cover the shapes that dominate every experiment in this
+repository:
+
+- ``raft_lan_steady`` -- classic Raft, five sites, sub-millisecond LAN,
+  one closed-loop proposer: the steady-state replication hot path
+  (heartbeats, AppendEntries absorption, commit advancement). This is
+  the headline cell: the refactor's acceptance bar is >= 3x events/sec
+  over the pre-refactor core here.
+- ``fastraft_wan_churn`` -- Fast Raft, five sites, WAN latencies, 2%
+  loss, a follower churning (silent leave / silent return) through the
+  run: elections, member timeouts, membership changes, rejoin catch-up.
+- ``craft_mesh_6x5`` -- the registered ``large_mesh`` scenario (six
+  clusters x five sites, two consensus levels, a flapping WAN uplink):
+  an order of magnitude more timers and messages in flight than the
+  flat cells.
+
+Every cell runs twice in the same process on the same machine: once on
+the **legacy core** (:mod:`repro.perf` flips the pre-refactor scheduler,
+log scan, per-follower broadcast, and un-fast-pathed network back in)
+and once on the **current core**. Both runs execute the identical event
+sequence -- the refactor is observably byte-identical, which the golden
+tests pin -- so events processed match exactly and the wall-clock ratio
+*is* the speedup. ``write_trajectory`` appends the report to
+``BENCH_perf.json`` at the repository root, the perf trajectory CI
+uploads and future PRs extend.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro import perf
+from repro.errors import ExperimentError
+
+#: The headline cell and its acceptance bar at full scale.
+STEADY_CELL = "raft_lan_steady"
+TARGET_SPEEDUP = 3.0
+
+
+# ----------------------------------------------------------------------
+# Samples and report
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PerfSample:
+    """One measured run of one cell on one core."""
+
+    core: str                 # "legacy" | "current"
+    events: int               # loop callbacks executed
+    wall_seconds: float
+    sim_seconds: float        # virtual time the cell covered
+
+    @property
+    def events_per_sec(self) -> float:
+        if self.wall_seconds <= 0:  # pragma: no cover - clock paranoia
+            return float("inf")
+        return self.events / self.wall_seconds
+
+    def as_dict(self) -> dict:
+        return {"core": self.core, "events": self.events,
+                "wall_seconds": round(self.wall_seconds, 4),
+                "sim_seconds": round(self.sim_seconds, 3),
+                "events_per_sec": round(self.events_per_sec, 1)}
+
+
+@dataclass(frozen=True)
+class CellComparison:
+    name: str
+    legacy: PerfSample
+    current: PerfSample
+
+    @property
+    def speedup(self) -> float:
+        return self.current.events_per_sec / self.legacy.events_per_sec
+
+    def as_dict(self) -> dict:
+        return {"legacy": self.legacy.as_dict(),
+                "current": self.current.as_dict(),
+                "speedup": round(self.speedup, 2)}
+
+
+@dataclass
+class PerfReport:
+    mode: str                           # "full" | "smoke"
+    cells: list[CellComparison] = field(default_factory=list)
+
+    def cell(self, name: str) -> CellComparison:
+        for comparison in self.cells:
+            if comparison.name == name:
+                return comparison
+        raise ExperimentError(f"no perf cell named {name!r}")
+
+    @property
+    def steady_state_speedup(self) -> float:
+        return self.cell(STEADY_CELL).speedup
+
+    def format(self) -> str:
+        lines = [
+            "Simulation-core throughput -- legacy vs current "
+            f"(mode={self.mode})",
+            f"{'cell':20} {'events':>9} {'legacy ev/s':>12} "
+            f"{'current ev/s':>13} {'speedup':>8}",
+        ]
+        for c in self.cells:
+            lines.append(
+                f"{c.name:20} {c.current.events:>9} "
+                f"{c.legacy.events_per_sec:>12,.0f} "
+                f"{c.current.events_per_sec:>13,.0f} "
+                f"{c.speedup:>7.2f}x")
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict:
+        return {
+            "mode": self.mode,
+            "python": platform.python_version(),
+            "platform": platform.system().lower(),
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ",
+                                       time.gmtime()),
+            "target_speedup": TARGET_SPEEDUP,
+            "steady_state_speedup": round(self.steady_state_speedup, 2),
+            "cells": {c.name: c.as_dict() for c in self.cells},
+        }
+
+    def check(self, min_speedup: float) -> None:
+        """Fail if the headline cell fell below ``min_speedup`` and the
+        identical-simulation invariant broke anywhere."""
+        for c in self.cells:
+            if c.legacy.events != c.current.events:
+                raise ExperimentError(
+                    f"cell {c.name!r}: cores diverged "
+                    f"({c.legacy.events} vs {c.current.events} events) -- "
+                    "the refactor is supposed to be byte-identical")
+        if self.steady_state_speedup < min_speedup:
+            raise ExperimentError(
+                f"steady-state speedup {self.steady_state_speedup:.2f}x "
+                f"fell below the {min_speedup:.1f}x bar")
+
+
+# ----------------------------------------------------------------------
+# Cells
+# ----------------------------------------------------------------------
+def _run_raft_lan_steady(smoke: bool):
+    from repro.harness.builder import build_cluster
+    from repro.harness.workload import ClosedLoopWorkload
+    from repro.raft.server import RaftServer
+    requests = 300 if smoke else 2000
+    cluster = build_cluster(RaftServer, n_sites=5, seed=7,
+                            trace_enabled=False)
+    cluster.start_all()
+    cluster.run_until_leader()
+    client = cluster.add_client(cluster.leader())
+    workload = ClosedLoopWorkload(client, max_requests=requests)
+    workload.start()
+    if not cluster.run_until(lambda: workload.done, timeout=600.0,
+                             step=0.5):
+        raise ExperimentError("raft steady-state cell stalled")
+    return cluster.loop
+
+
+def _run_fastraft_wan_churn(smoke: bool):
+    from repro.fastraft.server import FastRaftServer
+    from repro.harness.builder import build_cluster
+    from repro.harness.workload import ClosedLoopWorkload
+    from repro.net.latency import UniformLatency
+    from repro.net.loss import BernoulliLoss
+    requests = 150 if smoke else 800
+    cluster = build_cluster(FastRaftServer, n_sites=5, seed=11,
+                            latency=UniformLatency(0.020, 0.045),
+                            loss=BernoulliLoss(0.02),
+                            trace_enabled=False)
+    cluster.start_all()
+    cluster.run_until_leader(timeout=30.0)
+    leader = cluster.leader()
+    victim = next(name for name in sorted(cluster.servers)
+                  if name != leader)
+    network = cluster.network
+    # Churn: the victim silently leaves and returns on a fixed cycle
+    # (member timeout excludes it; on return it rejoins and catches up).
+    loop = cluster.loop
+    for cycle in range(2 if smoke else 4):
+        start = loop.now() + 4.0 + cycle * 10.0
+        loop.call_at(start, network.disconnect, victim)
+        loop.call_at(start + 3.0, network.reconnect, victim)
+    client = cluster.add_client(leader)
+    workload = ClosedLoopWorkload(client, max_requests=requests)
+    workload.start()
+    if not cluster.run_until(lambda: workload.done, timeout=600.0,
+                             step=0.5):
+        raise ExperimentError("fastraft WAN churn cell stalled")
+    return cluster.loop
+
+
+def _run_craft_mesh(smoke: bool):
+    from repro.experiments.large_mesh import (
+        LargeMeshConfig,
+        large_mesh_cells,
+    )
+    from repro.harness.builder import build_from_spec
+    from repro.scenarios.runner import resolve_drive
+    config = (LargeMeshConfig.smoke() if smoke
+              else LargeMeshConfig.quick())
+    [cell] = large_mesh_cells(config)
+    system = build_from_spec(cell.spec, cell.seed)
+    resolve_drive(cell.spec.drive)(system, cell.spec)
+    return system.loop
+
+_CELLS: list[tuple[str, Callable[[bool], object]]] = [
+    (STEADY_CELL, _run_raft_lan_steady),
+    ("fastraft_wan_churn", _run_fastraft_wan_churn),
+    ("craft_mesh_6x5", _run_craft_mesh),
+]
+
+
+def _measure(name: str, runner: Callable[[bool], object],
+             smoke: bool, core: str) -> PerfSample:
+    with perf.legacy_core(core == "legacy"):
+        started = time.perf_counter()
+        loop = runner(smoke)
+        wall = time.perf_counter() - started
+    return PerfSample(core=core, events=loop.events_processed,
+                      wall_seconds=wall, sim_seconds=loop.now())
+
+
+def run_bench_perf(smoke: bool = False, repeats: int = 3) -> PerfReport:
+    """Measure every cell on both cores, same process, same machine.
+
+    Each (cell, core) pair runs ``repeats`` times interleaved
+    (legacy/current/legacy/...) and keeps its best run: wall-clock on a
+    shared machine is one-sided noise (preemption and frequency scaling
+    only ever slow a run down), so min-wall is the faithful estimator
+    and interleaving keeps slow spells from landing on one core only.
+    """
+    report = PerfReport(mode="smoke" if smoke else "full")
+    for name, runner in _CELLS:
+        best: dict[str, PerfSample] = {}
+        for _ in range(max(1, repeats)):
+            for core in ("legacy", "current"):
+                sample = _measure(name, runner, smoke, core)
+                kept = best.get(core)
+                if kept is None or sample.wall_seconds < kept.wall_seconds:
+                    best[core] = sample
+        report.cells.append(CellComparison(name=name, legacy=best["legacy"],
+                                           current=best["current"]))
+    return report
+
+
+# ----------------------------------------------------------------------
+# Trajectory file
+# ----------------------------------------------------------------------
+def default_output_path() -> pathlib.Path:
+    """``BENCH_perf.json`` at the repository root (next to ROADMAP.md)."""
+    return (pathlib.Path(__file__).resolve()
+            .parents[3] / "BENCH_perf.json")
+
+
+def write_trajectory(report: PerfReport,
+                     path: pathlib.Path | None = None) -> pathlib.Path:
+    """Append ``report`` to the perf trajectory JSON (creating it)."""
+    path = path if path is not None else default_output_path()
+    if path.exists():
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        if payload.get("schema") != 1:  # pragma: no cover - future-proof
+            raise ExperimentError(
+                f"unknown BENCH_perf.json schema: {payload.get('schema')!r}")
+    else:
+        payload = {"schema": 1, "benchmark": "bench_perf",
+                   "unit": "events/sec", "runs": []}
+    payload["runs"].append(report.as_dict())
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return path

@@ -214,9 +214,14 @@ class BaseEngine:
         return self.ctx.loop.now()
 
     def _trace(self, category: str, **payload: Any) -> None:
-        self.ctx.trace.record(self.now(), self.name,
-                              f"{self.protocol_name}.{category}",
-                              scope=self.ctx.scope, **payload)
+        # Check before formatting: with tracing disabled (the benchmark
+        # configuration) the f-string and record call would still cost
+        # real time on the hottest engine paths.
+        trace = self.ctx.trace
+        if trace.enabled:
+            trace.record(self.now(), self.name,
+                         f"{self.protocol_name}.{category}",
+                         scope=self.ctx.scope, **payload)
 
     def _send(self, dst: str, message: Any) -> None:
         self.ctx.send(dst, message)

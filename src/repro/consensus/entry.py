@@ -19,10 +19,18 @@ log snapshots safe to share across the simulation.
 
 from __future__ import annotations
 
-import dataclasses
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any
+
+#: Structural-size memo slot shared by the entry dataclasses: entries
+#: are immutable, so :func:`repro.net.sizes.estimate_size` computes each
+#: one's wire contribution once and stores it here (the field itself is
+#: excluded from sizing, comparison, and repr). ``init=False`` keeps
+#: constructor signatures and ``dataclasses.replace`` behaviour
+#: unchanged -- a replaced copy starts with a fresh (empty) memo.
+def _size_memo() -> Any:
+    return field(default=None, init=False, repr=False, compare=False)
 
 
 class EntryKind(enum.Enum):
@@ -50,7 +58,7 @@ def make_entry_id(origin: str, request_id: int | str) -> str:
 _NOOP_COUNTER = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LogEntry:
     """One slot of the replicated log."""
 
@@ -60,10 +68,18 @@ class LogEntry:
     origin: str
     term: int
     inserted_by: InsertedBy
+    _est_size: int | None = _size_memo()
 
     def with_mark(self, term: int, inserted_by: InsertedBy) -> "LogEntry":
-        """Copy with new term stamp and provenance (leader approval)."""
-        return dataclasses.replace(self, term=term, inserted_by=inserted_by)
+        """Copy with new term stamp and provenance (leader approval).
+
+        Direct construction rather than :func:`dataclasses.replace`:
+        restamping happens for every entry a leader touches, and
+        ``replace`` pays field introspection per call for the same
+        result."""
+        return LogEntry(entry_id=self.entry_id, kind=self.kind,
+                        payload=self.payload, origin=self.origin,
+                        term=term, inserted_by=inserted_by)
 
     @property
     def is_config(self) -> bool:
@@ -93,7 +109,7 @@ def make_noop(origin: str, term: int,
                     term=term, inserted_by=inserted_by)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ConfigPayload:
     """Payload of a CONFIG entry: the full voting-member list, plus any
     standing non-voting observers (see ``Configuration.observers``).
@@ -110,13 +126,14 @@ class ConfigPayload:
     members: tuple[str, ...]
     version: int = 0
     observers: tuple[str, ...] = ()
+    _est_size: int | None = _size_memo()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "members", tuple(sorted(self.members)))
         object.__setattr__(self, "observers", tuple(sorted(self.observers)))
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GlobalStatePayload:
     """Payload of a C-Raft GLOBAL_STATE entry in a *local* log.
 
@@ -148,9 +165,10 @@ class GlobalStatePayload:
     inserts: tuple[tuple[int, "LogEntry"], ...]
     global_commit: int = 0
     snapshot: Any = None
+    _est_size: int | None = _size_memo()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BatchPayload:
     """Payload of a C-Raft BATCH entry in the *global* log.
 
@@ -163,6 +181,7 @@ class BatchPayload:
     sequence: int
     entries: tuple[LogEntry, ...]
     local_range: tuple[int, int]
+    _est_size: int | None = _size_memo()
 
     def __len__(self) -> int:
         return len(self.entries)

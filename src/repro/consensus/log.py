@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Iterator
 
+from repro import perf
 from repro.consensus.entry import EntryKind, InsertedBy, LogEntry
 from repro.errors import LogError
 
@@ -34,6 +35,13 @@ class RaftLog:
         self._slots: dict[int, LogEntry] = {}
         self._last_index = 0
         self._id_indices: dict[str, set[int]] = {}
+        # Indices currently holding CONFIG entries, maintained on every
+        # insert/remove. The governing-config lookup runs on *every*
+        # AppendEntries absorb, and a full index-ordered log scan there
+        # was the single hottest line of the whole simulation (O(log
+        # length) per message, quadratic over a run); tracking the
+        # handful of CONFIG indices makes it O(#configs).
+        self._config_indices: set[int] = set()
         # Compaction point: every index at or below it has been dropped
         # and is covered by a snapshot. (0, 0) doubles as the classic
         # index-0 sentinel of an uncompacted log.
@@ -117,8 +125,12 @@ class RaftLog:
         old = self._slots.get(index)
         if old is not None:
             self._unindex(old.entry_id, index)
+            if old.kind is EntryKind.CONFIG:
+                self._config_indices.discard(index)
         self._slots[index] = entry
         self._index_id(entry.entry_id, index)
+        if entry.kind is EntryKind.CONFIG:
+            self._config_indices.add(index)
         if index > self._last_index:
             self._last_index = index
 
@@ -139,6 +151,7 @@ class RaftLog:
         doomed = [i for i in self._slots if i >= index]
         for i in doomed:
             self._unindex(self._slots[i].entry_id, i)
+            self._config_indices.discard(i)
             del self._slots[i]
         self._last_index = max(self._slots, default=self._snapshot_index)
 
@@ -165,6 +178,7 @@ class RaftLog:
         doomed = [i for i in self._slots if i <= index]
         for i in doomed:
             self._unindex(self._slots[i].entry_id, i)
+            self._config_indices.discard(i)
             del self._slots[i]
         self._snapshot_index = index
         self._snapshot_term = term
@@ -205,11 +219,10 @@ class RaftLog:
 
     def latest_config_entry(self) -> tuple[int, LogEntry] | None:
         """Highest-index CONFIG entry, or None (bootstrap config applies)."""
-        for index in sorted(self._slots, reverse=True):
-            entry = self._slots[index]
-            if entry.kind is EntryKind.CONFIG:
-                return index, entry
-        return None
+        if not self._config_indices:
+            return None
+        index = max(self._config_indices)
+        return index, self._slots[index]
 
     def best_config_entry(self, upto: int | None = None,
                           decided_upto: int | None = None
@@ -227,13 +240,21 @@ class RaftLog:
         (split-brain under partition once the other side can elect via
         the observer tiebreaker). Leader-approved entries govern from
         insert, which is what the paper's Section IV-F degraded chain
-        relies on; committed ones govern regardless of provenance."""
+        relies on; committed ones govern regardless of provenance.
+
+        This runs per absorbed AppendEntries, so the scan covers only
+        the tracked CONFIG indices (the pre-refactor full-log walk stays
+        behind the legacy-core switch as the reference implementation)."""
+        if perf.LEGACY_CORE:
+            candidates = (pair for pair in self
+                          if pair[1].kind is EntryKind.CONFIG)
+        else:
+            candidates = ((index, self._slots[index])
+                          for index in sorted(self._config_indices))
         best: tuple[int, LogEntry] | None = None
-        for index, entry in self:
+        for index, entry in candidates:
             if upto is not None and index > upto:
                 break  # iteration is index-ordered
-            if entry.kind is not EntryKind.CONFIG:
-                continue
             if (decided_upto is not None and index > decided_upto
                     and entry.inserted_by is not InsertedBy.LEADER):
                 continue  # tentative proposal: not yet governing
@@ -248,8 +269,8 @@ class RaftLog:
 
     def max_config_version(self) -> int:
         """Highest configuration version anywhere in the log (0 if none)."""
-        return max((getattr(e.payload, "version", 0)
-                    for _, e in self if e.kind is EntryKind.CONFIG),
+        return max((getattr(self._slots[i].payload, "version", 0)
+                    for i in self._config_indices),
                    default=0)
 
     # ------------------------------------------------------------------

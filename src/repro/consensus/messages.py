@@ -21,10 +21,26 @@ from repro.net.sizes import payload_size as _payload_size
 IndexedEntries = tuple[tuple[int, LogEntry], ...]
 
 
+def _wire_memo() -> Any:
+    """Wire-size memo slot for messages with a ``payload_size`` method:
+    messages are frozen, and sending one costs a size lookup per
+    destination (and per retry under a size-aware latency model), so the
+    first computation is stored on the instance. Excluded from sizing,
+    comparison, and repr; ``init=False`` keeps constructors unchanged."""
+    return field(default=None, init=False, repr=False, compare=False)
+
+
+def _est_memo() -> Any:
+    """Structural-estimate memo slot for messages sized by the generic
+    :func:`repro.net.sizes.estimate_size` walk (see ``_est_size`` there):
+    the walk itself fills and reuses it."""
+    return field(default=None, init=False, repr=False, compare=False)
+
+
 # ----------------------------------------------------------------------
 # Client <-> site (co-located, reliable)
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ClientRequest:
     """A client asks its attached site to get ``command`` committed."""
 
@@ -32,7 +48,7 @@ class ClientRequest:
     command: Any
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ClientReply:
     """Outcome of a client request (sent on commit, or on redirect info)."""
 
@@ -45,23 +61,25 @@ class ClientReply:
 # ----------------------------------------------------------------------
 # Proposals and votes
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ProposeToLeader:
     """Classic Raft: a site forwards a proposal to the term's leader."""
 
     entry: LogEntry
+    _est_size: int | None = _est_memo()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ProposeEntry:
     """Fast Raft: the proposing site broadcasts the entry for index
     ``index`` to every member (Fig. 2's first hop)."""
 
     index: int
     entry: LogEntry
+    _est_size: int | None = _est_memo()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class VoteEntry:
     """Fast Raft: a site reports its slot content for ``index`` to the
     leader ("Send log[i] and commitIndex to leaderId")."""
@@ -71,9 +89,10 @@ class VoteEntry:
     entry: LogEntry
     commit_index: int
     voter: str
+    _est_size: int | None = _est_memo()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CommitNotice:
     """Leader tells the origin site that its entry committed."""
 
@@ -85,7 +104,7 @@ class CommitNotice:
 # ----------------------------------------------------------------------
 # Replication
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AppendEntries:
     """Leader -> follower replication / heartbeat."""
 
@@ -98,15 +117,23 @@ class AppendEntries:
     #: C-Raft: the local leader piggybacks the global commit index on its
     #: local AppendEntries so cluster members learn global commits.
     global_commit: int = 0
+    _wire_size: int | None = _wire_memo()
 
     def payload_size(self) -> int:
         """Wire size: fixed header fields plus the carried entries (the
-        size-aware cost model charges replication batches by content)."""
-        return (HEADER_SIZE + 5 * SCALAR_SIZE + len(self.leader_id)
-                + estimate_size(self.entries))
+        size-aware cost model charges replication batches by content).
+        Memoized: a broadcast round reuses one message object across
+        followers with equal nextIndex, so the entry walk happens once
+        per round instead of once per destination."""
+        cached = self._wire_size
+        if cached is None:
+            cached = (HEADER_SIZE + 5 * SCALAR_SIZE + len(self.leader_id)
+                      + estimate_size(self.entries))
+            object.__setattr__(self, "_wire_size", cached)
+        return cached
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AppendEntriesResponse:
     term: int
     success: bool
@@ -117,7 +144,7 @@ class AppendEntriesResponse:
     last_log_index: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class InstallSnapshotRequest:
     """Leader -> follower: the follower's needed log prefix has been
     compacted away, so the leader ships its snapshot instead of entries.
@@ -131,6 +158,7 @@ class InstallSnapshotRequest:
     term: int
     leader_id: str
     snapshot: Any
+    _wire_size: int | None = _wire_memo()
 
     def payload_size(self) -> int:
         """The whole serialized image in one charge -- the same image
@@ -141,7 +169,7 @@ class InstallSnapshotRequest:
         Serializing the image is O(image) real work and the network asks
         for the size on every send (including periodic re-ships), so the
         result is memoized on this frozen message."""
-        cached = self.__dict__.get("_wire_size")
+        cached = self._wire_size
         if cached is None:
             from repro.snapshot.chunking import snapshot_wire_size
             cached = (HEADER_SIZE + SCALAR_SIZE + len(self.leader_id)
@@ -150,7 +178,7 @@ class InstallSnapshotRequest:
         return cached
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class InstallSnapshotResponse:
     term: int
     follower: str
@@ -159,7 +187,7 @@ class InstallSnapshotResponse:
     success: bool
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class InstallSnapshotChunk:
     """One slice of a chunked snapshot transfer (Raft's reference RPC:
     ``offset`` positions the slice, ``done`` marks the final one).
@@ -183,7 +211,7 @@ class InstallSnapshotChunk:
                 + len(self.data))
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class InstallSnapshotChunkAck:
     """Follower -> leader: one chunk arrived (or was rejected as stale).
     The leader's send window advances on each ack; the final full-image
@@ -200,7 +228,7 @@ class InstallSnapshotChunkAck:
 # ----------------------------------------------------------------------
 # Elections
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RequestVote:
     """Candidate -> all sites.
 
@@ -216,7 +244,7 @@ class RequestVote:
     last_log_term: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RequestVoteResponse:
     term: int
     vote_granted: bool
@@ -224,12 +252,13 @@ class RequestVoteResponse:
     #: Fast Raft recovery: granting voters attach every self-approved
     #: entry in their log.
     self_approved: IndexedEntries = ()
+    _est_size: int | None = _est_memo()
 
 
 # ----------------------------------------------------------------------
 # Membership
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class JoinRequest:
     """A site asks to join the configuration (sent to any member;
     non-leaders forward it to the leader).
@@ -244,7 +273,7 @@ class JoinRequest:
     replaces: str | None = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class JoinAccepted:
     """Leader -> joining site once the new configuration committed."""
 
@@ -252,7 +281,7 @@ class JoinAccepted:
     leader_id: str
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LeaveRequest:
     """A site announces its departure (or the leader self-generates this
     after a member timeout for silent leaves).
@@ -266,14 +295,14 @@ class LeaveRequest:
     as_observer: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LeaveAccepted:
     """Leader -> departing site once the exclusion committed."""
 
     site: str
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NotInConfiguration:
     """Administrative notice to a site whose consensus message was ignored
     because it is not a configuration member; carries enough information
@@ -289,7 +318,7 @@ class NotInConfiguration:
 # ----------------------------------------------------------------------
 # C-Raft envelope
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Envelope:
     """Level-tagged wrapper for C-Raft message routing.
 
@@ -301,19 +330,26 @@ class Envelope:
     level: str
     scope: str
     inner: Any
+    _wire_size: int | None = _wire_memo()
 
     def payload_size(self) -> int:
         """Routing tag plus the wrapped message's own wire size (so a
-        global snapshot chunk costs the same enveloped or bare)."""
-        return (len(self.level) + len(self.scope) + SCALAR_SIZE
-                + _payload_size(self.inner))
+        global snapshot chunk costs the same enveloped or bare).
+        Memoized like the inner message: global broadcasts re-send one
+        envelope to every cluster leader."""
+        cached = self._wire_size
+        if cached is None:
+            cached = (len(self.level) + len(self.scope) + SCALAR_SIZE
+                      + _payload_size(self.inner))
+            object.__setattr__(self, "_wire_size", cached)
+        return cached
 
 
 #: Message types a non-member may send without being ignored.
 MEMBERSHIP_OPEN_TYPES = (JoinRequest, LeaveRequest)
 
 
-@dataclass
+@dataclass(slots=True)
 class PendingClient:
     """Server-side bookkeeping for one in-flight client request."""
 

@@ -13,11 +13,16 @@ Usage::
     python -m repro.experiments --scenario flapping_wan --mode smoke
     python -m repro.experiments --scenario catchup --jobs 6 \\
         --json-dir benchmarks/results
+    python -m repro.experiments --scenario fig3 --profile \\
+        --json-dir /tmp/prof
 
 ``--quick`` (the default) runs scaled-down configurations in seconds;
 ``--full`` runs the paper-scale configurations used by EXPERIMENTS.md;
 ``--mode smoke`` is the CI-smoke scale. ``--jobs N`` fans the sweep's
 cells out across N worker processes (results are identical to serial).
+``--profile`` wraps the run in cProfile (forcing the sweep in-process)
+and dumps the sorted cumulative stats next to the JSON output -- the
+profile-first workflow the simulation-core speedup was driven by.
 Every experiment is a registered scenario; the positional names are
 aliases for ``--scenario`` kept for compatibility.
 """
@@ -25,8 +30,10 @@ aliases for ``--scenario`` kept for compatibility.
 from __future__ import annotations
 
 import argparse
+import cProfile
 import json
 import pathlib
+import pstats
 import sys
 import time
 
@@ -35,12 +42,33 @@ from repro.scenarios.registry import get_scenario, run_scenario, scenario_names
 #: Positional aliases (the historical CLI) and the 'all' bundle.
 LEGACY_NAMES = ["rounds", "fig3", "fig4", "fig5", "ablations", "catchup"]
 
+#: Stats lines kept in the --profile dump.
+_PROFILE_LINES = 60
+
 
 def _run_one(name: str, mode: str, jobs: int,
-             json_dir: str | None) -> None:
+             json_dir: str | None, profile: bool = False) -> None:
     started = time.time()
-    scenario, result = run_scenario(name, mode=mode, jobs=jobs)
+    if profile:
+        # Workers would take the hot paths out of the profiled process;
+        # run the sweep serially so the profile sees the simulation.
+        profiler = cProfile.Profile()
+        profiler.enable()
+        scenario, result = run_scenario(name, mode=mode, jobs=1)
+        profiler.disable()
+    else:
+        scenario, result = run_scenario(name, mode=mode, jobs=jobs)
     elapsed = time.time() - started
+    if profile:
+        out_dir = pathlib.Path(json_dir) if json_dir is not None \
+            else pathlib.Path.cwd()
+        out_dir.mkdir(parents=True, exist_ok=True)
+        path = out_dir / f"scenario_{name}.prof.txt"
+        with path.open("w", encoding="utf-8") as stream:
+            stats = pstats.Stats(profiler, stream=stream)
+            stats.sort_stats("cumulative").print_stats(_PROFILE_LINES)
+            stats.sort_stats("tottime").print_stats(_PROFILE_LINES)
+        print(f"[cProfile stats written to {path}]")
     tables = scenario.tables(result)
     for index, table in enumerate(tables):
         print(table)
@@ -82,6 +110,9 @@ def main(argv: list[str] | None = None) -> int:
                              "results are identical to serial)")
     parser.add_argument("--json-dir", metavar="DIR",
                         help="also write per-scenario JSON results here")
+    parser.add_argument("--profile", action="store_true",
+                        help="run under cProfile (serial) and dump sorted "
+                             "stats next to the JSON output")
     mode = parser.add_mutually_exclusive_group()
     mode.add_argument("--quick", action="store_true", default=True,
                       help="scaled-down configuration (default)")
@@ -107,7 +138,8 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("give an experiment name, --scenario, or "
                      "--list-scenarios")
     for name in names:
-        _run_one(name, run_mode, args.jobs, args.json_dir)
+        _run_one(name, run_mode, args.jobs, args.json_dir,
+                 profile=args.profile)
         print()
     return 0
 

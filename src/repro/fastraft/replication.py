@@ -13,6 +13,7 @@ is proposed out of the configuration.
 
 from __future__ import annotations
 
+from repro import perf
 from repro.consensus.engine import Role
 from repro.consensus.entry import InsertedBy
 from repro.consensus.messages import AppendEntries, AppendEntriesResponse
@@ -31,29 +32,46 @@ class ReplicationMixin:
         return list(dict.fromkeys(targets))
 
     def _broadcast_append_entries(self) -> None:
+        """One leader beat covering every replication target.
+
+        As in classic Raft's beat, followers sharing a nextIndex get the
+        *same* immutable AppendEntries object (one entries slice and one
+        size memo per distinct nextIndex per round, instead of one per
+        follower); the legacy-core switch restores the per-follower
+        construction for benchmarking. Send order is unchanged, so the
+        fabric's RNG stream is untouched.
+        """
         if self.role is not Role.LEADER:
             return
         self._tick_member_timeouts()
+        round_cache = None if perf.LEGACY_CORE else {}
         for target in self._append_targets():
-            self._send_append_entries(target)
+            self._send_append_entries(target, round_cache)
 
-    def _send_append_entries(self, target: str) -> None:
+    def _send_append_entries(self, target: str,
+                             round_cache: dict | None = None) -> None:
         next_index = self.next_index.get(target, self.last_leader_index + 1)
         if next_index <= self.log.snapshot_index:
             # The needed prefix is compacted away: ship the snapshot
             # instead of replaying the log.
             self._send_install_snapshot(target)
             return
-        prev_index = next_index - 1
-        prev_term = self.log.term_at(prev_index) if prev_index > 0 else 0
-        hi = min(self.last_leader_index,
-                 prev_index + self.timing.max_append_batch)
-        entries = tuple(self.log.entries_between(next_index, hi))
-        self._send(target, AppendEntries(
-            term=self.current_term, leader_id=self.name,
-            prev_log_index=prev_index, prev_log_term=prev_term,
-            entries=entries, leader_commit=self.commit_index,
-            global_commit=self._global_commit_piggyback()))
+        message = (round_cache.get(next_index)
+                   if round_cache is not None else None)
+        if message is None:
+            prev_index = next_index - 1
+            prev_term = self.log.term_at(prev_index) if prev_index > 0 else 0
+            hi = min(self.last_leader_index,
+                     prev_index + self.timing.max_append_batch)
+            entries = tuple(self.log.entries_between(next_index, hi))
+            message = AppendEntries(
+                term=self.current_term, leader_id=self.name,
+                prev_log_index=prev_index, prev_log_term=prev_term,
+                entries=entries, leader_commit=self.commit_index,
+                global_commit=self._global_commit_piggyback())
+            if round_cache is not None:
+                round_cache[next_index] = message
+        self._send(target, message)
 
     def _global_commit_piggyback(self) -> int:
         """C-Raft's local level overrides this; plain Fast Raft sends 0."""

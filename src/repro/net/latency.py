@@ -169,6 +169,12 @@ class RegionLatencyModel(LatencyModel):
             self._rtt[self._key(a, b)] = rtt
         self._intra_rtt = intra_rtt
         self._jitter = jitter
+        # (src, dst) -> one-way base delay. Region assignments are
+        # fixed per node (add_node only ever adds), so resolving
+        # region_of twice plus the matrix lookup per message is pure
+        # rework; the jitter draw stays in sample() so the RNG stream
+        # is untouched.
+        self._pair_one_way: dict[tuple[str, str], float] = {}
 
     @staticmethod
     def _key(a: str, b: str) -> tuple[str, str]:
@@ -194,8 +200,11 @@ class RegionLatencyModel(LatencyModel):
         return self._rtt[key]
 
     def sample(self, rng: random.Random, src: str, dst: str) -> float:
-        rtt = self.rtt_between(self.region_of(src), self.region_of(dst))
-        one_way = rtt / 2.0
+        one_way = self._pair_one_way.get((src, dst))
+        if one_way is None:
+            rtt = self.rtt_between(self.region_of(src), self.region_of(dst))
+            one_way = rtt / 2.0
+            self._pair_one_way[(src, dst)] = one_way
         if self._jitter:
             one_way *= rng.uniform(1.0 - self._jitter, 1.0 + self._jitter)
         return one_way

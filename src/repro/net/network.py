@@ -17,8 +17,9 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro import perf
 from repro.errors import NetworkError
-from repro.net.latency import LatencyModel
+from repro.net.latency import ConstantLatency, LatencyModel
 from repro.net.loss import LossModel, NoLoss
 from repro.net.sizes import payload_size
 from repro.net.stats import NetworkStats
@@ -29,7 +30,19 @@ from repro.sim.trace import TraceRecorder
 
 
 class Network:
-    """Delivers messages between registered actors through the sim loop."""
+    """Delivers messages between registered actors through the sim loop.
+
+    ``send`` is one of the hottest functions of the whole simulation
+    (every consensus message crosses it), so the trivial-model cases are
+    precomputed instead of re-discovered per message: a :class:`NoLoss`
+    model is never consulted (it draws no randomness, so skipping the
+    call is observably identical), an exact :class:`ConstantLatency`
+    model's delay is read from a cached float (its ``sample`` ignores
+    the RNG), and the partition/disconnect check collapses to one flag
+    test while no fault is installed. The flags refresh whenever a model
+    is swapped or a fault installed; ``repro.perf``'s legacy core
+    disables the fast paths entirely so ``bench_perf`` can price them.
+    """
 
     def __init__(self, loop: SimLoop, rng: RngRegistry,
                  latency: LatencyModel, loss: LossModel | None = None,
@@ -44,6 +57,27 @@ class Network:
         self._disconnected: set[str] = set()
         self._partition_groups: dict[str, int] | None = None
         self.stats = NetworkStats()
+        self._fast_path = not perf.LEGACY_CORE
+        self._no_loss = False
+        self._fixed_delay: float | None = None
+        self._refresh_model_flags()
+        self._refresh_fault_flag()
+
+    def _refresh_model_flags(self) -> None:
+        """Recompute the trivial-model fast-path flags (see class doc)."""
+        if not self._fast_path:
+            self._no_loss = False
+            self._fixed_delay = None
+            return
+        self._no_loss = type(self._loss) is NoLoss
+        self._fixed_delay = (self._latency.delay
+                             if type(self._latency) is ConstantLatency
+                             else None)
+
+    def _refresh_fault_flag(self) -> None:
+        self._faults_installed = (bool(self._disconnected)
+                                  or self._partition_groups is not None
+                                  or not self._fast_path)
 
     # ------------------------------------------------------------------
     # Membership of the fabric
@@ -63,6 +97,7 @@ class Network:
     def unregister(self, name: str) -> None:
         self._actors.pop(name, None)
         self._disconnected.discard(name)
+        self._refresh_fault_flag()
 
     def is_registered(self, name: str) -> bool:
         return name in self._actors
@@ -83,9 +118,11 @@ class Network:
     def disconnect(self, name: str) -> None:
         """Silently cut a site off: nothing in, nothing out."""
         self._disconnected.add(name)
+        self._refresh_fault_flag()
 
     def reconnect(self, name: str) -> None:
         self._disconnected.discard(name)
+        self._refresh_fault_flag()
 
     def is_disconnected(self, name: str) -> bool:
         return name in self._disconnected
@@ -103,16 +140,20 @@ class Network:
                         f"{name!r} appears in multiple partition groups")
                 mapping[name] = index
         self._partition_groups = mapping
+        self._refresh_fault_flag()
 
     def heal_partition(self) -> None:
         self._partition_groups = None
+        self._refresh_fault_flag()
 
     def set_loss(self, loss: LossModel) -> None:
         """Swap the loss model mid-run (the paper's ``tc`` changes)."""
         self._loss = loss
+        self._refresh_model_flags()
 
     def set_latency(self, latency: LatencyModel) -> None:
         self._latency = latency
+        self._refresh_model_flags()
 
     @property
     def latency_model(self) -> LatencyModel:
@@ -139,22 +180,28 @@ class Network:
             self.stats.record_sent(type_name)
             self._loop.call_soon(self._deliver_colocated, src, dst, message)
             return
-        size = payload_size(message) if self._latency.size_aware else 0
+        size_aware = self._latency.size_aware
+        size = payload_size(message) if size_aware else 0
         self.stats.record_sent(type_name, size)
-        if self._is_blocked(src, dst):
+        if self._faults_installed and self._is_blocked(src, dst):
             self.stats.record_blocked()
             return
-        if self._loss.should_drop(self._loss_rng, src, dst,
-                                  self._loop.now()):
+        # NoLoss draws no randomness, so skipping its call is identical.
+        if not self._no_loss and self._loss.should_drop(
+                self._loss_rng, src, dst, self._loop.now()):
             self.stats.record_dropped()
             if self._trace is not None:
                 self._trace.record(self._loop.now(), src, "net.drop",
                                    dst=dst, type=type_name)
             return
-        if self._latency.size_aware:
+        if size_aware:
             delay = self._latency.transfer_delay(self._latency_rng,
                                                  src, dst, size,
                                                  self._loop.now())
+        elif self._fixed_delay is not None:
+            # ConstantLatency.sample ignores the RNG; read the cached
+            # delay instead of dispatching through the model.
+            delay = self._fixed_delay
         else:
             delay = self._latency.sample(self._latency_rng, src, dst)
         self._loop.call_later(delay, self._deliver, src, dst, message)
@@ -210,7 +257,7 @@ class Network:
         # Re-check blockage at delivery time: a partition installed while
         # the message was in flight still cuts it off, matching how long
         # one-way WAN delays interact with sudden failures.
-        if self._is_blocked(src, dst):
+        if self._faults_installed and self._is_blocked(src, dst):
             self.stats.record_blocked()
             return
         actor = self._actors.get(dst)

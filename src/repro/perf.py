@@ -1,0 +1,60 @@
+"""The legacy-core switch: run the pre-refactor hot paths on demand.
+
+The simulation-core speedup work (timer-wheel scheduler, config-entry
+index tracking, shared broadcast slices, network fast paths) kept every
+observable result byte-identical, so the only way to *measure* the
+speedup honestly is to run both cores on the same machine in the same
+process. This module is that toggle: the legacy implementations stay in
+the tree, each consulted at loop/log construction or per broadcast
+round, and ``benchmarks/bench_perf.py`` flips the flag between two runs
+of the same cell to report events/sec side by side.
+
+The flag is read:
+
+- by :class:`repro.sim.loop.SimLoop` at construction (binary heap with
+  ``Handle.__lt__`` comparisons instead of the timer wheel),
+- by :class:`repro.consensus.log.RaftLog` on every governing-config
+  lookup (full index-ordered log scan instead of the tracked
+  config-entry indices),
+- by the engines' AppendEntries broadcast (per-follower message
+  construction instead of one shared message per distinct nextIndex),
+- by :class:`repro.net.network.Network` at construction and on model
+  swaps (always routing through the loss/latency indirection instead of
+  the trivial-model fast path).
+
+``REPRO_LEGACY_CORE=1`` in the environment selects the legacy core for
+a whole process (worker processes of a sweep inherit it), which is how
+the CI perf smoke pins the comparison without touching any call site.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+#: When True, components below pick their pre-refactor implementation.
+LEGACY_CORE: bool = os.environ.get("REPRO_LEGACY_CORE", "") not in ("", "0")
+
+
+def legacy_core_enabled() -> bool:
+    """Current value of the switch (read at component-specific times --
+    see the module docstring for which component reads it when)."""
+    return LEGACY_CORE
+
+
+def set_legacy_core(enabled: bool) -> None:
+    """Flip the switch for subsequently *constructed* components."""
+    global LEGACY_CORE
+    LEGACY_CORE = bool(enabled)
+
+
+@contextmanager
+def legacy_core(enabled: bool = True) -> Iterator[None]:
+    """Scoped flip: everything built inside runs on the chosen core."""
+    previous = LEGACY_CORE
+    set_legacy_core(enabled)
+    try:
+        yield
+    finally:
+        set_legacy_core(previous)

@@ -30,6 +30,7 @@ from repro.consensus.messages import (
     ProposeToLeader,
     RequestVote,
 )
+from repro import perf
 from repro.errors import ConsensusError, NotLeaderError
 from repro.net.sizes import estimate_size
 from repro.sim.timers import PeriodicTimer
@@ -163,27 +164,45 @@ class ClassicRaftEngine(BaseEngine):
         return list(dict.fromkeys(targets))
 
     def _broadcast_append_entries(self) -> None:
+        """One leader beat: AppendEntries to every replication target.
+
+        Followers with equal nextIndex need byte-identical messages, so
+        the beat builds one immutable AppendEntries per distinct
+        nextIndex and reuses it (entries slice, size memo and all)
+        across those followers -- the pre-refactor core built a fresh
+        message and entries tuple per follower, which the legacy-core
+        switch preserves for benchmarking. Send order is unchanged
+        either way, so the fabric's RNG stream is untouched.
+        """
         if self.role is not Role.LEADER:
             return
+        round_cache = None if perf.LEGACY_CORE else {}
         for target in self._append_targets():
-            self._send_append_entries(target)
+            self._send_append_entries(target, round_cache)
 
-    def _send_append_entries(self, target: str) -> None:
+    def _send_append_entries(self, target: str,
+                             round_cache: dict | None = None) -> None:
         next_index = self.next_index.get(target, self.log.last_index + 1)
         if next_index <= self.log.snapshot_index:
             # The entries this follower needs are compacted away: ship the
             # snapshot instead of replaying the log.
             self._send_install_snapshot(target)
             return
-        prev_index = next_index - 1
-        prev_term = self.log.term_at(prev_index) if prev_index > 0 else 0
-        hi = min(self.log.last_index,
-                 prev_index + self.timing.max_append_batch)
-        entries = tuple(self.log.entries_between(next_index, hi))
-        self._send(target, AppendEntries(
-            term=self.current_term, leader_id=self.name,
-            prev_log_index=prev_index, prev_log_term=prev_term,
-            entries=entries, leader_commit=self.commit_index))
+        message = (round_cache.get(next_index)
+                   if round_cache is not None else None)
+        if message is None:
+            prev_index = next_index - 1
+            prev_term = self.log.term_at(prev_index) if prev_index > 0 else 0
+            hi = min(self.log.last_index,
+                     prev_index + self.timing.max_append_batch)
+            entries = tuple(self.log.entries_between(next_index, hi))
+            message = AppendEntries(
+                term=self.current_term, leader_id=self.name,
+                prev_log_index=prev_index, prev_log_term=prev_term,
+                entries=entries, leader_commit=self.commit_index)
+            if round_cache is not None:
+                round_cache[next_index] = message
+        self._send(target, message)
 
     def _handle_append_entries_response(self, msg: AppendEntriesResponse,
                                         sender: str) -> None:

@@ -2,28 +2,63 @@
 
 Time is a float in **seconds**. Events scheduled for the same instant run
 in scheduling order (a monotonically increasing sequence number breaks
-ties), which keeps runs deterministic regardless of heap internals.
+ties), which keeps runs deterministic regardless of scheduler internals.
+
+Two schedulers implement that contract:
+
+- ``"wheel"`` (the default) -- a bucketed timer wheel sized for the
+  heartbeat- and election-timeout-dominated load of the consensus
+  engines: events within the wheel horizon live in per-bucket mini
+  heaps of ``(when, seq, handle)`` tuples (comparisons stay in C, no
+  per-compare tuple allocation), far-future events wait in an overflow
+  heap and migrate in as the wheel turns. Cancellation is O(1)
+  cancel-and-forget, and fired or cancelled handles are recycled
+  through a small free-list when nothing else references them.
+- ``"heap"`` -- the pre-refactor single binary heap of ``Handle``
+  objects ordered by ``Handle.__lt__``. Kept as the reference
+  implementation: the equivalence property test replays random
+  schedule/cancel traces through both, and ``repro.perf``'s legacy-core
+  switch selects it so ``bench_perf`` can measure the speedup on the
+  same machine in the same run.
+
+Both produce the exact same firing order and clock reads for the same
+calls; tests pin that equivalence.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import sys
 from typing import Any, Callable
 
+from repro import perf
 from repro.errors import SimulationError
 
 #: Convenience unit: ``loop.call_later(100 * MS, fn)`` reads like the paper.
 MS = 1e-3
 
+#: Timer-wheel geometry. Buckets are ``1 / _WHEEL_INV`` seconds wide
+#: (10 ms: a few heartbeats per bucket) and the wheel spans
+#: ``_WHEEL_SLOTS`` buckets (1.28 s: heartbeats, election timeouts, WAN
+#: latencies, and the default proposal timeout all land inside the
+#: horizon; only long-range experiment timers overflow).
+_WHEEL_INV = 100.0
+_WHEEL_SLOTS = 128
+_WHEEL_HORIZON = _WHEEL_SLOTS / _WHEEL_INV
+
+#: Recycled handles kept for reuse, at most.
+_FREELIST_MAX = 512
+
 
 class Handle:
     """Cancellation handle returned by :meth:`SimLoop.call_later`.
 
-    Cancellation is lazy: the entry stays in the heap and is skipped when
-    popped. This makes ``cancel()`` O(1). The owning loop keeps a count of
-    cancelled entries still in its heap so ``pending_count()`` stays O(1)
-    and the heap can be compacted when cancellations dominate it.
+    Cancellation is lazy: the entry stays in its bucket (or heap) and is
+    skipped when popped. This makes ``cancel()`` O(1). The owning loop
+    keeps a count of cancelled entries still stored so
+    ``pending_count()`` stays O(1) and the structure can be compacted
+    when cancellations dominate it.
     """
 
     __slots__ = ("when", "_callback", "_args", "_cancelled", "seq",
@@ -60,6 +95,9 @@ class Handle:
             self._callback(*self._args)
 
     def __lt__(self, other: "Handle") -> bool:
+        # Only the legacy heap compares handles directly; the wheel
+        # stores (when, seq, handle) tuples so comparisons never
+        # allocate. Kept for the legacy scheduler and external sorts.
         return (self.when, self.seq) < (other.when, other.seq)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -76,18 +114,36 @@ class SimLoop:
         loop = SimLoop()
         loop.call_later(0.5, do_something)
         loop.run_until(60.0)
+
+    ``scheduler`` picks the implementation (``"wheel"`` / ``"heap"``);
+    None follows :data:`repro.perf.LEGACY_CORE` (wheel unless the
+    legacy core is selected).
     """
 
-    #: Compaction never bothers with heaps smaller than this.
+    #: Compaction never bothers with structures smaller than this.
     _COMPACT_MIN = 64
 
-    def __init__(self) -> None:
+    def __init__(self, scheduler: str | None = None) -> None:
+        if scheduler is None:
+            scheduler = "heap" if perf.LEGACY_CORE else "wheel"
+        if scheduler not in ("wheel", "heap"):
+            raise SimulationError(f"unknown scheduler: {scheduler!r}")
+        self.scheduler = scheduler
+        self._is_wheel = scheduler == "wheel"
         self._now = 0.0
-        self._heap: list[Handle] = []
         self._seq = itertools.count()
         self._events_processed = 0
         self._running = False
         self._cancelled_in_heap = 0
+        self._free: list[Handle] = []
+        if self._is_wheel:
+            self._wheel: list[list] = [[] for _ in range(_WHEEL_SLOTS)]
+            self._overflow: list = []
+            self._cursor = 0          # absolute bucket id of the clock
+            self._active = 0          # scheduled, non-cancelled entries
+            self._in_wheel = 0        # entries in wheel slots (incl. cancelled)
+        else:
+            self._heap: list[Handle] = []
 
     # ------------------------------------------------------------------
     # Clock
@@ -117,9 +173,29 @@ class SimLoop:
         if when < self._now:
             raise SimulationError(
                 f"cannot schedule at {when!r}, now is {self._now!r}")
-        handle = Handle(when, next(self._seq), callback, args, loop=self)
+        seq = next(self._seq)
+        free = self._free
+        if free:
+            handle = free.pop()
+            handle.when = when
+            handle.seq = seq
+            handle._callback = callback
+            handle._args = args
+            handle._cancelled = False
+        else:
+            handle = Handle(when, seq, callback, args, loop=self)
         handle._in_heap = True
-        heapq.heappush(self._heap, handle)
+        if self._is_wheel:
+            self._active += 1
+            if when - self._now >= _WHEEL_HORIZON:
+                heapq.heappush(self._overflow, (when, seq, handle))
+            else:
+                self._in_wheel += 1
+                heapq.heappush(
+                    self._wheel[int(when * _WHEEL_INV) % _WHEEL_SLOTS],
+                    (when, seq, handle))
+        else:
+            heapq.heappush(self._heap, handle)
         return handle
 
     def call_soon(self, callback: Callable[..., None], *args: Any) -> Handle:
@@ -132,8 +208,9 @@ class SimLoop:
     def run_until(self, deadline: float) -> None:
         """Run events until the clock reaches ``deadline``.
 
-        Time is advanced to ``deadline`` even if the heap drains earlier, so
-        subsequent ``now()`` calls reflect the elapsed interval.
+        Time is advanced to ``deadline`` even if the schedule drains
+        earlier, so subsequent ``now()`` calls reflect the elapsed
+        interval.
         """
         if deadline < self._now:
             raise SimulationError(
@@ -142,19 +219,122 @@ class SimLoop:
             raise SimulationError("loop is already running (re-entrant run)")
         self._running = True
         try:
-            heap = self._heap
-            while heap and heap[0].when <= deadline:
-                handle = heapq.heappop(heap)
-                handle._in_heap = False
-                if handle.cancelled:
-                    self._cancelled_in_heap -= 1
-                    continue
-                self._now = handle.when
-                self._events_processed += 1
-                handle._run()
+            if self._is_wheel:
+                self._run_wheel(deadline)
+            else:
+                self._run_heap(deadline)
             self._now = deadline
         finally:
             self._running = False
+
+    def _run_heap(self, deadline: float,
+                  max_events: int | None = None) -> int:
+        """Legacy scheduler run; returns the number of events fired."""
+        heap = self._heap
+        fired = 0
+        while heap and heap[0].when <= deadline:
+            handle = heapq.heappop(heap)
+            handle._in_heap = False
+            if handle._cancelled:
+                self._cancelled_in_heap -= 1
+                continue
+            self._now = handle.when
+            self._events_processed += 1
+            fired += 1
+            if max_events is not None and fired > max_events:
+                raise SimulationError(
+                    f"run_until_idle exceeded {max_events} events")
+            handle._run()
+        return fired
+
+    def _run_wheel(self, deadline: float,
+                   max_events: int | None = None) -> int:
+        """Timer-wheel run; returns the number of events fired.
+
+        Invariants: every stored entry has ``when >= now``; every wheel
+        entry's bucket id lies in ``[cursor, cursor + slots)`` (overflow
+        holds everything farther out), so within one bucket the mini
+        heap yields exact ``(when, seq)`` order and across buckets the
+        cursor sweep yields time order.
+        """
+        target_bid = int(deadline * _WHEEL_INV)
+        wheel = self._wheel
+        overflow = self._overflow
+        free = self._free
+        cursor = self._cursor
+        fired = 0
+        while self._active:
+            # Pull overflow entries whose bucket enters the horizon.
+            # (Float multiply keeps this exact w.r.t. placement and
+            # safe for infinite ``when``.)
+            horizon_bid = cursor + _WHEEL_SLOTS
+            while overflow and overflow[0][0] * _WHEEL_INV < horizon_bid:
+                item = heapq.heappop(overflow)
+                self._in_wheel += 1
+                heapq.heappush(
+                    wheel[int(item[0] * _WHEEL_INV) % _WHEEL_SLOTS], item)
+            slot = wheel[cursor % _WHEEL_SLOTS]
+            while slot:
+                when = slot[0][0]
+                bid = int(when * _WHEEL_INV)
+                if bid > cursor:
+                    break  # resident of a later rotation; not due yet
+                if bid == cursor and when > deadline:
+                    # Due bucket, but past the deadline (the deadline
+                    # falls inside this bucket): leave it queued.
+                    self._cursor = cursor
+                    return fired
+                # bid < cursor only happens for cancelled leftovers the
+                # deep-overflow clock jump skipped past; pop and discard
+                # them like any other cancelled entry.
+                when, _seq, handle = heapq.heappop(slot)
+                self._in_wheel -= 1
+                handle._in_heap = False
+                if handle._cancelled:
+                    self._cancelled_in_heap -= 1
+                    if (len(free) < _FREELIST_MAX
+                            and sys.getrefcount(handle) == 2):
+                        free.append(handle)
+                    continue
+                self._active -= 1
+                self._now = when
+                self._events_processed += 1
+                fired += 1
+                if max_events is not None and fired > max_events:
+                    raise SimulationError(
+                        f"run_until_idle exceeded {max_events} events")
+                handle._run()
+                # Recycle if this frame holds the only reference (2 ==
+                # the local + getrefcount's own argument); a caller that
+                # kept the handle -- and so could still cancel() it --
+                # shows up in the count and blocks reuse.
+                if (len(free) < _FREELIST_MAX
+                        and sys.getrefcount(handle) == 2):
+                    handle._callback = None
+                    handle._args = ()
+                    free.append(handle)
+                # A callback may have compacted the wheel in place or
+                # scheduled into this bucket; the slot alias stays valid
+                # (compaction uses slice assignment).
+            if cursor >= target_bid:
+                break
+            if not self._in_wheel:
+                # The wheel itself is empty: jump the cursor to where
+                # the next overflow entry (or the deadline) lives
+                # instead of sweeping empty buckets. The due check must
+                # compare times, not buckets -- an entry can share the
+                # deadline's bucket yet still be due (when <= deadline).
+                if not overflow:
+                    break
+                ow_when = overflow[0][0]
+                if ow_when > deadline:
+                    break
+                cursor = max(cursor + 1,
+                             int(ow_when * _WHEEL_INV) - _WHEEL_SLOTS + 1)
+                continue
+            cursor += 1
+        self._cursor = max(self._cursor, target_bid)
+        return fired
 
     def run_for(self, duration: float) -> None:
         """Run events for ``duration`` seconds of virtual time."""
@@ -171,42 +351,89 @@ class SimLoop:
         self._running = True
         executed = 0
         try:
-            heap = self._heap
-            while heap:
-                handle = heapq.heappop(heap)
-                handle._in_heap = False
-                if handle.cancelled:
-                    self._cancelled_in_heap -= 1
-                    continue
-                self._now = handle.when
-                self._events_processed += 1
-                executed += 1
-                if max_events is not None and executed > max_events:
-                    raise SimulationError(
-                        f"run_until_idle exceeded {max_events} events")
-                handle._run()
+            if self._is_wheel:
+                while self._active:
+                    budget = (None if max_events is None
+                              else max_events - executed)
+                    before = self._events_processed
+                    executed += self._run_wheel(self._now + _WHEEL_HORIZON,
+                                                max_events=budget)
+                    if self._events_processed == before and self._active:
+                        # Everything left lies beyond the scanned
+                        # window (deep overflow): jump the clock to the
+                        # earliest pending event and go again.
+                        self._now = self._next_event_time()
+                        self._cursor = int(self._now * _WHEEL_INV)
+                # Unlike run_until, the clock stays at the last fired
+                # event here -- pull the cursor back next to it so later
+                # schedules land ahead of it, never behind.
+                self._cursor = int(self._now * _WHEEL_INV)
+            else:
+                executed = self._run_heap(float("inf"),
+                                          max_events=max_events)
         finally:
             self._running = False
         return executed
 
+    def _next_event_time(self) -> float:
+        """Earliest non-cancelled pending time (wheel mode; O(stored),
+        only reached on the deep-overflow path of run_until_idle)."""
+        best = None
+        for slot in self._wheel:
+            for when, _seq, handle in slot:
+                if not handle._cancelled and (best is None or when < best):
+                    best = when
+        for when, _seq, handle in self._overflow:
+            if not handle._cancelled and (best is None or when < best):
+                best = when
+        if best is None:  # pragma: no cover - guarded by _active
+            return self._now
+        return best
+
     def pending_count(self) -> int:
         """Number of scheduled, non-cancelled callbacks. O(1)."""
+        if self._is_wheel:
+            return self._active
         return len(self._heap) - self._cancelled_in_heap
 
+    # ------------------------------------------------------------------
+    # Cancellation bookkeeping
+    # ------------------------------------------------------------------
     def _note_cancelled(self) -> None:
-        """A handle still in the heap was cancelled; maybe compact.
+        """A handle still stored was cancelled; maybe compact.
 
-        Compaction rewrites the heap *in place* (slice assignment) so any
-        local alias held by a running ``run_until`` stays valid.
+        Compaction rewrites the structure *in place* (slice assignment)
+        so any local alias held by a running ``run_until`` stays valid.
         """
         self._cancelled_in_heap += 1
+        if self._is_wheel:
+            self._active -= 1
+            stored = self._in_wheel + len(self._overflow)
+            if (stored >= self._COMPACT_MIN
+                    and self._cancelled_in_heap * 2 > stored):
+                in_wheel = 0
+                for slot in self._wheel:
+                    if slot:
+                        kept = [item for item in slot
+                                if not item[2]._cancelled]
+                        slot[:] = kept
+                        heapq.heapify(slot)
+                        in_wheel += len(kept)
+                overflow = self._overflow
+                overflow[:] = [item for item in overflow
+                               if not item[2]._cancelled]
+                heapq.heapify(overflow)
+                self._in_wheel = in_wheel
+                self._cancelled_in_heap = 0
+            return
         heap = self._heap
         if (len(heap) >= self._COMPACT_MIN
                 and self._cancelled_in_heap * 2 > len(heap)):
-            heap[:] = [h for h in heap if not h.cancelled]
+            heap[:] = [h for h in heap if not h._cancelled]
             heapq.heapify(heap)
             self._cancelled_in_heap = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"<SimLoop now={self._now:.6f} "
-                f"pending={self.pending_count()}>")
+                f"pending={self.pending_count()} "
+                f"scheduler={self.scheduler}>")

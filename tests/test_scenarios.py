@@ -27,6 +27,7 @@ from repro.experiments.fig3_latency import Fig3Config, run_fig3
 from repro.experiments.fig4_churn import Fig4Config, run_fig4
 from repro.experiments.fig5_throughput import Fig5Config, run_fig5
 from repro.experiments.flapping import FlappingConfig, run_flapping
+from repro.experiments.large_mesh import LargeMeshConfig, run_large_mesh
 from repro.experiments.migrated_region import (
     MigratedRegionConfig,
     run_migrated_region,
@@ -258,7 +259,8 @@ class TestRegistry:
         names = scenario_names()
         for expected in ("rounds", "fig3", "fig4", "fig5", "ablations",
                          "catchup", "catchup_wan", "flapping_wan",
-                         "migrated_region", "two_region_failover"):
+                         "migrated_region", "two_region_failover",
+                         "large_mesh"):
             assert expected in names
 
     def test_unknown_scenario_raises(self):
@@ -289,6 +291,19 @@ class TestNewScenarios:
         # The whole region adopted the image through the gated path.
         assert result.gated_sites == 3
         assert result.installs >= 1
+
+    def test_large_mesh_smoke(self):
+        """The 6x5 flapping mesh the core speedup makes tractable: the
+        global level keeps committing while one region's uplink flaps."""
+        result = run_large_mesh(LargeMeshConfig.smoke())
+        result.check_shape()
+        assert result.config.clusters >= 6
+        assert result.config.sites_per_cluster >= 5
+        assert result.throughput > 0
+
+    def test_large_mesh_rejects_small_meshes(self):
+        with pytest.raises(ExperimentError):
+            LargeMeshConfig(clusters=2)
 
     def test_two_region_failover_smoke(self):
         """The formerly-deadlocked shape at its pinned seed: the east

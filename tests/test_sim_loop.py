@@ -212,7 +212,7 @@ def test_cancel_after_run_does_not_corrupt_count():
 
 
 def test_heap_compacts_when_cancellations_dominate():
-    loop = SimLoop()
+    loop = SimLoop(scheduler="heap")
     doomed = [loop.call_later(float(i + 1), lambda: None)
               for i in range(100)]
     keep = [loop.call_later(200.0 + i, lambda: None) for i in range(10)]
@@ -226,10 +226,27 @@ def test_heap_compacts_when_cancellations_dominate():
     assert loop.events_processed == 10
 
 
-def test_compaction_during_run_keeps_heap_alias_valid():
+def test_wheel_compacts_when_cancellations_dominate():
+    loop = SimLoop(scheduler="wheel")
+    doomed = [loop.call_later(float(i + 1) / 10, lambda: None)
+              for i in range(100)]
+    keep = [loop.call_later(200.0 + i, lambda: None) for i in range(10)]
+    for handle in doomed:
+        handle.cancel()
+    # Cancellations dominate: the wheel slots and overflow must have
+    # been compacted (dead entries dropped), not left at full size.
+    stored = sum(len(slot) for slot in loop._wheel) + len(loop._overflow)
+    assert stored < len(doomed) + len(keep) - 40
+    assert loop.pending_count() == 10
+    loop.run_until(300.0)
+    assert loop.events_processed == 10
+
+
+@pytest.mark.parametrize("scheduler", ["wheel", "heap"])
+def test_compaction_during_run_keeps_heap_alias_valid(scheduler):
     """Compaction triggered from inside a callback must not strand the
-    running loop on a stale heap list."""
-    loop = SimLoop()
+    running loop on a stale heap/slot list."""
+    loop = SimLoop(scheduler=scheduler)
     doomed = [loop.call_later(50.0 + i, lambda: None) for i in range(80)]
     seen = []
 
@@ -242,3 +259,69 @@ def test_compaction_during_run_keeps_heap_alias_valid():
     loop.run_until(100.0)
     assert seen == [2.0]
     assert loop.pending_count() == 0
+
+
+def test_far_future_events_migrate_from_overflow():
+    """Events beyond the wheel horizon wait in the overflow heap and
+    still fire in exact time order as the wheel turns."""
+    loop = SimLoop(scheduler="wheel")
+    seen = []
+    loop.call_later(50.0, lambda: seen.append("far"))
+    loop.call_later(0.05, lambda: seen.append("near"))
+    loop.call_later(49.999, lambda: seen.append("mid"))
+    assert len(loop._overflow) == 2
+    loop.run_until(60.0)
+    assert seen == ["near", "mid", "far"]
+
+
+def test_overflow_event_sharing_deadline_bucket_fires():
+    """Regression: with the wheel empty, a due overflow event whose time
+    shares the deadline's bucket must fire -- the jump's due check has
+    to compare times, not bucket ids (1.285 and 1.289 share bucket 128
+    at 10ms width; 1.285 * 100 > int(1.289 * 100) would skip it)."""
+    loop = SimLoop(scheduler="wheel")
+    seen = []
+    loop.call_later(1.285, lambda: seen.append(loop.now()))
+    loop.run_until(1.289)
+    assert seen == [1.285]
+    assert loop.pending_count() == 0
+
+
+def test_deep_overflow_jump_in_run_until_idle():
+    """run_until_idle over a schedule far beyond the horizon must jump
+    to it rather than sweep (and still report the right clock)."""
+    loop = SimLoop(scheduler="wheel")
+    seen = []
+    loop.call_later(500.0, lambda: seen.append(loop.now()))
+    cancelled = loop.call_later(100.0, lambda: seen.append("no"))
+    cancelled.cancel()
+    assert loop.run_until_idle() == 1
+    assert seen == [500.0]
+    assert loop.now() == 500.0
+
+
+def test_freelist_never_recycles_externally_held_handles():
+    """A handle the caller kept must not be reused for a later event
+    (its cancel() would otherwise kill the new occupant)."""
+    loop = SimLoop(scheduler="wheel")
+    seen = []
+    held = loop.call_later(0.1, lambda: seen.append("a"))
+    loop.run_until(0.2)
+    second = loop.call_later(0.1, lambda: seen.append("b"))
+    assert second is not held
+    held.cancel()  # stale cancel on the fired handle: must be a no-op
+    loop.run_until(0.4)
+    assert seen == ["a", "b"]
+
+
+def test_freelist_recycles_unreferenced_handles():
+    loop = SimLoop(scheduler="wheel")
+    for _ in range(5):
+        loop.call_later(0.01, lambda: None)
+    loop.run_until(1.0)
+    assert len(loop._free) > 0
+    before = len(loop._free)
+    loop.call_later(0.5, lambda: None)
+    assert len(loop._free) == before - 1
+    loop.run_until(2.0)
+    assert loop.events_processed == 6
