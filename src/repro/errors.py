@@ -51,3 +51,8 @@ class InvariantViolation(ReproError):
 
 class ExperimentError(ReproError):
     """Raised by the experiment harness for bad experiment parameters."""
+
+
+class ModelCheckError(ReproError):
+    """Raised by the model checker for invalid exploration requests
+    (unknown target or strategy, unreplayable schedule)."""

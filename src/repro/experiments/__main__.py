@@ -16,6 +16,9 @@ Usage::
     python -m repro.experiments --scenario fig3 --profile \\
         --json-dir /tmp/prof
 
+    python -m repro.experiments mc --list
+    python -m repro.experiments mc --scenario mc_small_healthy --depth 6
+
 ``--quick`` (the default) runs scaled-down configurations in seconds;
 ``--full`` runs the paper-scale configurations used by EXPERIMENTS.md;
 ``--mode smoke`` is the CI-smoke scale. ``--jobs N`` fans the sweep's
@@ -92,6 +95,12 @@ def _run_one(name: str, mode: str, jobs: int,
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "mc":
+        # The model-checking subcommand has its own flag set.
+        from repro.mc.cli import main as mc_main
+        return mc_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the paper's evaluation tables and run "

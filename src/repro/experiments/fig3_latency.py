@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from repro.consensus.timing import TimingConfig
 from repro.experiments.base import ResultTable, cell_seed, require
 from repro.metrics.summary import SummaryStats
+from repro.scenarios.mc import McTarget, register_mc_target
 from repro.scenarios.registry import Scenario, register_scenario
 from repro.scenarios.runner import SweepRunner
 from repro.scenarios.spec import (
@@ -166,3 +167,13 @@ register_scenario(Scenario(
                               "smoke": Fig3Config.smoke}[mode](),
     run=run_fig3,
     modes=("quick", "full", "smoke")))
+
+# Any registered ScenarioSpec is checkable: wrap one fig3 grid point as
+# an mc target (lossless -- the explorer enumerates delivery orders
+# itself, it does not need the loss process to create nondeterminism).
+register_mc_target(McTarget(
+    name="mc_fig3_fast",
+    spec=fig3_spec(Fig3Config.smoke(), "fast", 0.0),
+    seed=cell_seed(0, "fast", 0.0), warmup=4.0,
+    description="fig3 grid point (Fast Raft, 0% loss) explored as a "
+                "model-checking target"))

@@ -1,0 +1,82 @@
+"""Registered model-checking targets.
+
+Three dedicated targets plus the registration pattern any experiment can
+follow (``fig3`` registers one next to its ``register_scenario`` call):
+
+- ``mc_small_healthy`` / ``mc_small_classic`` -- 3-site Fast Raft /
+  classic Raft clusters that elect a leader and commit a short workload
+  before exploration starts. Fixed code must show **zero** violations at
+  CI-smoke depth; these are the ``mc-smoke`` gate.
+- ``mc_evicted_while_down`` -- the ROADMAP's open recovery liveness
+  edge, pinned: a 5-site Fast Raft cluster whose follower crashes, is
+  evicted by the member timeout while down, and recovers from stable
+  storage *just before* its first election timeout would fire. The
+  restored configuration still lists the site as a member, so it sits as
+  a silent follower -- excluded by the leader, sending nothing -- until
+  an (unwinnable) election timeout eventually trips the
+  ``NotInConfiguration`` rejoin path. The warmup window is cut exactly
+  in that silent gap; the rejoin probe flags every explored path that
+  keeps the site stuck past the step bound or around a state cycle.
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.mc import McTarget, register_mc_target
+from repro.scenarios.spec import (
+    Event,
+    EventSchedule,
+    ScenarioSpec,
+    TopologySpec,
+    WorkloadSpec,
+)
+
+#: Step bound for the recovered-member rejoin probe: generously above
+#: the explored cycle lengths (a full heartbeat round is ~7 events) yet
+#: far below what a healthy rejoin path needs to *stay* stuck.
+REJOIN_BOUND = 10
+
+
+def _small_spec(engine: str) -> ScenarioSpec:
+    return ScenarioSpec(
+        name=f"mc_small_{engine}", engine=engine,
+        topology=TopologySpec(n_sites=3),
+        workload=WorkloadSpec(requests=4))
+
+
+register_mc_target(McTarget(
+    name="mc_small_healthy",
+    spec=_small_spec("fastraft"),
+    seed=0, warmup=2.0, liveness_bound=REJOIN_BOUND,
+    description="3-site Fast Raft, leader + 4 commits before exploring; "
+                "fixed code shows zero violations"))
+
+register_mc_target(McTarget(
+    name="mc_small_classic",
+    spec=_small_spec("raft"),
+    seed=0, warmup=2.0, liveness_bound=REJOIN_BOUND,
+    description="3-site classic Raft, leader + 4 commits before "
+                "exploring; fixed code shows zero violations"))
+
+
+def evicted_while_down_spec() -> ScenarioSpec:
+    """Crash a follower, let the member timeout evict it, recover it
+    from stable storage, and stop the warmup inside the silent window
+    (recovery at t=6.0; the first election timeout cannot fire before
+    t=6.3 with the default 0.3-0.6s timeout range)."""
+    return ScenarioSpec(
+        name="mc_evicted_while_down", engine="fastraft",
+        topology=TopologySpec(n_sites=5),
+        workload=WorkloadSpec(requests=15),
+        schedule=EventSchedule(events=(
+            Event(action="crash", target="nonleader:0", at=1.0),
+            Event(action="recover", target="nonleader:0", at=6.0),
+        )))
+
+
+register_mc_target(McTarget(
+    name="mc_evicted_while_down",
+    spec=evicted_while_down_spec(),
+    seed=0, warmup=6.1, liveness_bound=REJOIN_BOUND,
+    description="ROADMAP item 4 pinned: recovered follower trusts its "
+                "stale configuration and idles outside the cluster "
+                "(expect a liveness violation)"))

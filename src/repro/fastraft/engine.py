@@ -122,12 +122,15 @@ class FastRaftEngine(ProposalMixin, DecisionMixin, ReplicationMixin,
     # ------------------------------------------------------------------
     # Log insertion (single funnel, C-Raft's extension point)
     # ------------------------------------------------------------------
-    def _insert_into_log(self, index: int, entry: LogEntry) -> bool:
-        """Insert with finality guards; returns whether the log changed.
+    def _insert_into_log(self, index: int, entry: LogEntry) -> int:
+        """Insert with finality guards; returns the landed entry's
+        structural size (0 when the guards dropped it).
 
         Callers charge the durable-write counter per *batch* (one fsync
         per message, matching classic Raft's accounting), so this method
-        only reports whether a touch is owed.
+        only reports the bytes a touch owes -- the size comes straight
+        from the entry's ``_est_size`` memo when it is already measured,
+        so the absorb loop never re-walks an entry payload.
 
         Finality guards: with the synchronous insert path these are
         unreachable (handlers validate slots as they insert), but
@@ -141,13 +144,13 @@ class FastRaftEngine(ProposalMixin, DecisionMixin, ReplicationMixin,
         if index <= self.commit_index:
             self._trace("insert.stale_dropped", index=index,
                         entry_id=entry.entry_id)
-            return False
+            return 0
         if (previous is not None
                 and previous.inserted_by is InsertedBy.LEADER
                 and entry.inserted_by is InsertedBy.SELF):
             self._trace("insert.superseded_dropped", index=index,
                         entry_id=entry.entry_id)
-            return False
+            return 0
         self.log.insert(index, entry)
         if entry.inserted_by is InsertedBy.LEADER:
             self.last_leader_index = max(self.last_leader_index, index)
@@ -155,15 +158,16 @@ class FastRaftEngine(ProposalMixin, DecisionMixin, ReplicationMixin,
                 or (previous is not None
                     and previous.kind is EntryKind.CONFIG)):
             self._refresh_configuration()
-        return True
+        size = entry._est_size
+        return size if size is not None else estimate_size(entry)
 
     def _insert_batch(self, pairs: list[tuple[int, LogEntry]]) -> None:
         """Insert ``pairs`` and charge one durable log write if any
-        landed (one fsync per message batch, weighted by what landed)."""
+        landed (one fsync per message batch, weighted by what landed;
+        the sizes accumulate during the absorb pass itself)."""
         inserted_bytes = 0
         for index, entry in pairs:
-            if self._insert_into_log(index, entry):
-                inserted_bytes += estimate_size(entry)
+            inserted_bytes += self._insert_into_log(index, entry)
         if inserted_bytes:
             self.ctx.store.touch("log", size=inserted_bytes)
 

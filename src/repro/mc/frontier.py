@@ -1,0 +1,116 @@
+"""Frontier strategies: the order in which the explorer visits states.
+
+A strategy holds explorer nodes and decides which to expand next. The
+explorer calls ``add(children)`` after every expansion (possibly with an
+empty list) and ``take()`` to get the next node; a strategy returning
+``None`` ends the exploration.
+
+- :class:`DepthFirst` -- depth-limited DFS. Children are pushed so the
+  earliest-due event is explored first: the leftmost path is the one the
+  normal scheduler would have taken, and adversarial reorderings branch
+  off it.
+- :class:`BreadthFirst` -- level order; finds minimal-length violating
+  paths at the cost of holding a level of forked worlds.
+- :class:`RandomWalk` -- seeded random walks root-to-depth-limit,
+  restarted ``walks`` times; probes deep interleavings cheaply without
+  the frontier memory of BFS. Deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+
+from repro.errors import ModelCheckError
+
+STRATEGIES = ("dfs", "bfs", "random")
+
+
+class DepthFirst:
+    name = "dfs"
+    #: Whether the explorer should stop expanding already-visited states.
+    dedup = True
+
+    def __init__(self) -> None:
+        self._stack: list = []
+
+    def seed_root(self, root) -> None:
+        self._stack.append(root)
+
+    def add(self, nodes: list) -> None:
+        self._stack.extend(reversed(nodes))
+
+    def take(self):
+        return self._stack.pop() if self._stack else None
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+
+class BreadthFirst:
+    name = "bfs"
+    dedup = True
+
+    def __init__(self) -> None:
+        self._queue: deque = deque()
+
+    def seed_root(self, root) -> None:
+        self._queue.append(root)
+
+    def add(self, nodes: list) -> None:
+        self._queue.extend(nodes)
+
+    def take(self):
+        return self._queue.popleft() if self._queue else None
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+class RandomWalk:
+    """One random branch per step; restart from the root between walks.
+
+    Revisited states are *not* pruned (a walk is a path sample, not a
+    coverage sweep), so ``dedup`` is off and the explorer re-expands the
+    root for every restart -- forks are cheap relative to exploration.
+    """
+
+    name = "random"
+    dedup = False
+
+    def __init__(self, seed: int = 0, walks: int = 8) -> None:
+        self._rng = random.Random(seed)
+        self._walks_left = walks
+        self._root = None
+        self._pending: list = []
+
+    def seed_root(self, root) -> None:
+        self._root = root
+        self._walks_left -= 1  # seeding starts the first walk
+
+    def add(self, nodes: list) -> None:
+        self._pending = list(nodes)
+
+    def take(self):
+        if self._pending:
+            choice = self._rng.choice(self._pending)
+            self._pending = []
+            return choice
+        if self._walks_left > 0:
+            self._walks_left -= 1
+            return self._root
+        return None
+
+    def __len__(self) -> int:
+        return len(self._pending) + self._walks_left
+
+
+def make_strategy(name: str, seed: int = 0, walks: int = 8):
+    if name == "dfs":
+        return DepthFirst()
+    if name == "bfs":
+        return BreadthFirst()
+    if name == "random":
+        return RandomWalk(seed=seed, walks=walks)
+    raise ModelCheckError(
+        f"unknown frontier strategy {name!r} (choose from {STRATEGIES})")

@@ -1,0 +1,122 @@
+"""Liveness probes: per-state predicates judged along explored paths.
+
+Safety invariants (``harness/checkers.py``) are judged one state at a
+time; liveness needs path context. A probe computes *flags* for every
+explored state and then judges each node against the flags of its
+ancestors. The explorer threads both calls.
+
+:class:`RecoveredRejoinProbe` targets the ROADMAP's evicted-while-down
+edge: a member that crashed, was evicted by the member timeout, and
+recovered with a stale configuration that still lists it as a member. The
+per-state predicate marks a site "stuck" when it is alive, excluded from
+the live leader's governing configuration, still believes it is a member,
+has not learned of its eviction, and has no join request in flight --
+i.e. nothing it has done or scheduled moves it toward rejoining. The
+judgement flags a node when some site has been continuously stuck from
+the exploration root past the step bound, or when the path closes a
+cycle (identical fingerprint upstream) while stuck -- a genuine lasso:
+the system can repeat that loop forever without the site ever rejoining.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.consensus.engine import Role
+
+
+@dataclass(frozen=True)
+class LivenessViolation:
+    probe: str
+    site: str
+    reason: str                 # "step_bound" | "lasso"
+    message: str
+
+
+class RecoveredRejoinProbe:
+    """A recovered member must rejoin within ``bound`` explored steps."""
+
+    name = "recovered_rejoin"
+
+    def __init__(self, bound: int = 10) -> None:
+        if bound < 1:
+            raise ValueError(f"bound must be >= 1: {bound!r}")
+        self.bound = bound
+
+    # ------------------------------------------------------------------
+    # Per-state predicate
+    # ------------------------------------------------------------------
+    def state_flags(self, world) -> frozenset:
+        """The set of sites stuck outside the configuration at this state."""
+        servers = world.servers
+        leader = None
+        best_term = -1
+        for server in servers.values():
+            if not server.alive:
+                continue
+            engine = server.engine
+            if engine.role is Role.LEADER and engine.current_term > best_term:
+                leader, best_term = server, engine.current_term
+        if leader is None:
+            return frozenset()
+        governing = set(leader.engine.configuration.members)
+
+        joining = set()
+        for handle in world.loop.pending_handles():
+            args = handle._args
+            if len(args) == 3 and type(args[2]).__name__ == "JoinRequest":
+                joining.add(args[0])
+
+        stuck = set()
+        for name, server in servers.items():
+            if not server.alive or name in governing or name in joining:
+                continue
+            engine = server.engine
+            config = getattr(engine, "configuration", None)
+            if config is None or name not in set(config.members):
+                continue                      # knows it is out
+            if getattr(engine, "_evicted", False):
+                continue                      # eviction learned: will rejoin
+            observers = set(getattr(config, "observers", ()) or ())
+            observers |= set(
+                getattr(leader.engine.configuration, "observers", ()) or ())
+            if (name in observers
+                    and not getattr(engine, "wants_membership", False)):
+                continue                      # standing observer by design
+            stuck.add(name)
+        return frozenset(stuck)
+
+    # ------------------------------------------------------------------
+    # Path judgement
+    # ------------------------------------------------------------------
+    def judge(self, node, path) -> list[LivenessViolation]:
+        """``path`` is root..node inclusive (explorer nodes with
+        ``.flags[self.name]``, ``.fingerprint``, ``.depth``)."""
+        stuck_here = node.flags.get(self.name, frozenset())
+        if not stuck_here:
+            return []
+        violations = []
+        for site in sorted(stuck_here):
+            always = all(site in n.flags.get(self.name, frozenset())
+                         for n in path)
+            if not always:
+                continue
+            if node.depth >= self.bound:
+                violations.append(LivenessViolation(
+                    probe=self.name, site=site, reason="step_bound",
+                    message=(f"{site} recovered outside the governing "
+                             f"configuration and made no move to rejoin "
+                             f"for {node.depth} explored steps "
+                             f"(bound {self.bound})")))
+                continue
+            for ancestor in path[:-1]:
+                if ancestor.fingerprint == node.fingerprint:
+                    violations.append(LivenessViolation(
+                        probe=self.name, site=site, reason="lasso",
+                        message=(f"{site} is stuck outside the governing "
+                                 f"configuration around a state cycle "
+                                 f"(depth {ancestor.depth} -> {node.depth})"
+                                 f": the run can repeat it forever "
+                                 f"without {site} rejoining")))
+                    break
+        return violations

@@ -229,19 +229,30 @@ class ClassicRaftEngine(BaseEngine):
 
     def _leader_advance_commit(self) -> None:
         """Commit the highest index replicated on a classic quorum whose
-        entry is from the current term."""
-        best = self.commit_index
-        for k in range(self.commit_index + 1, self.log.last_index + 1):
-            votes = 1  # the leader holds its own log
-            for member in self._configuration.members:
-                if member != self.name and self.match_index.get(member, 0) >= k:
-                    votes += 1
-            if not self._configuration.is_classic_quorum(votes):
-                break
-            if self.log.term_at(k) == self.current_term:
-                best = k
-        if best > self.commit_index:
-            self._advance_commit_index(best)
+        entry is from the current term.
+
+        The quorum frontier is read straight off the sorted match
+        indexes (the leader's own log counts as ``last_index``) instead
+        of re-scanning ``commit_index+1 .. last_index`` one index at a
+        time per response: replication counts only fall as the index
+        grows, so index ``k`` has a quorum iff the ``classic_quorum``-th
+        largest match is at least ``k`` -- the frontier IS that order
+        statistic. Classic Raft log terms are non-decreasing, so the
+        current-term gate holds somewhere at or below the frontier iff
+        it holds *at* the frontier.
+        """
+        config = self._configuration
+        counts = [self.log.last_index]  # the leader holds its own log
+        counts.extend(self.match_index.get(member, 0)
+                      for member in config.members if member != self.name)
+        quorum = config.classic_quorum
+        if quorum > len(counts):
+            return
+        counts.sort(reverse=True)
+        frontier = min(counts[quorum - 1], self.log.last_index)
+        if (frontier > self.commit_index
+                and self.log.term_at(frontier) == self.current_term):
+            self._advance_commit_index(frontier)
 
     # ------------------------------------------------------------------
     # Replication: follower side

@@ -1,0 +1,94 @@
+"""Model-checking targets: registered scenarios the explorer can check.
+
+An :class:`McTarget` wraps any :class:`~repro.scenarios.spec.ScenarioSpec`
+with the extra knobs bounded exploration needs: the seed, how long to run
+the *normal* deterministic schedule before exploration takes over (the
+warmup brings the world to the interesting state -- leader elected,
+workload drained, schedule events fired), and the liveness step bound.
+
+Targets live in their own registry (parallel to the experiment-level
+``Scenario`` registry) because a checkable target is a *(spec, seed,
+warmup)* triple, not a sweep: experiments register targets for their own
+specs right next to their ``register_scenario`` call, and
+``load_catalog()`` populates both registries in one import pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ModelCheckError
+from repro.harness.builder import build_from_spec
+from repro.scenarios.spec import ScenarioSpec
+
+
+@dataclass(frozen=True)
+class McTarget:
+    """One checkable scenario: spec + seed + warmup + probe bounds."""
+
+    name: str
+    spec: ScenarioSpec
+    seed: int = 0
+    #: Absolute sim time to drive the normal schedule to before the
+    #: explorer takes over event ordering.
+    warmup: float = 0.0
+    description: str = ""
+    #: Step bound for the recovered-member rejoin probe (0 disables it).
+    liveness_bound: int = 0
+
+
+MC_TARGETS: dict[str, McTarget] = {}
+
+
+def register_mc_target(target: McTarget) -> McTarget:
+    if target.name in MC_TARGETS:
+        raise ModelCheckError(
+            f"duplicate mc target name: {target.name!r}")
+    MC_TARGETS[target.name] = target
+    return target
+
+
+def get_mc_target(name: str) -> McTarget:
+    from repro.scenarios.runner import load_catalog
+    load_catalog()
+    try:
+        return MC_TARGETS[name]
+    except KeyError:
+        raise ModelCheckError(
+            f"unknown mc target {name!r} "
+            f"(see --list; registered: {mc_target_names()})") from None
+
+
+def mc_target_names() -> list[str]:
+    from repro.scenarios.runner import load_catalog
+    load_catalog()
+    return sorted(MC_TARGETS)
+
+
+def prepare_world(target: McTarget):
+    """Build the target's system and run its normal schedule to the
+    warmup point; the returned :class:`~repro.mc.state.World` is the
+    exploration root."""
+    from repro.mc.state import World
+    from repro.scenarios.runner import (
+        RunContext,
+        arm_timed_events,
+        attach_workloads,
+        elect_flat_leader,
+    )
+    spec = target.spec
+    system = build_from_spec(spec, target.seed)
+    ctx = RunContext(system, spec)
+    system.start_all()
+    if spec.engine == "craft":
+        system.run_until_local_leaders(timeout=spec.leader_timeout)
+        system.run_until_global_ready(
+            timeout=spec.params.get("global_ready_timeout", 90.0))
+    else:
+        ctx.initial_leader = elect_flat_leader(system, spec)
+    if spec.workload.requests:
+        attach_workloads(system, spec, ctx, ctx.initial_leader)
+    arm_timed_events(ctx)
+    deadline = max(target.warmup, system.loop.now())
+    system.loop.run_until(deadline)
+    return World(system=system, spec=spec, seed=target.seed, ctx=ctx)

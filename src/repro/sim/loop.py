@@ -397,6 +397,54 @@ class SimLoop:
         return len(self._heap) - self._cancelled_in_heap
 
     # ------------------------------------------------------------------
+    # Model-checking hooks: enumerate and fire events out of order
+    # ------------------------------------------------------------------
+    def pending_handles(self) -> list[Handle]:
+        """Every scheduled, non-cancelled handle in ``(when, seq)`` order.
+
+        O(pending log pending). This is the model checker's *branch set*:
+        the explorer enumerates it, forks the world, and fires one handle
+        per child via :meth:`fire_handle`.
+        """
+        if self._is_wheel:
+            handles = [item[2] for slot in self._wheel for item in slot
+                       if not item[2]._cancelled]
+            handles.extend(item[2] for item in self._overflow
+                           if not item[2]._cancelled)
+        else:
+            handles = [h for h in self._heap if not h._cancelled]
+        handles.sort(key=lambda h: (h.when, h.seq))
+        return handles
+
+    def fire_handle(self, handle: Handle) -> None:
+        """Run one pending handle now, possibly out of time order.
+
+        The clock advances to ``max(now, handle.when)`` (never backward:
+        an exploration may fire a later-scheduled event first, and a
+        monotonic clock keeps subsequent ``call_later`` legal). The stored
+        wheel/heap entry is retired through the normal lazy-cancellation
+        path, so bookkeeping stays exact.
+
+        This deliberately breaks the scheduler's time-order contract --
+        callers (the model-checking explorer, trace replay) must drive
+        *every* subsequent event through this hook rather than mixing in
+        ``run_until``.
+        """
+        if self._running:
+            raise SimulationError("cannot fire_handle while the loop runs")
+        if handle._cancelled or not handle._in_heap:
+            raise SimulationError(f"handle is not pending: {handle!r}")
+        callback, args = handle._callback, handle._args
+        handle.cancel()  # retires the stored entry; drops its refs
+        if handle.when > self._now:
+            self._now = handle.when
+            if self._is_wheel:
+                self._cursor = max(self._cursor,
+                                   int(self._now * _WHEEL_INV))
+        self._events_processed += 1
+        callback(*args)
+
+    # ------------------------------------------------------------------
     # Cancellation bookkeeping
     # ------------------------------------------------------------------
     def _note_cancelled(self) -> None:

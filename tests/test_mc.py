@@ -1,0 +1,210 @@
+"""Model-checking subsystem battery.
+
+Four guarantees are pinned here:
+
+1. **Loop hooks** -- ``pending_handles``/``fire_handle`` expose the
+   scheduler's branch set and fire one chosen event without disturbing
+   the rest of the queue.
+2. **Fork isolation** -- driving a forked world never mutates its
+   parent (the scheduled-closure deep copy actually severs the worlds).
+3. **Determinism** -- the same target, depth, and strategy produce
+   identical visited-state fingerprints and byte-identical exported
+   traces, and an exported schedule replays to the recorded state.
+4. **The pinned liveness edge** -- the explorer flags the
+   evicted-while-down recovery gap (ROADMAP item 4) while an equally
+   deep exploration of a healthy cluster stays violation-free. The
+   strict xfail below inverts automatically in the PR that fixes the
+   recovery path.
+"""
+
+import dataclasses
+import hashlib
+import json
+
+import pytest
+
+from repro.errors import ModelCheckError, SimulationError
+from repro.mc import (
+    branch_set,
+    explore,
+    export_report,
+    fingerprint,
+    fire_event,
+    fork_world,
+    make_strategy,
+    replay_file,
+)
+from repro.mc.probes import RecoveredRejoinProbe
+from repro.scenarios.mc import get_mc_target, mc_target_names, prepare_world
+from repro.sim.loop import SimLoop
+
+
+# ----------------------------------------------------------------------
+# 1. Loop hooks
+# ----------------------------------------------------------------------
+class TestLoopHooks:
+    def test_pending_handles_sorted_by_due_time(self):
+        loop = SimLoop()
+        for delay in (0.3, 0.1, 0.2):
+            loop.call_later(delay, lambda: None)
+        assert [h.when for h in loop.pending_handles()] == [0.1, 0.2, 0.3]
+
+    def test_cancelled_handles_are_not_pending(self):
+        loop = SimLoop()
+        keep = loop.call_later(0.1, lambda: None)
+        drop = loop.call_later(0.2, lambda: None)
+        drop.cancel()
+        assert loop.pending_handles() == [keep]
+
+    def test_fire_handle_runs_callback_and_advances_clock(self):
+        loop = SimLoop()
+        seen = []
+        loop.call_later(0.5, lambda: seen.append(loop.now()))
+        loop.fire_handle(loop.pending_handles()[0])
+        assert seen == [0.5]
+        assert loop.now() == 0.5
+        assert not loop.pending_handles()
+
+    def test_fire_handle_out_of_order(self):
+        # Firing a later-due event first is the whole point: the clock
+        # jumps forward and the earlier event stays firable.
+        loop = SimLoop()
+        seen = []
+        loop.call_later(0.1, lambda: seen.append("early"))
+        loop.call_later(0.9, lambda: seen.append("late"))
+        loop.fire_handle(loop.pending_handles()[-1])
+        assert seen == ["late"] and loop.now() == 0.9
+        loop.fire_handle(loop.pending_handles()[0])
+        assert seen == ["late", "early"]
+        assert loop.now() == 0.9  # never runs backwards
+
+    def test_fire_handle_rejects_cancelled(self):
+        loop = SimLoop()
+        handle = loop.call_later(0.1, lambda: None)
+        handle.cancel()
+        with pytest.raises(SimulationError):
+            loop.fire_handle(handle)
+
+
+# ----------------------------------------------------------------------
+# 2. Fork isolation
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def healthy_target():
+    return get_mc_target("mc_small_healthy")
+
+
+@pytest.fixture(scope="module")
+def evicted_target():
+    return get_mc_target("mc_evicted_while_down")
+
+
+def test_branch_set_is_nonempty_and_sorted(healthy_target):
+    world = prepare_world(healthy_target)
+    events = branch_set(world)
+    assert events
+    assert events == sorted(events, key=lambda e: (e.when, e.seq))
+
+
+def test_fork_is_isolated(healthy_target):
+    world = prepare_world(healthy_target)
+    base = fingerprint(world)
+    base_seqs = [h.seq for h in world.loop.pending_handles()]
+    fork = fork_world(world)
+    for _ in range(5):
+        fire_event(fork, branch_set(fork)[0])
+    # The fork moved; the parent did not.
+    assert fork.loop.now() > world.loop.now()
+    assert fingerprint(world) == base
+    assert [h.seq for h in world.loop.pending_handles()] == base_seqs
+
+
+def test_fire_event_rejects_divergence(healthy_target):
+    world = prepare_world(healthy_target)
+    event = branch_set(world)[0]
+    stale = dataclasses.replace(event, seq=10 ** 9)
+    with pytest.raises(ModelCheckError):
+        fire_event(world, stale)
+
+
+# ----------------------------------------------------------------------
+# 3. Determinism
+# ----------------------------------------------------------------------
+def _export_digest(report, directory) -> str:
+    out = export_report(report, directory)
+    digest = hashlib.sha256()
+    for path in sorted(out.iterdir()):
+        digest.update(path.name.encode())
+        digest.update(path.read_bytes())
+    return digest.hexdigest()
+
+
+@pytest.mark.parametrize("strategy", ["dfs", "bfs", "random"])
+def test_exploration_is_deterministic(healthy_target, strategy, tmp_path):
+    runs = [explore(healthy_target, strategy=strategy, depth=4,
+                    max_states=120, walk_seed=3) for _ in range(2)]
+    assert (runs[0].visited_fingerprints()
+            == runs[1].visited_fingerprints())
+    assert (_export_digest(runs[0], tmp_path / "a")
+            == _export_digest(runs[1], tmp_path / "b"))
+
+
+def test_unknown_strategy_rejected():
+    with pytest.raises(ModelCheckError):
+        make_strategy("simulated-annealing")
+
+
+def test_registry_lists_targets():
+    names = mc_target_names()
+    for required in ("mc_small_healthy", "mc_small_classic",
+                     "mc_evicted_while_down", "mc_fig3_fast"):
+        assert required in names
+    with pytest.raises(ModelCheckError):
+        get_mc_target("mc_no_such_target")
+
+
+# ----------------------------------------------------------------------
+# 4. The pinned liveness edge (ROADMAP item 4)
+# ----------------------------------------------------------------------
+DEPTH = 12
+
+
+@pytest.fixture(scope="module")
+def evicted_report(evicted_target):
+    return explore(evicted_target, strategy="dfs", depth=DEPTH,
+                   max_states=150)
+
+
+def test_explorer_flags_evicted_while_down(evicted_report):
+    assert evicted_report.liveness_violations
+    assert not evicted_report.safety_violations
+    flagged = {v.probe for v in evicted_report.liveness_violations}
+    assert flagged == {"recovered_rejoin"}
+
+
+def test_replay_reproduces_flagged_state(evicted_report, tmp_path):
+    out = export_report(evicted_report, tmp_path / "trace")
+    manifest = json.loads((out / "violations.json").read_text())
+    name = next(entry["schedule"] for entry in manifest
+                if "schedule" in entry)
+    result = replay_file(out / name)
+    assert result.matched
+    # The reproduced world really is the stuck state the probe flagged.
+    assert RecoveredRejoinProbe(bound=1).state_flags(result.world)
+
+
+def test_healthy_cluster_is_clean_at_same_depth(healthy_target):
+    report = explore(healthy_target, strategy="dfs", depth=DEPTH,
+                     max_states=150)
+    assert not report.violations
+
+
+@pytest.mark.xfail(
+    strict=True,
+    reason="ROADMAP item 4: a site evicted while down recovers with a "
+           "stale configuration that still lists it, so it idles as a "
+           "silent follower instead of asking to rejoin; the "
+           "recovered_rejoin probe flags every such path. This inverts "
+           "in the PR that fixes the recovery path.")
+def test_evicted_while_down_recovery_is_live(evicted_report):
+    assert not evicted_report.liveness_violations
