@@ -39,6 +39,8 @@ from repro.consensus.messages import (
     NotInConfiguration,
     ProposeEntry,
     ProposeToLeader,
+    RecoveryProbe,
+    RecoveryProbeReply,
     RequestVote,
     RequestVoteResponse,
     VoteEntry,
@@ -178,6 +180,11 @@ class BaseEngine:
         self._extra_allowed: set[str] = set()
         self._election_timer = RestartableTimer(ctx.loop,
                                                 self._on_election_timeout)
+        # Probe-before-trust recovery (see begin_recovery_probe): armed
+        # only by a host-driven recovery, never during normal operation.
+        self._recovery_probe_timer = RestartableTimer(
+            ctx.loop, self._on_recovery_probe_timeout)
+        self._recovering = False
         self._stopped = False
         self._dispatch = self._build_dispatch()
 
@@ -240,6 +247,8 @@ class BaseEngine:
         """Cancel all timers (crash or shutdown). State is preserved."""
         self._stopped = True
         self._election_timer.cancel()
+        self._recovery_probe_timer.cancel()
+        self._recovering = False
         self._stop_role_timers()
 
     def _stop_role_timers(self) -> None:
@@ -313,6 +322,8 @@ class BaseEngine:
             JoinAccepted: self._handle_join_accepted,
             LeaveAccepted: self._handle_leave_accepted,
             NotInConfiguration: self._handle_not_in_configuration,
+            RecoveryProbe: self._handle_recovery_probe,
+            RecoveryProbeReply: self._handle_recovery_probe_reply,
             InstallSnapshotRequest: self._handle_install_snapshot,
             InstallSnapshotResponse: self._handle_install_snapshot_response,
             InstallSnapshotChunk: self._handle_install_snapshot_chunk,
@@ -364,6 +375,107 @@ class BaseEngine:
                 term=self.current_term,
                 members=self._configuration.members,
                 leader_hint=self.leader_id))
+
+    # ------------------------------------------------------------------
+    # Probe-before-trust recovery (README "Crash recovery & rejoin")
+    # ------------------------------------------------------------------
+    def begin_recovery_probe(self) -> None:
+        """Ask the restored configuration whether it still governs before
+        trusting it. The host calls this right after a recovery start: a
+        site evicted by the member timeout while down restores a
+        configuration that still lists it, so without the probe it idles
+        as a silent follower until an accidental election timeout trips
+        the ``NotInConfiguration`` rejoin path. Peers answer with their
+        governing config epoch; a strictly newer epoch that excludes us
+        routes straight onto the rejoin path, a confirmation resumes
+        normal operation, and a timeout falls back to trusting the
+        restored configuration outright (a fully partitioned recovery
+        must still come up)."""
+        if self._stopped or self.timing.recovery_probe_timeout <= 0:
+            return
+        contacts = set(self._configuration.members)
+        if self.leader_id is not None:
+            contacts.add(self.leader_id)
+        if self.voted_for is not None:
+            # The persisted vote is the freshest leader hint stable
+            # storage offers (granting it named a then-live candidate).
+            contacts.add(self.voted_for)
+        contacts.discard(self.name)
+        if not contacts:
+            return
+        self._recovering = True
+        probe = RecoveryProbe(site=self.name,
+                              config_version=self._governing_config_version(),
+                              term=self.current_term)
+        for contact in sorted(contacts):
+            self._send(contact, probe)
+        self._recovery_probe_timer.reset(self.timing.recovery_probe_timeout)
+        self._trace("recovery.probe", contacts=sorted(contacts),
+                    config_version=probe.config_version)
+
+    def _governing_config_version(self) -> int:
+        """Version of the configuration that currently governs (snapshot
+        base vs best decided CONFIG entry -- the same resolution as
+        :meth:`_derive_configuration`)."""
+        version, _, __ = governing_config(
+            self.snapshot_store.latest,
+            self.log.best_config_entry(decided_upto=self.commit_index))
+        return version or 0
+
+    def _handle_recovery_probe(self, msg: RecoveryProbe, sender: str) -> None:
+        self._trace("recovery.probed", site=msg.site,
+                    config_version=msg.config_version)
+        self._send(sender, RecoveryProbeReply(
+            term=self.current_term,
+            config_version=self._governing_config_version(),
+            members=self._configuration.members,
+            leader_hint=self.leader_id,
+            is_member=msg.site in self._configuration))
+
+    def _handle_recovery_probe_reply(self, msg: RecoveryProbeReply,
+                                     sender: str) -> None:
+        ours = self._governing_config_version()
+        if not msg.is_member and msg.config_version > ours:
+            # A strictly newer configuration excludes us: the restored
+            # membership was stale. Acted on even after the probe timed
+            # out -- a late reply is still fresher knowledge than the
+            # stale configuration we fell back to trusting. (Once we
+            # rejoin, our own governing version overtakes the reply's, so
+            # stragglers land in the stale branch below.)
+            self._finish_recovery_probe("rejected")
+            self._on_recovery_probe_rejected(msg, sender)
+            return
+        if msg.is_member and msg.config_version >= ours:
+            self._observe_term(msg.term, leader_hint=msg.leader_hint)
+            if self.leader_id is None and msg.leader_hint is not None:
+                self.leader_id = msg.leader_hint
+            self._finish_recovery_probe("confirmed")
+            return
+        # The peer's view is staler than our restored one: evidence of
+        # nothing -- keep waiting for the rest of the fan-out.
+
+    def _finish_recovery_probe(self, outcome: str) -> None:
+        if not self._recovering:
+            return
+        self._recovering = False
+        self._recovery_probe_timer.cancel()
+        self._trace("recovery.probe_done", outcome=outcome)
+
+    def _on_recovery_probe_timeout(self) -> None:
+        if self._stopped:
+            return
+        # Nobody answered (partition, lossy probe path, everyone down):
+        # trust the restored configuration after all -- exactly the
+        # pre-probe behaviour, so an eviction is still learned eventually
+        # through the election-timeout NotInConfiguration path.
+        self._finish_recovery_probe("timeout")
+
+    def _on_recovery_probe_rejected(self, msg: RecoveryProbeReply,
+                                    sender: str) -> None:
+        """Hook: Fast Raft funnels this into its NotInConfiguration
+        rejoin path; engines without a membership protocol only note it."""
+        self._trace("recovery.stale_config", via=sender,
+                    members=msg.members, leader_hint=msg.leader_hint)
 
     # ------------------------------------------------------------------
     # Term handling

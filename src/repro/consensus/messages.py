@@ -315,6 +315,50 @@ class NotInConfiguration:
     leader_hint: str | None
 
 
+@dataclass(frozen=True, slots=True)
+class RecoveryProbe:
+    """Probe-before-trust recovery: a recovering site asks a peer whether
+    its restored configuration still governs, instead of trusting a
+    configuration that may be older than the member timeout. A site
+    evicted while down restores a configuration that still lists it, so
+    without this probe it idles as a silent follower until an election
+    timeout trips the :class:`NotInConfiguration` path.
+
+    ``config_version`` is the governing version the prober restored."""
+
+    site: str
+    config_version: int
+    term: int
+
+
+@dataclass(frozen=True, slots=True)
+class RecoveryProbeReply:
+    """A peer's answer to a :class:`RecoveryProbe`: its own governing
+    config epoch, the membership verdict for the prober, and a leader
+    hint. A strictly newer configuration that excludes the prober routes
+    it straight onto the ``NotInConfiguration`` -> ``JoinRequest`` rejoin
+    path; a confirming reply lets it resume as a follower immediately."""
+
+    term: int
+    config_version: int
+    members: tuple[str, ...]
+    leader_hint: str | None
+    is_member: bool
+    _wire_size: int | None = _wire_memo()
+
+    def payload_size(self) -> int:
+        """Fixed header plus the carried member list: like the other
+        membership carriers, replies are charged by content (the probe
+        fan-out is one reply per probed member)."""
+        cached = self._wire_size
+        if cached is None:
+            cached = (HEADER_SIZE + 3 * SCALAR_SIZE
+                      + sum(len(m) for m in self.members)
+                      + (len(self.leader_hint) if self.leader_hint else 0))
+            object.__setattr__(self, "_wire_size", cached)
+        return cached
+
+
 # ----------------------------------------------------------------------
 # C-Raft envelope
 # ----------------------------------------------------------------------
@@ -346,7 +390,7 @@ class Envelope:
 
 
 #: Message types a non-member may send without being ignored.
-MEMBERSHIP_OPEN_TYPES = (JoinRequest, LeaveRequest)
+MEMBERSHIP_OPEN_TYPES = (JoinRequest, LeaveRequest, RecoveryProbe)
 
 
 @dataclass(slots=True)

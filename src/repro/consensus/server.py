@@ -99,6 +99,9 @@ class ConsensusServer(Actor):
         self.engine = self._build_engine()
         self.revive()
         self.engine.start()
+        # Probe-before-trust: the restored configuration may be older
+        # than the member timeout (evicted while down).
+        self.engine.begin_recovery_probe()
         self._trace.record(self.now(), self.name, "node.recovered")
 
     # ------------------------------------------------------------------

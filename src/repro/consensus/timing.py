@@ -65,6 +65,13 @@ class TimingConfig:
     #: The paper's implementation is tick-driven (False); the ablation
     #: benches flip this.
     eager_append: bool = False
+    #: Probe-before-trust recovery: how long a recovering site waits for
+    #: a RecoveryProbeReply before falling back to trusting its restored
+    #: configuration outright (the pre-probe behaviour, so a fully
+    #: partitioned recovery still comes up). ``0`` disables the
+    #: handshake. The default resolves an eviction-while-down well inside
+    #: ``election_timeout_min``, the old worst-case detection latency.
+    recovery_probe_timeout: float = 0.150
 
     def __post_init__(self) -> None:
         if self.heartbeat_interval <= 0:
@@ -83,6 +90,10 @@ class TimingConfig:
             raise ConfigurationError("member_timeout_beats must be >= 1")
         if self.max_append_batch < 1:
             raise ConfigurationError("max_append_batch must be >= 1")
+        if self.recovery_probe_timeout < 0:
+            raise ConfigurationError(
+                "recovery_probe_timeout must be >= 0 (0 disables the "
+                "recovery probe)")
 
     @property
     def effective_decision_interval(self) -> float:

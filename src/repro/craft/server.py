@@ -268,6 +268,11 @@ class CRaftServer(Actor):
         self.local_engine = self._build_local_engine()
         self.revive()
         self.local_engine.start()
+        # Probe-before-trust: the restored local configuration may be
+        # older than the member timeout (evicted while down). The global
+        # level needs no probe -- global seats follow local leadership
+        # (_became_local_leader re-joins with a seat hint).
+        self.local_engine.begin_recovery_probe()
         if self.name == self.global_seed:
             # The seed's global engine (voter at bootstrap, standing
             # observer after retirement) survives crashes: recreate it

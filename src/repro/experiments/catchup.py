@@ -172,7 +172,13 @@ def catchup_flat_spec(config: CatchupConfig, snapshots: bool
              f"{'snap' if snapshots else 'replay'}",
         engine=config.engine,
         topology=TopologySpec(n_sites=config.n_sites),
-        timing=TimingConfig(max_append_batch=config.max_append_batch),
+        # recovery_probe_timeout=0: the catch-up tables measure transfer
+        # cost from the victim's recovery to full catch-up on the pinned
+        # pre-probe timeline (golden-pinned byte-identical); the probe
+        # handshake would shift every timestamp by resolving the rejoin
+        # before the election timeout the pinned runs wait out.
+        timing=TimingConfig(max_append_batch=config.max_append_batch,
+                            recovery_probe_timeout=0.0),
         state_machine=KVStateMachine,
         compaction=_policy(config, snapshots),
         schedule=EventSchedule((
@@ -227,7 +233,13 @@ def catchup_craft_spec(config: CatchupConfig, snapshots: bool
         name=f"catchup.craft.{'snap' if snapshots else 'replay'}",
         engine="craft",
         topology=TopologySpec(n_sites=6, regions=("east", "west")),
-        timing=TimingConfig(max_append_batch=config.max_append_batch),
+        # recovery_probe_timeout=0: the catch-up tables measure transfer
+        # cost from the victim's recovery to full catch-up on the pinned
+        # pre-probe timeline (golden-pinned byte-identical); the probe
+        # handshake would shift every timestamp by resolving the rejoin
+        # before the election timeout the pinned runs wait out.
+        timing=TimingConfig(max_append_batch=config.max_append_batch,
+                            recovery_probe_timeout=0.0),
         batch=BatchPolicy(batch_size=config.craft_batch_size),
         state_machine=KVStateMachine,
         compaction=_policy(config, snapshots),
@@ -458,7 +470,13 @@ def wan_spec(config: WanCatchupConfig, total_commits: int,
              f"{'chunked' if chunked else 'mono'}.{total_commits}",
         engine=config.engine,
         topology=TopologySpec(n_sites=config.n_sites),
-        timing=TimingConfig(max_append_batch=config.max_append_batch),
+        # recovery_probe_timeout=0: the catch-up tables measure transfer
+        # cost from the victim's recovery to full catch-up on the pinned
+        # pre-probe timeline (golden-pinned byte-identical); the probe
+        # handshake would shift every timestamp by resolving the rejoin
+        # before the election timeout the pinned runs wait out.
+        timing=TimingConfig(max_append_batch=config.max_append_batch,
+                            recovery_probe_timeout=0.0),
         state_machine=KVStateMachine,
         latency=LatencySpec.constant(config.one_way_latency,
                                      bandwidth=config.bandwidth),

@@ -1,26 +1,34 @@
 """Registered model-checking targets.
 
-Three dedicated targets plus the registration pattern any experiment can
+Dedicated targets plus the registration pattern any experiment can
 follow (``fig3`` registers one next to its ``register_scenario`` call):
 
 - ``mc_small_healthy`` / ``mc_small_classic`` -- 3-site Fast Raft /
   classic Raft clusters that elect a leader and commit a short workload
   before exploration starts. Fixed code must show **zero** violations at
   CI-smoke depth; these are the ``mc-smoke`` gate.
-- ``mc_evicted_while_down`` -- the ROADMAP's open recovery liveness
-  edge, pinned: a 5-site Fast Raft cluster whose follower crashes, is
+- ``mc_evicted_while_down`` -- the ROADMAP's recovery liveness edge,
+  fixed by the probe-before-trust handshake (README "Crash recovery &
+  rejoin"): a 5-site Fast Raft cluster whose follower crashes, is
   evicted by the member timeout while down, and recovers from stable
-  storage *just before* its first election timeout would fire. The
-  restored configuration still lists the site as a member, so it sits as
-  a silent follower -- excluded by the leader, sending nothing -- until
-  an (unwinnable) election timeout eventually trips the
-  ``NotInConfiguration`` rejoin path. The warmup window is cut exactly
-  in that silent gap; the rejoin probe flags every explored path that
-  keeps the site stuck past the step bound or around a state cycle.
+  storage long after. The recovery probe detects the stale restored
+  configuration and routes the site straight onto the rejoin path, so
+  this now gates at **zero** violations like the healthy targets.
+- ``mc_evicted_while_down_noprobe`` -- the same scenario with the
+  handshake disabled (``recovery_probe_timeout=0``): the pre-fix silent
+  window, kept as an expect-violation target so the rejoin probe, the
+  violation export, and the schedule replay machinery stay exercised
+  end to end.
+- ``mc_recover_{before,at,after}_eviction`` -- the recovery x
+  eviction-timing battery: the same crash with recovery placed before
+  the member timeout, racing it, and just after it, each warmup cut
+  right at the recovery point so the probe handshake itself (probes and
+  replies in flight) is what exploration reorders. All gate at zero.
 """
 
 from __future__ import annotations
 
+from repro.consensus.timing import TimingConfig
 from repro.scenarios.mc import McTarget, register_mc_target
 from repro.scenarios.spec import (
     Event,
@@ -35,6 +43,10 @@ from repro.scenarios.spec import (
 #: far below what a healthy rejoin path needs to *stay* stuck.
 REJOIN_BOUND = 10
 
+#: The extra liveness probes every recovery target (and the small
+#: healthy gates) runs alongside the rejoin probe.
+EXTRA_PROBES = ("leader_stability", "commit_progress")
+
 
 def _small_spec(engine: str) -> ScenarioSpec:
     return ScenarioSpec(
@@ -47,6 +59,7 @@ register_mc_target(McTarget(
     name="mc_small_healthy",
     spec=_small_spec("fastraft"),
     seed=0, warmup=2.0, liveness_bound=REJOIN_BOUND,
+    probes=EXTRA_PROBES,
     description="3-site Fast Raft, leader + 4 commits before exploring; "
                 "fixed code shows zero violations"))
 
@@ -54,29 +67,84 @@ register_mc_target(McTarget(
     name="mc_small_classic",
     spec=_small_spec("raft"),
     seed=0, warmup=2.0, liveness_bound=REJOIN_BOUND,
+    probes=EXTRA_PROBES,
     description="3-site classic Raft, leader + 4 commits before "
                 "exploring; fixed code shows zero violations"))
 
 
-def evicted_while_down_spec() -> ScenarioSpec:
+def evicted_while_down_spec(name: str = "mc_evicted_while_down",
+                            timing: TimingConfig | None = None,
+                            ) -> ScenarioSpec:
     """Crash a follower, let the member timeout evict it, recover it
-    from stable storage, and stop the warmup inside the silent window
-    (recovery at t=6.0; the first election timeout cannot fire before
-    t=6.3 with the default 0.3-0.6s timeout range)."""
+    from stable storage long after, and stop the warmup just past the
+    recovery point (recovery at t=6.0; the first election timeout cannot
+    fire before t=6.3 with the default 0.3-0.6s timeout range)."""
     return ScenarioSpec(
-        name="mc_evicted_while_down", engine="fastraft",
+        name=name, engine="fastraft",
         topology=TopologySpec(n_sites=5),
         workload=WorkloadSpec(requests=15),
+        timing=timing,
         schedule=EventSchedule(events=(
             Event(action="crash", target="nonleader:0", at=1.0),
             Event(action="recover", target="nonleader:0", at=6.0),
         )))
 
 
+#: Warmup offset past a recover event: smaller than the minimum network
+#: latency (0.2 ms), so the recovery probes are still *in flight* at the
+#: exploration root and the handshake itself -- delivery orderings,
+#: probe-timer-first firings, delayed replies -- is what gets explored.
+_PROBE_WINDOW = 0.0001
+
 register_mc_target(McTarget(
     name="mc_evicted_while_down",
     spec=evicted_while_down_spec(),
+    seed=0, warmup=6.0 + _PROBE_WINDOW, liveness_bound=REJOIN_BOUND,
+    probes=EXTRA_PROBES,
+    description="ROADMAP item 4 fixed: the recovery probe detects the "
+                "stale restored configuration and rejoins immediately "
+                "(zero violations)"))
+
+register_mc_target(McTarget(
+    name="mc_evicted_while_down_noprobe",
+    spec=evicted_while_down_spec(
+        name="mc_evicted_while_down_noprobe",
+        timing=TimingConfig(recovery_probe_timeout=0.0)),
     seed=0, warmup=6.1, liveness_bound=REJOIN_BOUND,
-    description="ROADMAP item 4 pinned: recovered follower trusts its "
-                "stale configuration and idles outside the cluster "
-                "(expect a liveness violation)"))
+    description="the pre-fix silent window (recovery probe disabled): "
+                "recovered follower trusts its stale configuration and "
+                "idles outside the cluster (expect a liveness "
+                "violation)"))
+
+
+def _recovery_timing_spec(name: str, recover_at: float) -> ScenarioSpec:
+    """The eviction-timing battery: crash at t=2.0 (workload drained),
+    recover at ``recover_at``. The member timeout (5 missed 100 ms
+    beats) declares the silent leave around t=2.5-2.6."""
+    return ScenarioSpec(
+        name=name, engine="fastraft",
+        topology=TopologySpec(n_sites=5),
+        workload=WorkloadSpec(requests=6),
+        schedule=EventSchedule(events=(
+            Event(action="crash", target="nonleader:0", at=2.0),
+            Event(action="recover", target="nonleader:0", at=recover_at),
+        )))
+
+
+for _name, _recover_at, _desc in (
+    ("mc_recover_before_eviction", 2.2,
+     "recovery before the member timeout: the probe confirms the "
+     "still-valid configuration and the site resumes as a follower"),
+    ("mc_recover_at_eviction", 2.5,
+     "recovery racing the member timeout: confirmation and eviction "
+     "interleave freely; either outcome must stay live"),
+    ("mc_recover_after_eviction", 2.8,
+     "recovery just after the eviction committed: the probe routes the "
+     "site straight onto the rejoin path"),
+):
+    register_mc_target(McTarget(
+        name=_name,
+        spec=_recovery_timing_spec(_name, _recover_at),
+        seed=0, warmup=_recover_at + _PROBE_WINDOW,
+        liveness_bound=REJOIN_BOUND, probes=EXTRA_PROBES,
+        description=_desc + " (zero violations)"))

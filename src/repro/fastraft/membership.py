@@ -539,6 +539,16 @@ class MembershipMixin:
             self._election_timer.reset(self.timing.join_timeout)
             self._send_join_requests()
 
+    def _on_recovery_probe_rejected(self, msg, sender: str) -> None:
+        """A recovery probe found a strictly newer configuration that
+        excludes this site: funnel into the same rejoin path a live
+        :class:`NotInConfiguration` notice takes (evicted flag, leader
+        hint, immediate join requests) -- without waiting for the
+        unwinnable election timeout that notice normally rides on."""
+        self._handle_not_in_configuration(
+            NotInConfiguration(term=msg.term, members=msg.members,
+                               leader_hint=msg.leader_hint), sender)
+
     @property
     def is_member(self) -> bool:  # overrides BaseEngine's property use
         return self.name in self.configuration and not self._evicted

@@ -99,8 +99,16 @@ class FaultInjector:
         self._record("crash", site)
 
     def recover(self, site: str) -> None:
-        """Restart a crashed site from its stable storage."""
-        self._server(site).recover()
+        """Restart a crashed site from its stable storage. Recovering a
+        site that is still alive is rejected: it would silently rebuild
+        the engine mid-operation (dropping volatile state the cluster
+        still counts on) instead of modelling a crash-recovery."""
+        server = self._server(site)
+        if server.alive:
+            raise ExperimentError(
+                f"cannot recover {site!r}: the site is alive (crash it "
+                f"first; recover models a restart from stable storage)")
+        server.recover()
         self._record("recover", site)
 
     def silent_leave(self, site: str) -> None:
@@ -124,9 +132,15 @@ class FaultInjector:
                                            LeaveRequest(site=site))
         self._record("announced_leave", site)
 
-    def request_join(self, site: str, contact: str) -> None:
-        """A site asks ``contact`` to admit it to the configuration."""
-        self._cluster.network.send(site, contact, JoinRequest(site=site))
+    def request_join(self, site: str, contact: str,
+                     replaces: str | None = None) -> None:
+        """A site asks ``contact`` to admit it to the configuration.
+        ``replaces`` is the seat hint from the membership protocol: the
+        member whose place this joiner takes, so a scheduled join can
+        count toward that member's pending-exclusion quorum (see
+        :class:`~repro.consensus.messages.JoinRequest`)."""
+        self._cluster.network.send(site, contact,
+                                   JoinRequest(site=site, replaces=replaces))
         self._record("join_request", site)
 
     def partition(self, groups: list[list[str]]) -> None:
@@ -224,7 +238,9 @@ class FaultInjector:
                                       current_leader=self._current_leader())
         for site in sites:
             if event.action == "request_join":
-                self.request_join(site, contact=event.args[0])
+                replaces = event.args[1] if len(event.args) > 1 else None
+                self.request_join(site, contact=event.args[0],
+                                  replaces=replaces)
             else:
                 getattr(self, event.action)(site)
         return sites

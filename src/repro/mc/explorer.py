@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 from repro.errors import InvariantViolation, ReproError
 from repro.harness.checkers import run_safety_checks
 from repro.mc.frontier import make_strategy
-from repro.mc.probes import RecoveredRejoinProbe
+from repro.mc.probes import RecoveredRejoinProbe, make_probe
 from repro.mc.state import (
     EventInfo,
     World,
@@ -141,9 +141,15 @@ class Explorer:
         self.walk_seed = walk_seed
         self.walks = walks
         if probes is None:
+            bound = target.liveness_bound if target.liveness_bound > 0 else 10
             probes = []
             if target.liveness_bound > 0:
                 probes.append(RecoveredRejoinProbe(target.liveness_bound))
+            have = {probe.name for probe in probes}
+            for probe_name in getattr(target, "probes", ()):
+                if probe_name not in have:
+                    probes.append(make_probe(probe_name, bound))
+                    have.add(probe_name)
         self.probes = probes
 
     # ------------------------------------------------------------------

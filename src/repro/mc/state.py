@@ -237,6 +237,9 @@ def _capture_engine(engine: Any) -> dict:
     evicted = getattr(engine, "_evicted", None)
     if evicted is not None:
         state["evicted"] = evicted
+    recovering = getattr(engine, "_recovering", None)
+    if recovering is not None:
+        state["recovering"] = recovering
     last_leader = getattr(engine, "last_leader_index", None)
     if last_leader is not None:
         state["last_leader_index"] = last_leader

@@ -35,6 +35,10 @@ class McTarget:
     description: str = ""
     #: Step bound for the recovered-member rejoin probe (0 disables it).
     liveness_bound: int = 0
+    #: Extra liveness probes by registry name (see
+    #: ``repro.mc.probes.PROBE_FACTORIES``); each gets the target's
+    #: ``liveness_bound`` as its step bound (default 10 when unset).
+    probes: tuple[str, ...] = ()
 
 
 MC_TARGETS: dict[str, McTarget] = {}

@@ -202,7 +202,10 @@ class Event:
     site of that cluster). ``args`` carry action parameters: partition
     groups, a loss rate, ``(src, dst, rate)`` for ``set_link_loss``,
     ``(bytes_per_second,)`` (optionally ``(bytes_per_second, shared)``)
-    for ``set_bandwidth``, a :class:`LatencySpec`, or a join contact.
+    for ``set_bandwidth``, a :class:`LatencySpec`, or a join contact --
+    ``(contact,)`` or ``(contact, replaces)`` for ``request_join``,
+    where ``replaces`` is the seat hint carried on the
+    :class:`~repro.consensus.messages.JoinRequest`.
     """
 
     action: str

@@ -10,11 +10,13 @@ Four guarantees are pinned here:
 3. **Determinism** -- the same target, depth, and strategy produce
    identical visited-state fingerprints and byte-identical exported
    traces, and an exported schedule replays to the recorded state.
-4. **The pinned liveness edge** -- the explorer flags the
-   evicted-while-down recovery gap (ROADMAP item 4) while an equally
-   deep exploration of a healthy cluster stays violation-free. The
-   strict xfail below inverts automatically in the PR that fixes the
-   recovery path.
+4. **The recovery liveness edge** -- the probe-before-trust handshake
+   keeps ``mc_evicted_while_down`` violation-free (ROADMAP item 4,
+   fixed), the ``_noprobe`` variant still reproduces the pre-fix silent
+   window (so the violation export and schedule replay machinery stay
+   exercised), and the recovery x eviction-timing battery explores the
+   handshake itself from in-flight roots. The extra liveness probes
+   (leader stability, commit progress) ride the same targets.
 """
 
 import dataclasses
@@ -34,7 +36,12 @@ from repro.mc import (
     make_strategy,
     replay_file,
 )
-from repro.mc.probes import RecoveredRejoinProbe
+from repro.mc.probes import (
+    CommitProgressProbe,
+    LeaderStabilityProbe,
+    RecoveredRejoinProbe,
+    make_probe,
+)
 from repro.scenarios.mc import get_mc_target, mc_target_names, prepare_world
 from repro.sim.loop import SimLoop
 
@@ -157,14 +164,18 @@ def test_unknown_strategy_rejected():
 def test_registry_lists_targets():
     names = mc_target_names()
     for required in ("mc_small_healthy", "mc_small_classic",
-                     "mc_evicted_while_down", "mc_fig3_fast"):
+                     "mc_evicted_while_down",
+                     "mc_evicted_while_down_noprobe",
+                     "mc_recover_before_eviction",
+                     "mc_recover_at_eviction",
+                     "mc_recover_after_eviction", "mc_fig3_fast"):
         assert required in names
     with pytest.raises(ModelCheckError):
         get_mc_target("mc_no_such_target")
 
 
 # ----------------------------------------------------------------------
-# 4. The pinned liveness edge (ROADMAP item 4)
+# 4. The recovery liveness edge (ROADMAP item 4, fixed)
 # ----------------------------------------------------------------------
 DEPTH = 12
 
@@ -175,15 +186,32 @@ def evicted_report(evicted_target):
                    max_states=150)
 
 
-def test_explorer_flags_evicted_while_down(evicted_report):
-    assert evicted_report.liveness_violations
+@pytest.fixture(scope="module")
+def noprobe_report():
+    return explore(get_mc_target("mc_evicted_while_down_noprobe"),
+                   strategy="dfs", depth=DEPTH, max_states=150)
+
+
+def test_evicted_while_down_recovery_is_live(evicted_report):
+    """ROADMAP item 4 fixed (was a strict xfail): the probe-before-trust
+    handshake detects the stale restored configuration and routes the
+    site straight onto the rejoin path -- the exploration starts with
+    the recovery probes in flight and reorders them adversarially."""
+    assert not evicted_report.liveness_violations
     assert not evicted_report.safety_violations
-    flagged = {v.probe for v in evicted_report.liveness_violations}
+
+
+def test_explorer_flags_evicted_while_down_without_probe(noprobe_report):
+    """With the handshake disabled the pre-fix silent window is back:
+    the recovered site trusts its stale configuration and idles."""
+    assert noprobe_report.liveness_violations
+    assert not noprobe_report.safety_violations
+    flagged = {v.probe for v in noprobe_report.liveness_violations}
     assert flagged == {"recovered_rejoin"}
 
 
-def test_replay_reproduces_flagged_state(evicted_report, tmp_path):
-    out = export_report(evicted_report, tmp_path / "trace")
+def test_replay_reproduces_flagged_state(noprobe_report, tmp_path):
+    out = export_report(noprobe_report, tmp_path / "trace")
     manifest = json.loads((out / "violations.json").read_text())
     name = next(entry["schedule"] for entry in manifest
                 if "schedule" in entry)
@@ -199,12 +227,66 @@ def test_healthy_cluster_is_clean_at_same_depth(healthy_target):
     assert not report.violations
 
 
-@pytest.mark.xfail(
-    strict=True,
-    reason="ROADMAP item 4: a site evicted while down recovers with a "
-           "stale configuration that still lists it, so it idles as a "
-           "silent follower instead of asking to rejoin; the "
-           "recovered_rejoin probe flags every such path. This inverts "
-           "in the PR that fixes the recovery path.")
-def test_evicted_while_down_recovery_is_live(evicted_report):
-    assert not evicted_report.liveness_violations
+@pytest.mark.parametrize("name", ["mc_recover_before_eviction",
+                                  "mc_recover_at_eviction",
+                                  "mc_recover_after_eviction"])
+def test_recovery_timing_battery_is_clean(name):
+    """The eviction-timing battery: recovery before / racing / just
+    after the member timeout, each explored from a root where the
+    handshake is still in flight. Every ordering must stay live."""
+    report = explore(get_mc_target(name), strategy="dfs", depth=DEPTH,
+                     max_states=150)
+    assert not report.violations
+
+
+# ----------------------------------------------------------------------
+# 5. The extra liveness probes (leader stability, commit progress)
+# ----------------------------------------------------------------------
+class _Node:
+    def __init__(self, depth, flags, fp):
+        self.depth = depth
+        self.flags = flags
+        self.fingerprint = fp
+
+
+def test_probe_registry_resolves_and_rejects():
+    for name, cls in (("recovered_rejoin", RecoveredRejoinProbe),
+                      ("leader_stability", LeaderStabilityProbe),
+                      ("commit_progress", CommitProgressProbe)):
+        assert isinstance(make_probe(name, 5), cls)
+    with pytest.raises(ModelCheckError):
+        make_probe("quantum_oracle", 5)
+
+
+def test_extra_probes_ride_registered_targets():
+    target = get_mc_target("mc_small_healthy")
+    assert "leader_stability" in target.probes
+    assert "commit_progress" in target.probes
+
+
+def test_leader_stability_flags_only_terminal_leaderlessness(healthy_target):
+    world = prepare_world(healthy_target)
+    probe = LeaderStabilityProbe(5)
+    # A healthy warmed-up world has a leader: no flag.
+    assert not probe.state_flags(world)
+
+
+def test_commit_progress_judges_lasso_only():
+    """An adversarial but finite ordering can stall commits legitimately,
+    so the step bound must not apply -- only a closed cycle flags."""
+    probe = CommitProgressProbe(3)
+    flags = {"commit_progress": frozenset({"n0:5"})}
+    deep = [_Node(d, flags, f"fp{d}") for d in range(6)]
+    assert not probe.judge(deep[-1], deep)        # past bound, no cycle
+    cycle = [_Node(0, flags, "same"), _Node(1, flags, "mid"),
+             _Node(2, flags, "same")]
+    verdict = probe.judge(cycle[-1], cycle)
+    assert [v.reason for v in verdict] == ["lasso"]
+
+
+def test_leader_stability_step_bound_applies():
+    probe = LeaderStabilityProbe(3)
+    flags = {"leader_stability": frozenset({"cluster"})}
+    path = [_Node(d, flags, f"fp{d}") for d in range(4)]
+    verdict = probe.judge(path[-1], path)
+    assert [v.reason for v in verdict] == ["step_bound"]
