@@ -15,7 +15,15 @@ trajectory at the repository root (the acceptance artifact: the
 
 ``REPRO_BENCH_SMOKE=1`` shrinks the cells for CI; the smoke bar only
 asserts the current core is not *slower* (tiny cells amortize less of
-the quadratic legacy tax, and shared runners are noisy).
+the quadratic legacy tax, and shared runners are noisy). At every
+scale the ``craft_mesh_6x5`` cell must stay at or above 1.0x -- the
+engine-layer optimizations are gated, so a regression below the legacy
+core means a gate is leaking cost.
+
+Measurements run inside the persistent sweep-worker pool (one warm
+worker, tasks serialized) so the host process's heap and pytest
+machinery stay out of the timed window; the pool is closed explicitly
+once the report is written.
 
 Run directly (``python benchmarks/bench_perf.py``) or through pytest.
 """
@@ -31,6 +39,7 @@ if __package__ in (None, ""):  # direct execution: make the repo root
 from benchmarks._common import emit, smoke_scale
 from repro.bench import run_bench_perf, write_trajectory
 from repro.bench.perf import TARGET_SPEEDUP
+from repro.scenarios.runner import close_sweep_pool
 
 #: Smoke asserts sanity, full asserts the acceptance bar.
 SMOKE_MIN_SPEEDUP = 1.0
@@ -38,7 +47,10 @@ SMOKE_MIN_SPEEDUP = 1.0
 
 def _run() -> None:
     smoke = smoke_scale()
-    report = run_bench_perf(smoke=smoke)
+    try:
+        report = run_bench_perf(smoke=smoke)
+    finally:
+        close_sweep_pool()
     emit("bench_perf", report.format(), data=report.as_dict())
     path = write_trajectory(report)
     print(f"[perf trajectory appended to {path}]")

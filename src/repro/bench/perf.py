@@ -16,10 +16,10 @@ repository:
   an order of magnitude more timers and messages in flight than the
   flat cells.
 
-Every cell runs twice in the same process on the same machine: once on
-the **legacy core** (:mod:`repro.perf` flips the pre-refactor scheduler,
-log scan, per-follower broadcast, and un-fast-pathed network back in)
-and once on the **current core**. Both runs execute the identical event
+Every cell runs twice in the same (warm, persistent-pool) worker on the
+same machine: once on the **legacy core** (:mod:`repro.perf` flips the
+pre-refactor scheduler, log scan, per-follower broadcast, and
+un-fast-pathed network back in) and once on the **current core**. Both runs execute the identical event
 sequence -- the refactor is observably byte-identical, which the golden
 tests pin -- so events processed match exactly and the wall-clock ratio
 *is* the speedup. ``write_trajectory`` appends the report to
@@ -42,6 +42,13 @@ from repro.errors import ExperimentError
 #: The headline cell and its acceptance bar at full scale.
 STEADY_CELL = "raft_lan_steady"
 TARGET_SPEEDUP = 3.0
+
+#: The engine-logic-bound cell (six clusters x five sites). Every run,
+#: smoke included, must keep the current core at least as fast as the
+#: legacy core here -- the engine-layer optimizations are all gated, so
+#: a ratio below 1.0 means a gate leaks cost into the current core.
+CRAFT_CELL = "craft_mesh_6x5"
+CRAFT_FLOOR = 1.0
 
 
 # ----------------------------------------------------------------------
@@ -127,8 +134,10 @@ class PerfReport:
             "cells": {c.name: c.as_dict() for c in self.cells},
         }
 
-    def check(self, min_speedup: float) -> None:
-        """Fail if the headline cell fell below ``min_speedup`` and the
+    def check(self, min_speedup: float,
+              craft_min_speedup: float = CRAFT_FLOOR) -> None:
+        """Fail if the headline cell fell below ``min_speedup``, the
+        craft mesh cell fell below ``craft_min_speedup``, or the
         identical-simulation invariant broke anywhere."""
         for c in self.cells:
             if c.legacy.events != c.current.events:
@@ -140,6 +149,12 @@ class PerfReport:
             raise ExperimentError(
                 f"steady-state speedup {self.steady_state_speedup:.2f}x "
                 f"fell below the {min_speedup:.1f}x bar")
+        for c in self.cells:
+            if c.name == CRAFT_CELL and c.speedup < craft_min_speedup:
+                raise ExperimentError(
+                    f"craft-mesh speedup {c.speedup:.2f}x fell below "
+                    f"the {craft_min_speedup:.1f}x floor -- an "
+                    "engine-layer gate is leaking cost")
 
 
 # ----------------------------------------------------------------------
@@ -217,31 +232,52 @@ _CELLS: list[tuple[str, Callable[[bool], object]]] = [
 ]
 
 
-def _measure(name: str, runner: Callable[[bool], object],
-             smoke: bool, core: str) -> PerfSample:
+def _measure_body(name: str, smoke: bool,
+                  core: str) -> tuple[int, float, float]:
+    """One timed run; executes in whichever process measures."""
+    runner = dict(_CELLS)[name]
     with perf.legacy_core(core == "legacy"):
         started = time.perf_counter()
         loop = runner(smoke)
         wall = time.perf_counter() - started
-    return PerfSample(core=core, events=loop.events_processed,
-                      wall_seconds=wall, sim_seconds=loop.now())
+    return loop.events_processed, wall, loop.now()
+
+
+def _measure(name: str, smoke: bool, core: str, pool) -> PerfSample:
+    if pool is not None:
+        events, wall, sim = pool.apply(_measure_body, (name, smoke, core))
+    else:
+        events, wall, sim = _measure_body(name, smoke, core)
+    return PerfSample(core=core, events=events,
+                      wall_seconds=wall, sim_seconds=sim)
 
 
 def run_bench_perf(smoke: bool = False, repeats: int = 3) -> PerfReport:
-    """Measure every cell on both cores, same process, same machine.
+    """Measure every cell on both cores, same machine, one worker.
 
     Each (cell, core) pair runs ``repeats`` times interleaved
     (legacy/current/legacy/...) and keeps its best run: wall-clock on a
     shared machine is one-sided noise (preemption and frequency scaling
     only ever slow a run down), so min-wall is the faithful estimator
     and interleaving keeps slow spells from landing on one core only.
+
+    Measurements run one at a time inside the persistent sweep pool
+    (sized to a single worker): timing happens inside the warm worker,
+    so the pool's spin-up, the host process's accumulated heap, and any
+    pytest machinery stay out of the measured wall clock. Falls back to
+    in-process measurement where a pool cannot be created.
     """
+    try:
+        from repro.scenarios.runner import sweep_pool
+        pool = sweep_pool(1)
+    except Exception:  # pragma: no cover - restricted environments
+        pool = None
     report = PerfReport(mode="smoke" if smoke else "full")
-    for name, runner in _CELLS:
+    for name, _runner in _CELLS:
         best: dict[str, PerfSample] = {}
         for _ in range(max(1, repeats)):
             for core in ("legacy", "current"):
-                sample = _measure(name, runner, smoke, core)
+                sample = _measure(name, smoke, core, pool)
                 kept = best.get(core)
                 if kept is None or sample.wall_seconds < kept.wall_seconds:
                     best[core] = sample

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import perf
 from repro.consensus.quorum import classic_quorum_size, fast_quorum_size
 from repro.errors import ConfigurationError
 
@@ -199,8 +200,19 @@ class Configuration:
         """Every site replicating this configuration's log: voting
         members plus non-voting observers. The single answer to "who
         gets AppendEntries / proposals / vote requests" -- engines must
-        not re-derive the union themselves."""
-        return tuple(sorted(set(self.members) | set(self.observers)))
+        not re-derive the union themselves.
+
+        Computed once per (immutable) configuration: proposal broadcasts
+        and heartbeat fan-outs read this on every round, and the sorted
+        union was being rebuilt for each (the legacy core still does,
+        so bench_perf prices the memo)."""
+        if perf.LEGACY_CORE:
+            return tuple(sorted(set(self.members) | set(self.observers)))
+        cached = self.__dict__.get("_replicas")
+        if cached is None:
+            cached = tuple(sorted(set(self.members) | set(self.observers)))
+            object.__setattr__(self, "_replicas", cached)
+        return cached
 
     def replicas_without(self, name: str) -> tuple[str, ...]:
         """All replicas except ``name``."""

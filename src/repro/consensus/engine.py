@@ -46,6 +46,7 @@ from repro.consensus.messages import (
     VoteEntry,
 )
 from repro.consensus.timing import TimingConfig
+from repro import perf
 from repro.errors import ConsensusError
 from repro.net.sizes import estimate_size
 from repro.sim.loop import SimLoop
@@ -117,6 +118,48 @@ _GATED_TYPES = (AppendEntries, AppendEntriesResponse, RequestVote,
                 InstallSnapshotResponse, InstallSnapshotChunk,
                 InstallSnapshotChunkAck)
 
+#: The same gate as a type set: messages are final classes, so exact-type
+#: membership is equivalent to the isinstance walk and costs one hash
+#: lookup instead of scanning an 11-class tuple per delivered message.
+_GATED_TYPE_SET = frozenset(_GATED_TYPES)
+
+#: Catch-up traffic a non-member accepts from anyone (see the gate).
+_CATCHUP_OPEN_SET = frozenset({AppendEntries, InstallSnapshotRequest,
+                               InstallSnapshotChunk})
+
+
+def handles(*message_types: type) -> Callable:
+    """Mark an engine method as the handler for ``message_types``.
+
+    The marks form a per-class registry: :func:`resolve_dispatch_table`
+    walks a class's MRO once at class-definition time and produces the
+    ``type(message) -> handler`` table :meth:`BaseEngine.handle` consults,
+    so steady-state traffic pays a single dict lookup. Overriding a
+    marked method by name in a subclass re-points the entry automatically
+    (resolution goes through ``getattr`` on the concrete class); the
+    decorator is only needed again to claim *additional* message types.
+    """
+    def mark(fn: Callable) -> Callable:
+        fn._handles_types = message_types
+        return fn
+    return mark
+
+
+def resolve_dispatch_table(cls: type) -> dict[type, Callable[..., None]]:
+    """Build ``cls``'s message-dispatch table from the ``@handles`` marks.
+
+    Returns plain functions (called as ``handler(self, message, sender)``)
+    rather than bound methods: the table is shared by every instance of
+    the class, resolved exactly once when the class is defined.
+    """
+    names: dict[type, str] = {}
+    for klass in reversed(cls.__mro__):
+        for name, attr in vars(klass).items():
+            for message_type in getattr(attr, "_handles_types", ()):
+                names[message_type] = name
+    return {message_type: getattr(cls, name)
+            for message_type, name in names.items()}
+
 
 class BaseEngine:
     """Common state and behaviour for the Raft-family engines."""
@@ -124,10 +167,25 @@ class BaseEngine:
     #: Subclasses set this for traces/metrics ("raft", "fastraft", ...).
     protocol_name = "base"
 
+    #: ``type(message) -> handler function`` resolved from the
+    #: ``@handles`` marks. Rebuilt for every subclass (below) so mixin
+    #: and subclass overrides land in the concrete class's table;
+    #: BaseEngine's own table is resolved after the class body.
+    _DISPATCH_TABLE: dict[type, Callable[..., None]] = {}
+
+    def __init_subclass__(cls, **kwargs: Any) -> None:
+        super().__init_subclass__(**kwargs)
+        cls._DISPATCH_TABLE = resolve_dispatch_table(cls)
+
     def __init__(self, ctx: EngineContext,
                  bootstrap_config: Configuration) -> None:
         self.ctx = ctx
         self.timing = ctx.timing
+        # Tracing is fixed at recorder construction; cache the flag so
+        # per-event call sites can skip building trace payload kwargs.
+        # The legacy core pins it True: call sites then always build the
+        # payload and let _trace's own check drop it, the pre-change cost.
+        self._tracing = True if perf.LEGACY_CORE else ctx.trace.enabled
         # --- persistent state (survives crashes via the stable store) ---
         store = ctx.store
         self.log: RaftLog = store.get("log")
@@ -178,6 +236,13 @@ class BaseEngine:
         # Extra senders whose consensus messages are accepted although they
         # are not configuration members (the leader's catch-up targets).
         self._extra_allowed: set[str] = set()
+        # Sender-gate fast set: self + members + observers, rebuilt on
+        # every configuration adoption so the per-message gate is one
+        # frozenset lookup instead of a Configuration method call plus
+        # tuple scans (_extra_allowed stays separate -- it mutates on
+        # catch-up paths and is already a plain set).
+        self._gate_senders: frozenset[str] = frozenset()
+        self._rebuild_gate_senders()
         self._election_timer = RestartableTimer(ctx.loop,
                                                 self._on_election_timeout)
         # Probe-before-trust recovery (see begin_recovery_probe): armed
@@ -186,7 +251,17 @@ class BaseEngine:
             ctx.loop, self._on_recovery_probe_timeout)
         self._recovering = False
         self._stopped = False
-        self._dispatch = self._build_dispatch()
+        if perf.LEGACY_CORE:
+            # Pre-flattening core: per-instance bound-method dict plus
+            # the isinstance-walk sender gate, kept selectable so
+            # bench_perf prices the flattened dispatch against it.
+            self._dispatch = self._build_dispatch()
+            self.handle = self._legacy_handle  # type: ignore[method-assign]
+        else:
+            # _send is a pure forwarder to the injected transport; bind
+            # the transport directly so every outbound message skips one
+            # frame (the legacy core keeps the forwarder, pre-change).
+            self._send = ctx.send  # type: ignore[method-assign]
 
     # ------------------------------------------------------------------
     # Convenience accessors
@@ -290,6 +365,7 @@ class BaseEngine:
         if new_config != self._configuration:
             previous = self._configuration
             self._configuration = new_config
+            self._rebuild_gate_senders()
             self._trace("config.adopt", members=new_config.members,
                         observers=new_config.observers)
             if (self.name in previous.observers
@@ -331,7 +407,28 @@ class BaseEngine:
         }
 
     def handle(self, message: Any, sender: str) -> None:
-        """Entry point for every delivered message."""
+        """Entry point for every delivered message.
+
+        Flat dispatch: one type-set membership check for the sender gate
+        and one dict lookup in the class-level ``@handles`` table. The
+        legacy core swaps in :meth:`_legacy_handle` at construction.
+        """
+        if self._stopped:
+            return
+        message_type = type(message)
+        if (message_type in _GATED_TYPE_SET
+                and not self._gated_sender_ok(message_type, sender)):
+            self._on_gated_message(message, sender)
+            return
+        handler = self._DISPATCH_TABLE.get(message_type)
+        if handler is None:
+            raise ConsensusError(
+                f"{self.name}: no handler for {message_type.__name__}")
+        handler(self, message, sender)
+
+    def _legacy_handle(self, message: Any, sender: str) -> None:
+        """Pre-flattening entry point (isinstance gate + per-instance
+        bound-method dict), selected under ``REPRO_LEGACY_CORE``."""
         if self._stopped:
             return
         if not self._sender_allowed(message, sender):
@@ -343,21 +440,38 @@ class BaseEngine:
                 f"{self.name}: no handler for {type(message).__name__}")
         handler(message, sender)
 
+    def _rebuild_gate_senders(self) -> None:
+        config = self._configuration
+        self._gate_senders = frozenset(
+            (self.name, *config.members, *config.observers))
+
+    def _gated_sender_ok(self, message_type: type, sender: str) -> bool:
+        """Membership gate for a type already known to be in
+        ``_GATED_TYPE_SET`` (same acceptance rule as the legacy
+        :meth:`_sender_allowed`, minus the isinstance and tuple walks).
+
+        ``_gate_senders`` covers self + members + observers (observers
+        replicate the log: their acks and slot votes must reach the
+        leader; quorum rules decide what they count for)."""
+        if sender in self._gate_senders or sender in self._extra_allowed:
+            return True
+        # A site that is not (or no longer) a voting member accepts
+        # catch-up AppendEntries/InstallSnapshot from anyone: its own
+        # configuration view is stale by definition, and stale *leaders*
+        # are rejected by the term check inside the handler.
+        if message_type in _CATCHUP_OPEN_SET and not self.is_member:
+            return True
+        return False
+
     def _sender_allowed(self, message: Any, sender: str) -> bool:
         if not isinstance(message, _GATED_TYPES):
             return True
         if sender == self.name or sender in self._configuration:
             return True
         if sender in self._configuration.observers:
-            # Observers replicate the log: their acks and slot votes must
-            # reach the leader (quorum rules decide what they count for).
             return True
         if sender in self._extra_allowed:
             return True
-        # A site that is not (or no longer) a voting member accepts
-        # catch-up AppendEntries/InstallSnapshot from anyone: its own
-        # configuration view is stale by definition, and stale *leaders*
-        # are rejected by the term check inside the handler.
         if (isinstance(message, (AppendEntries, InstallSnapshotRequest,
                                  InstallSnapshotChunk))
                 and not self.is_member):
@@ -422,6 +536,7 @@ class BaseEngine:
             self.log.best_config_entry(decided_upto=self.commit_index))
         return version or 0
 
+    @handles(RecoveryProbe)
     def _handle_recovery_probe(self, msg: RecoveryProbe, sender: str) -> None:
         self._trace("recovery.probed", site=msg.site,
                     config_version=msg.config_version)
@@ -432,6 +547,7 @@ class BaseEngine:
             leader_hint=self.leader_id,
             is_member=msg.site in self._configuration))
 
+    @handles(RecoveryProbeReply)
     def _handle_recovery_probe_reply(self, msg: RecoveryProbeReply,
                                      sender: str) -> None:
         ours = self._governing_config_version()
@@ -570,6 +686,7 @@ class BaseEngine:
     # ------------------------------------------------------------------
     # Elections: voting
     # ------------------------------------------------------------------
+    @handles(RequestVote)
     def _handle_request_vote(self, msg: RequestVote, sender: str) -> None:
         # "Sites that receive the RequestVote message immediately move to
         # the new term."
@@ -594,6 +711,7 @@ class BaseEngine:
         return RequestVoteResponse(term=self.current_term,
                                    vote_granted=granted, voter=self.name)
 
+    @handles(RequestVoteResponse)
     def _handle_request_vote_response(self, msg: RequestVoteResponse,
                                       sender: str) -> None:
         self._observe_term(msg.term)
@@ -636,8 +754,10 @@ class BaseEngine:
                 break
             self.commit_index = next_index
             advanced = True
-            self._trace("commit", index=next_index, entry_id=entry.entry_id,
-                        kind=entry.kind.value, term=entry.term)
+            if self._tracing:
+                self._trace("commit", index=next_index,
+                            entry_id=entry.entry_id,
+                            kind=entry.kind.value, term=entry.term)
             if entry.kind is EntryKind.CONFIG:
                 # A fast-track commit can land on a still-self-approved
                 # copy of the entry; tentative configs do not govern
@@ -822,6 +942,7 @@ class BaseEngine:
         if sent_any:
             sender.last_activity = self.now()
 
+    @handles(InstallSnapshotChunkAck)
     def _handle_install_snapshot_chunk_ack(self, msg: InstallSnapshotChunkAck,
                                            sender: str) -> None:
         self._observe_term(msg.term)
@@ -869,6 +990,7 @@ class BaseEngine:
                     index=sender.snapshot_index)
         self._pump_chunks(follower, sender)
 
+    @handles(InstallSnapshotRequest)
     def _handle_install_snapshot(self, msg: InstallSnapshotRequest,
                                  sender: str) -> None:
         self._observe_term(msg.term, leader_hint=msg.leader_id)
@@ -925,6 +1047,7 @@ class BaseEngine:
                     received=assembler.received_bytes,
                     total=assembler.total_size)
 
+    @handles(InstallSnapshotChunk)
     def _handle_install_snapshot_chunk(self, msg: InstallSnapshotChunk,
                                        sender: str) -> None:
         self._observe_term(msg.term, leader_hint=msg.leader_id)
@@ -1026,6 +1149,7 @@ class BaseEngine:
     def _after_snapshot_install(self, snapshot: Snapshot) -> None:
         """Hook: Fast Raft floors lastLeaderIndex, drops stale votes."""
 
+    @handles(InstallSnapshotResponse)
     def _handle_install_snapshot_response(self, msg: InstallSnapshotResponse,
                                           sender: str) -> None:
         # Leader side. next/match bookkeeping lives on the concrete
@@ -1062,33 +1186,47 @@ class BaseEngine:
     # ------------------------------------------------------------------
     # Default no-op handlers (overridden where meaningful)
     # ------------------------------------------------------------------
+    @handles(AppendEntries)
     def _handle_append_entries(self, msg: AppendEntries, sender: str) -> None:
         raise NotImplementedError
 
+    @handles(AppendEntriesResponse)
     def _handle_append_entries_response(self, msg: AppendEntriesResponse,
                                         sender: str) -> None:
         raise NotImplementedError
 
+    @handles(CommitNotice)
     def _handle_commit_notice(self, msg: CommitNotice, sender: str) -> None:
         entry = self.log.get(msg.index)
         if entry is not None and entry.entry_id == msg.entry_id:
             self.ctx.on_origin_commit(entry, msg.index)
 
+    @handles(ClientRequest)
     def _handle_client_request(self, msg: ClientRequest, sender: str) -> None:
         raise NotImplementedError
 
+    @handles(JoinRequest)
     def _handle_join_request(self, msg: JoinRequest, sender: str) -> None:
         self._trace("join.unsupported", site=msg.site)
 
+    @handles(LeaveRequest)
     def _handle_leave_request(self, msg: LeaveRequest, sender: str) -> None:
         self._trace("leave.unsupported", site=msg.site)
 
+    @handles(JoinAccepted)
     def _handle_join_accepted(self, msg: JoinAccepted, sender: str) -> None:
         pass
 
+    @handles(LeaveAccepted)
     def _handle_leave_accepted(self, msg: LeaveAccepted, sender: str) -> None:
         pass
 
+    @handles(NotInConfiguration)
     def _handle_not_in_configuration(self, msg: NotInConfiguration,
                                      sender: str) -> None:
         pass
+
+
+# ``__init_subclass__`` only fires for subclasses; resolve the base
+# class's own table now that its body (and the @handles marks) exist.
+BaseEngine._DISPATCH_TABLE = resolve_dispatch_table(BaseEngine)

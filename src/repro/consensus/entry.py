@@ -23,6 +23,9 @@ import enum
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro import perf
+from repro.net.sizes import estimate_size
+
 #: Structural-size memo slot shared by the entry dataclasses: entries
 #: are immutable, so :func:`repro.net.sizes.estimate_size` computes each
 #: one's wire contribution once and stores it here (the field itself is
@@ -69,6 +72,7 @@ class LogEntry:
     term: int
     inserted_by: InsertedBy
     _est_size: int | None = _size_memo()
+    _stamp_memo: Any = _size_memo()
 
     def with_mark(self, term: int, inserted_by: InsertedBy) -> "LogEntry":
         """Copy with new term stamp and provenance (leader approval).
@@ -76,10 +80,38 @@ class LogEntry:
         Direct construction rather than :func:`dataclasses.replace`:
         restamping happens for every entry a leader touches, and
         ``replace`` pays field introspection per call for the same
-        result."""
-        return LogEntry(entry_id=self.entry_id, kind=self.kind,
-                        payload=self.payload, origin=self.origin,
-                        term=term, inserted_by=inserted_by)
+        result. The structural-size memo is inherited: restamping only
+        changes fixed-cost fields (an int and an enum), so the copy's
+        size is the original's -- without this, every leader approval
+        re-walked the payload (the hottest avoidable cost on the C-Raft
+        mesh cell). An unmeasured original is measured *before* copying:
+        every caller inserts the stamp (which needs the size for durable
+        write accounting), and measuring ``self`` memoizes the shared
+        broadcast object in place, so N sites stamping one proposal pay
+        one walk instead of N.
+
+        The stamp itself is memoized too: a broadcast proposal reaches
+        every configuration member as *one* shared message object, and
+        each member stamps it with the same ``(term, inserted_by)`` --
+        entries are immutable, so they can all hold the identical copy.
+        The legacy core keeps the pre-change fresh-copy, fresh-memo
+        behaviour so ``bench_perf`` prices both memos."""
+        if not perf.LEGACY_CORE:
+            memo = self._stamp_memo
+            if (memo is not None and memo[0] == term
+                    and memo[1] is inserted_by):
+                return memo[2]
+        stamped = LogEntry(entry_id=self.entry_id, kind=self.kind,
+                           payload=self.payload, origin=self.origin,
+                           term=term, inserted_by=inserted_by)
+        if not perf.LEGACY_CORE:
+            size = self._est_size
+            if size is None:
+                size = estimate_size(self)
+            object.__setattr__(stamped, "_est_size", size)
+            object.__setattr__(self, "_stamp_memo",
+                               (term, inserted_by, stamped))
+        return stamped
 
     @property
     def is_config(self) -> bool:

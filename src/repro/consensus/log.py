@@ -287,8 +287,14 @@ class RaftLog:
         indices = self._id_indices.get(entry_id)
         if not indices:
             return None
-        committed = [i for i in indices if i <= commit_index]
-        return min(committed) if committed else None
+        if perf.LEGACY_CORE:
+            committed = [i for i in indices if i <= commit_index]
+            return min(committed) if committed else None
+        best = None
+        for i in indices:  # no list build: runs per proposal delivery
+            if i <= commit_index and (best is None or i < best):
+                best = i
+        return best
 
     # ------------------------------------------------------------------
     # Internals

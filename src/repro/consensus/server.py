@@ -133,7 +133,9 @@ class ConsensusServer(Actor):
     # Message handling
     # ------------------------------------------------------------------
     def on_message(self, message: Any, sender: str) -> None:
-        if isinstance(message, ClientRequest):
+        # ClientRequest is a final class: the exact-type test matches the
+        # isinstance check and skips its subclass walk on every delivery.
+        if type(message) is ClientRequest:
             self._clients[message.request_id] = sender
         self.engine.handle(message, sender)
 

@@ -32,6 +32,10 @@ class CRaftGlobalEngine(FastRaftEngine):
 
     protocol_name = "craft.global"
 
+    #: Inserts defer behind a round of local consensus (Section V-B),
+    #: so the fused synchronous proposal path must not be taken.
+    _SYNC_GATE = False
+
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         # Wired by CRaftServer after construction; default passes through

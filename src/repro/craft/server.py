@@ -60,6 +60,7 @@ from repro.consensus.messages import (
     LeaveRequest,
 )
 from repro.consensus.timing import TimingConfig
+from repro import perf
 from repro.craft.batching import Batcher, BatchPolicy
 from repro.craft.global_engine import CRaftGlobalEngine
 from repro.craft.local import CRaftLocalEngine
@@ -98,12 +99,18 @@ class CRaftServer(Actor):
         self._global_timing = global_timing
         self._rng = rng
         self._trace = trace
+        # Mirrors BaseEngine._tracing: pinned True under the legacy core
+        # so gate call sites always build their trace payloads
+        # (pre-change cost); the recorder still drops them when disabled.
+        self._tracing = True if perf.LEGACY_CORE else trace.enabled
         self._batch_policy = batch_policy or BatchPolicy()
         self._sm_factory = state_machine_factory
         self._local_compaction = local_compaction
         self._global_compaction = global_compaction
         self._transfer = transfer if transfer is not None else TransferConfig()
         self._seq = itertools.count(1)
+        if perf.LEGACY_CORE:
+            self.on_message = self._legacy_on_message  # type: ignore[method-assign]
         self._reset_volatile()
         self.local_engine = self._build_local_engine()
         self.global_engine: CRaftGlobalEngine | None = None
@@ -235,10 +242,21 @@ class CRaftServer(Actor):
     # Transport adapters
     # ------------------------------------------------------------------
     def _send_local_level(self, dst: str, message: Any) -> None:
+        # env_fast is checked per call, not at construction: set_latency
+        # can swap in a size-aware model mid-run, and the legacy core
+        # keeps the wrapper allocation so bench_perf prices it.
+        if self._network.env_fast:
+            self._network.send_enveloped(self.name, dst, "local",
+                                         self.cluster, message)
+            return
         self._network.send(self.name, dst,
                            Envelope("local", self.cluster, message))
 
     def _send_global_level(self, dst: str, message: Any) -> None:
+        if self._network.env_fast:
+            self._network.send_enveloped(self.name, dst, "global",
+                                         "global", message)
+            return
         self._network.send(self.name, dst,
                            Envelope("global", "global", message))
 
@@ -288,6 +306,45 @@ class CRaftServer(Actor):
     # Message routing
     # ------------------------------------------------------------------
     def on_message(self, message: Any, sender: str) -> None:
+        # Per-class routing: C-Raft's wire alphabet at this layer is two
+        # final classes (Envelope for all consensus traffic, ClientRequest
+        # from clients), so exact-type tests replace the isinstance walk;
+        # Envelope first because steady-state traffic is all envelopes.
+        # The legacy core swaps in _legacy_on_message at construction.
+        message_type = type(message)
+        if message_type is Envelope:
+            level = message.level
+            if level == "local":
+                if message.scope == self.cluster:
+                    self.local_engine.handle(message.inner, sender)
+            elif level == "global":
+                if self.global_engine is not None:
+                    self.global_engine.handle(message.inner, sender)
+                else:
+                    self._relay_global_without_engine(message.inner, sender)
+            return
+        if message_type is ClientRequest:
+            self._clients[message.request_id] = sender
+            self.local_engine.handle(message, sender)
+        # else: stray unwrapped message; C-Raft traffic is enveloped
+
+    def on_enveloped(self, level: str, scope: str, inner: Any,
+                     sender: str) -> None:
+        """Routing target of :meth:`Network.send_enveloped`: the Envelope
+        branch of :meth:`on_message` with the wrapper fields passed loose
+        (the fast path never allocates the wrapper)."""
+        if level == "local":
+            if scope == self.cluster:
+                self.local_engine.handle(inner, sender)
+        elif level == "global":
+            if self.global_engine is not None:
+                self.global_engine.handle(inner, sender)
+            else:
+                self._relay_global_without_engine(inner, sender)
+
+    def _legacy_on_message(self, message: Any, sender: str) -> None:
+        """Pre-flattening routing (isinstance chain), selected under
+        ``REPRO_LEGACY_CORE``."""
         if isinstance(message, ClientRequest):
             self._clients[message.request_id] = sender
             self.local_engine.handle(message, sender)
@@ -345,11 +402,12 @@ class CRaftServer(Actor):
                          payload=payload, origin=self.name, term=0,
                          inserted_by=InsertedBy.SELF)
         self._pending_gates[entry_id] = then
-        self._trace.record(self.now(), self.name, "craft.gate.open",
-                           entry_id=entry_id,
-                           indices=[i for i, _ in pairs],
-                           snapshot=(snapshot.last_included_index
-                                     if snapshot is not None else None))
+        if self._tracing:
+            self._trace.record(self.now(), self.name, "craft.gate.open",
+                               entry_id=entry_id,
+                               indices=[i for i, _ in pairs],
+                               snapshot=(snapshot.last_included_index
+                                         if snapshot is not None else None))
         self.local_engine.propose(entry)
         timer = RestartableTimer(
             self.loop, lambda: self._retry_gate(entry_id, entry))
@@ -368,8 +426,9 @@ class CRaftServer(Actor):
         if timer is not None:
             timer.cancel()
         if then is not None:
-            self._trace.record(self.now(), self.name, "craft.gate.closed",
-                               entry_id=entry_id)
+            if self._tracing:
+                self._trace.record(self.now(), self.name,
+                                   "craft.gate.closed", entry_id=entry_id)
             then()
 
     # ------------------------------------------------------------------

@@ -22,10 +22,13 @@ Usage::
 ``--quick`` (the default) runs scaled-down configurations in seconds;
 ``--full`` runs the paper-scale configurations used by EXPERIMENTS.md;
 ``--mode smoke`` is the CI-smoke scale. ``--jobs N`` fans the sweep's
-cells out across N worker processes (results are identical to serial).
-``--profile`` wraps the run in cProfile (forcing the sweep in-process)
-and dumps the sorted cumulative stats next to the JSON output -- the
-profile-first workflow the simulation-core speedup was driven by.
+cells out across N worker processes (results are identical to serial;
+the pool persists across scenarios within one invocation).
+``--profile`` with ``--jobs 1`` wraps the whole run in cProfile and
+dumps sorted stats next to the JSON output; with ``--jobs N`` each
+sweep cell profiles itself inside its worker and the raw ``.pstats``
+dumps land in a per-scenario directory -- the profile-first workflow
+the simulation-core speedup was driven by.
 Every experiment is a registered scenario; the positional names are
 aliases for ``--scenario`` kept for compatibility.
 """
@@ -52,19 +55,26 @@ _PROFILE_LINES = 60
 def _run_one(name: str, mode: str, jobs: int,
              json_dir: str | None, profile: bool = False) -> None:
     started = time.time()
-    if profile:
-        # Workers would take the hot paths out of the profiled process;
-        # run the sweep serially so the profile sees the simulation.
+    out_dir = pathlib.Path(json_dir) if json_dir is not None \
+        else pathlib.Path.cwd()
+    if profile and jobs == 1:
+        # Serial: one whole-process profile sees every hot path.
         profiler = cProfile.Profile()
         profiler.enable()
         scenario, result = run_scenario(name, mode=mode, jobs=1)
         profiler.disable()
+    elif profile:
+        # Parallel: workers take the hot paths out of this process, so
+        # each cell profiles itself inside its worker instead (one
+        # .pstats file per cell, written by SweepRunner).
+        from repro.scenarios import per_cell_profiles
+        cells_dir = out_dir / f"scenario_{name}.cells"
+        with per_cell_profiles(cells_dir):
+            scenario, result = run_scenario(name, mode=mode, jobs=jobs)
     else:
         scenario, result = run_scenario(name, mode=mode, jobs=jobs)
     elapsed = time.time() - started
-    if profile:
-        out_dir = pathlib.Path(json_dir) if json_dir is not None \
-            else pathlib.Path.cwd()
+    if profile and jobs == 1:
         out_dir.mkdir(parents=True, exist_ok=True)
         path = out_dir / f"scenario_{name}.prof.txt"
         with path.open("w", encoding="utf-8") as stream:
@@ -72,6 +82,8 @@ def _run_one(name: str, mode: str, jobs: int,
             stats.sort_stats("cumulative").print_stats(_PROFILE_LINES)
             stats.sort_stats("tottime").print_stats(_PROFILE_LINES)
         print(f"[cProfile stats written to {path}]")
+    elif profile:
+        print(f"[per-cell cProfile dumps written under {cells_dir}]")
     tables = scenario.tables(result)
     for index, table in enumerate(tables):
         print(table)
@@ -120,8 +132,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--json-dir", metavar="DIR",
                         help="also write per-scenario JSON results here")
     parser.add_argument("--profile", action="store_true",
-                        help="run under cProfile (serial) and dump sorted "
-                             "stats next to the JSON output")
+                        help="profile the run: whole-process sorted stats "
+                             "with --jobs 1, per-cell .pstats dumps (one "
+                             "per sweep cell, written by the workers) "
+                             "with --jobs N")
     mode = parser.add_mutually_exclusive_group()
     mode.add_argument("--quick", action="store_true", default=True,
                       help="scaled-down configuration (default)")

@@ -74,8 +74,9 @@ class DecisionMixin:
         chosen = self._choose_entry(k)
         stamped = chosen.with_mark(self.current_term, InsertedBy.LEADER)
         self.possible_entries.null_out(chosen.entry_id, except_index=k)
-        self._trace("decision", index=k, entry_id=chosen.entry_id,
-                    votes=len(voters))
+        if self._tracing:
+            self._trace("decision", index=k, entry_id=chosen.entry_id,
+                        votes=len(voters))
         self._gating_indices.add(k)
         self._gate_insert([(k, stamped)],
                           lambda: self._decision_insert_done(k))
@@ -144,8 +145,9 @@ class DecisionMixin:
             # "The fast track can only be taken here if the last index was
             # committed" -- otherwise commitIndex would cover earlier,
             # undecided indices.
-            self._trace("fast_commit", index=k, entry_id=entry.entry_id,
-                        matches=matches)
+            if self._tracing:
+                self._trace("fast_commit", index=k, entry_id=entry.entry_id,
+                            matches=matches)
             self._advance_commit_index(k)
             self.possible_entries.drop_through(k)
             return "committed"
@@ -205,7 +207,8 @@ class DecisionMixin:
         if refill is None:
             refill = make_noop(self.name, self.current_term,
                                inserted_by=InsertedBy.SELF)
-        self._trace("gap_fill", index=k, entry_id=refill.entry_id)
+        if self._tracing:
+            self._trace("gap_fill", index=k, entry_id=refill.entry_id)
         message = ProposeEntry(index=k, entry=refill)
         for site in self._proposal_targets():
             self._send(site, message)

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
+from repro import perf
 from repro.consensus.config import Configuration
 from repro.consensus.engine import BaseEngine, EngineContext, Role
 from repro.consensus.entry import EntryKind, InsertedBy, LogEntry
@@ -34,6 +35,12 @@ class FastRaftEngine(ProposalMixin, DecisionMixin, ReplicationMixin,
     """Fast Raft over an injected transport."""
 
     protocol_name = "fastraft"
+
+    #: True when ``_gate_insert`` completes synchronously (plain Fast
+    #: Raft and the C-Raft local engine). The fused proposal handler
+    #: relies on it to insert inline; the C-Raft global engine defers
+    #: inserts behind a round of local consensus and sets it False.
+    _SYNC_GATE = True
 
     def __init__(self, ctx: EngineContext,
                  bootstrap_config: Configuration) -> None:
@@ -199,6 +206,8 @@ class FastRaftEngine(ProposalMixin, DecisionMixin, ReplicationMixin,
         simultaneous reclaim waves would otherwise all target the same
         next index and collide again.
         """
+        if not self._outstanding_proposals and not perf.LEGACY_CORE:
+            return  # the common case: nothing of ours is in flight
         jitter = self.timing.repropose_jitter
         for entry_id, entry in list(self._outstanding_proposals.items()):
             slots = self.log.indices_of(entry_id)

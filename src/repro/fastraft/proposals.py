@@ -9,7 +9,8 @@ commit index.
 
 from __future__ import annotations
 
-from repro.consensus.engine import Role
+from repro import perf
+from repro.consensus.engine import Role, handles
 from repro.consensus.entry import EntryKind, InsertedBy, LogEntry
 from repro.consensus.messages import (
     ClientRequest,
@@ -49,8 +50,9 @@ class ProposalMixin:
         live = [i for i in self.log.indices_of(entry.entry_id)
                 if i > self.commit_index]
         index = min(live) if live else self.log.last_index + 1
-        self._trace("propose", index=index, entry_id=entry.entry_id,
-                    retry=bool(live))
+        if self._tracing:
+            self._trace("propose", index=index, entry_id=entry.entry_id,
+                        retry=bool(live))
         message = ProposeEntry(index=index, entry=entry)
         for site in self._proposal_targets():
             self._send(site, message)
@@ -60,6 +62,10 @@ class ProposalMixin:
         votes are counted only where the quorum rules say so (tiebreaker
         CONFIG decisions), but they must mirror the slots to vote at
         all."""
+        if not self._catchup_targets and not perf.LEGACY_CORE:
+            # Common case: no joiners catching up, and the replica tuple
+            # is already deduplicated -- skip the merge/dedup rebuild.
+            return self.configuration.replicas
         targets = list(self.configuration.replicas)
         targets.extend(sorted(self._catchup_targets))
         return list(dict.fromkeys(targets))
@@ -67,6 +73,7 @@ class ProposalMixin:
     # ------------------------------------------------------------------
     # Receiving proposals (every site, the leader included)
     # ------------------------------------------------------------------
+    @handles(ProposeEntry)
     def _handle_propose_entry(self, msg: ProposeEntry, sender: str) -> None:
         proposed, index = msg.entry, msg.index
         committed_at = self.log.committed_index_of(proposed.entry_id,
@@ -87,8 +94,47 @@ class ProposalMixin:
             # (step 4 sends log[i] regardless of insertion).
             self._send_slot_vote(index)
 
-    def _send_slot_vote(self, index: int) -> None:
-        entry = self.log.get(index)
+    @handles(ProposeEntry)
+    def _handle_propose_entry_fast(self, msg: ProposeEntry,
+                                   sender: str) -> None:
+        """Current-core variant of :meth:`_handle_propose_entry`: same
+        decisions in the same order, with the synchronous-gate insert
+        fused in. Engines whose ``_gate_insert`` runs inline
+        (``_SYNC_GATE``) skip the pair-list, the completion closure, and
+        the post-gate slot re-read -- an empty winnable slot here always
+        ends up holding exactly the entry just stamped. The asynchronous
+        C-Raft global gate keeps the closure path. Registered after the
+        reference handler so the flat dispatch table picks this one; the
+        legacy ``_build_dispatch`` binds the reference explicitly."""
+        proposed, index = msg.entry, msg.index
+        log = self.log
+        committed_at = log.committed_index_of(proposed.entry_id,
+                                              self.commit_index)
+        if committed_at is not None:
+            self._notify_origin(log.get(committed_at), committed_at)
+            return
+        if index <= self.commit_index:
+            return
+        occupant = log.get(index)
+        if occupant is not None:
+            self._send_slot_vote(index, occupant)
+            return
+        stamped = proposed.with_mark(self.current_term, InsertedBy.SELF)
+        if self._SYNC_GATE:
+            # Guards in _insert_into_log cannot fire: the slot is empty
+            # and above the commit index, so the insert always lands.
+            size = self._insert_into_log(index, stamped)
+            if size:
+                self.ctx.store.touch("log", size=size)
+            self._send_slot_vote(index, stamped)
+            return
+        self._gate_insert([(index, stamped)],
+                          lambda: self._send_slot_vote(index))
+
+    def _send_slot_vote(self, index: int, entry: LogEntry | None = None
+                        ) -> None:
+        if entry is None:
+            entry = self.log.get(index)
         if entry is None or self.leader_id is None:
             return
         self._send(self.leader_id, VoteEntry(
@@ -98,6 +144,7 @@ class ProposalMixin:
     # ------------------------------------------------------------------
     # Receiving votes (leader)
     # ------------------------------------------------------------------
+    @handles(VoteEntry)
     def _handle_vote_entry(self, msg: VoteEntry, sender: str) -> None:
         self._observe_term(msg.term)
         if self.role is not Role.LEADER:

@@ -190,6 +190,12 @@ class ReplicationMixin:
                 continue  # already absorbed
             to_insert.append((index, entry))
         last_new = msg.prev_log_index + len(msg.entries)
+        if self._SYNC_GATE and not perf.LEGACY_CORE:
+            # The gate completes inline for these engines: skip the
+            # completion closure (and its allocation) entirely.
+            self._insert_batch(to_insert)
+            self._append_entries_absorbed(sender, msg, last_new)
+            return
         self._gate_insert(to_insert, lambda: self._append_entries_absorbed(
             sender, msg, last_new))
 

@@ -155,6 +155,15 @@ def describe_handle(handle: Handle) -> EventInfo:
         return EventInfo(handle.when, handle.seq, kind, dst,
                          f"{type(message).__name__} {src}->{dst}",
                          src=src, message_type=type(message).__name__)
+    if isinstance(owner, Network) and method in (
+            "_deliver_enveloped", "_deliver_enveloped_colocated"):
+        # The enveloped fast path carries the wrapper fields loose; it
+        # classifies exactly as the equivalent Envelope delivery would.
+        src, dst = handle._args[0], handle._args[1]
+        kind = "message" if method == "_deliver_enveloped" else "local"
+        return EventInfo(handle.when, handle.seq, kind, dst,
+                         f"Envelope {src}->{dst}",
+                         src=src, message_type="Envelope")
     if isinstance(owner, (PeriodicTimer, RestartableTimer)):
         target = owner._callback
         target_self = getattr(target, "__self__", None)

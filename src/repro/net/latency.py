@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import random
 
+from repro import perf
 from repro.errors import NetworkError
 
 
@@ -175,6 +176,19 @@ class RegionLatencyModel(LatencyModel):
         # rework; the jitter draw stays in sample() so the RNG stream
         # is untouched.
         self._pair_one_way: dict[tuple[str, str], float] = {}
+        # Flat-sampler constants: ``rng.uniform(a, b)`` evaluates
+        # ``a + (b - a) * rng.random()``, so with ``a = 1 - jitter`` and
+        # ``b = 1 + jitter`` precomputed exactly as uniform() would
+        # combine them, ``base * (lo + span * rng.random())`` is
+        # bit-identical to the legacy draw -- same single RNG call, same
+        # float operations in the same order. ``_sample_flat`` is
+        # installed per instance so the per-message hot path skips the
+        # jitter branch and the uniform() frame; the zero-jitter model
+        # keeps the draw-free legacy path on both cores.
+        self._jitter_lo = 1.0 - jitter
+        self._jitter_span = (1.0 + jitter) - self._jitter_lo
+        if jitter and not perf.LEGACY_CORE:
+            self.sample = self._sample_flat  # type: ignore[method-assign]
 
     @staticmethod
     def _key(a: str, b: str) -> tuple[str, str]:
@@ -208,6 +222,16 @@ class RegionLatencyModel(LatencyModel):
         if self._jitter:
             one_way *= rng.uniform(1.0 - self._jitter, 1.0 + self._jitter)
         return one_way
+
+    def _sample_flat(self, rng: random.Random, src: str, dst: str) -> float:
+        """Flat jittered sampler (see __init__); replaces ``sample`` on
+        the current core when the model jitters."""
+        one_way = self._pair_one_way.get((src, dst))
+        if one_way is None:
+            rtt = self.rtt_between(self.region_of(src), self.region_of(dst))
+            one_way = rtt / 2.0
+            self._pair_one_way[(src, dst)] = one_way
+        return one_way * (self._jitter_lo + self._jitter_span * rng.random())
 
     def __repr__(self) -> str:
         regions = sorted({r for r in self._node_regions.values()})

@@ -68,11 +68,16 @@ class Network:
         if not self._fast_path:
             self._no_loss = False
             self._fixed_delay = None
+            self.env_fast = False
             return
         self._no_loss = type(self._loss) is NoLoss
         self._fixed_delay = (self._latency.delay
                              if type(self._latency) is ConstantLatency
                              else None)
+        # Size-blind models never inspect the payload, so the enveloped
+        # fast path (no wrapper allocation) is observably identical; a
+        # size-aware model must see the real Envelope to price it.
+        self.env_fast = not self._latency.size_aware
 
     def _refresh_fault_flag(self) -> None:
         self._faults_installed = (bool(self._disconnected)
@@ -229,6 +234,79 @@ class Network:
         type_name = type(message).__name__
         self.stats.record_sent(type_name)
         self._loop.call_soon(self._deliver_colocated, src, dst, message)
+
+    def send_enveloped(self, src: str, dst: str, level: str, scope: str,
+                       inner: Any) -> None:
+        """Unicast ``inner`` as if wrapped in ``Envelope(level, scope,
+        inner)`` -- without allocating the wrapper.
+
+        Every C-Raft consensus message crosses the fabric enveloped, so
+        the wrapper dominates steady-state allocation: built per send,
+        unwrapped per delivery, and never consulted in between (the
+        fabric treats it as an opaque payload under a size-blind latency
+        model). This path carries the routing fields loose through the
+        scheduled delivery instead, and hands them straight to the
+        destination's :meth:`on_enveloped` hook. Callers must check
+        :attr:`env_fast` per send: it is False under a size-aware model
+        (which must price the real wrapper) and under the legacy core.
+
+        Parity with :meth:`send` for an Envelope: stats record under the
+        literal ``"Envelope"`` type name, the loss and latency models see
+        identical draws in identical order, and the loopback (``src ==
+        dst``) case skips fault checks exactly as the colocated path does
+        -- a disconnected site still talks to itself.
+        """
+        stats = self.stats
+        stats.sent += 1
+        stats.by_type["Envelope"] += 1
+        if src == dst:
+            self._loop.call_soon(self._deliver_enveloped_colocated,
+                                 src, dst, level, scope, inner)
+            return
+        if self._faults_installed and self._is_blocked(src, dst):
+            stats.blocked += 1
+            return
+        if not self._no_loss and self._loss.should_drop(
+                self._loss_rng, src, dst, self._loop.now()):
+            self.stats.record_dropped()
+            if self._trace is not None:
+                self._trace.record(self._loop.now(), src, "net.drop",
+                                   dst=dst, type="Envelope")
+            return
+        if self._fixed_delay is not None:
+            delay = self._fixed_delay
+        else:
+            delay = self._latency.sample(self._latency_rng, src, dst)
+        self._loop.call_later(delay, self._deliver_enveloped,
+                              src, dst, level, scope, inner)
+
+    def _deliver_enveloped(self, src: str, dst: str, level: str,
+                           scope: str, inner: Any) -> None:
+        # Same re-checks as _deliver; the actor is looked up by name at
+        # delivery time because crash recovery re-binds addresses to new
+        # actor objects (see replace()).
+        if self._faults_installed and self._is_blocked(src, dst):
+            self.stats.record_blocked()
+            return
+        actor = self._actors.get(dst)
+        if actor is None or not actor.alive:
+            self.stats.record_dead_letter()
+            return
+        stats = self.stats
+        stats.delivered += 1
+        stats.delivered_by_type["Envelope"] += 1
+        actor.on_enveloped(level, scope, inner, src)
+
+    def _deliver_enveloped_colocated(self, src: str, dst: str, level: str,
+                                     scope: str, inner: Any) -> None:
+        actor = self._actors.get(dst)
+        if actor is None or not actor.alive:
+            self.stats.record_dead_letter()
+            return
+        stats = self.stats
+        stats.delivered += 1
+        stats.delivered_by_type["Envelope"] += 1
+        actor.on_enveloped(level, scope, inner, src)
 
     def _deliver_colocated(self, src: str, dst: str, message: Any) -> None:
         actor = self._actors.get(dst)

@@ -12,15 +12,40 @@ of the same cell to report events/sec side by side.
 The flag is read:
 
 - by :class:`repro.sim.loop.SimLoop` at construction (binary heap with
-  ``Handle.__lt__`` comparisons instead of the timer wheel),
+  ``Handle.__lt__`` comparisons instead of the timer wheel; the wheel
+  core also binds fused ``call_later``/``call_soon`` variants and
+  gates the run-loop GC pause),
 - by :class:`repro.consensus.log.RaftLog` on every governing-config
   lookup (full index-ordered log scan instead of the tracked
-  config-entry indices),
+  config-entry indices) and on ``committed_index_of`` (re-gated scan),
+- by :class:`repro.consensus.entry.LogEntry.with_mark` (per-broadcast
+  stamp memo: the same stamped copy is shared instead of re-allocated),
+- by :class:`repro.consensus.config.Configuration` (``replicas`` memo),
 - by the engines' AppendEntries broadcast (per-follower message
   construction instead of one shared message per distinct nextIndex),
+- by :class:`repro.consensus.engine.BaseEngine` at construction (legacy
+  swaps in the isinstance-gate + per-instance dispatch dict via
+  ``_legacy_handle``; the current core uses the class-level ``@handles``
+  table, binds ``_send`` straight to the transport, and caches the
+  trace-enabled flag -- legacy pins ``_tracing`` True so call sites
+  keep building trace payloads),
+- by the Fast Raft mixins per call: ``_reclaim_lost_proposals`` early
+  exit, ``_proposal_targets`` dedup skip, and the fused synchronous
+  gate in ``_handle_append_entries`` (``_SYNC_GATE`` engines insert
+  inline instead of allocating a completion closure); the fused
+  ``ProposeEntry`` handler is current-core-only by registration order,
+  legacy dispatch binds the reference handler explicitly,
+- by :class:`repro.net.latency.RegionLatencyModel` at construction
+  (flat jittered sampler with precomputed ``lo``/``span`` constants;
+  RNG stream unchanged),
 - by :class:`repro.net.network.Network` at construction and on model
   swaps (always routing through the loss/latency indirection instead of
-  the trivial-model fast path).
+  the trivial-model fast path; the current core also enables the
+  enveloped send path -- ``send_enveloped`` skips the Envelope
+  allocation and unwrap frames, which
+  :class:`repro.craft.server.CRaftServer` checks per send),
+- by :class:`repro.craft.server.CRaftServer` at construction (the same
+  ``_tracing`` pin as the engines, guarding the per-gate trace calls).
 
 ``REPRO_LEGACY_CORE=1`` in the environment selects the legacy core for
 a whole process (worker processes of a sweep inherit it), which is how

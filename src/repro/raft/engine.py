@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.consensus.config import Configuration
-from repro.consensus.engine import BaseEngine, EngineContext, Role
+from repro.consensus.engine import BaseEngine, EngineContext, Role, handles
 from repro.consensus.entry import (
     ConfigPayload,
     EntryKind,
@@ -110,6 +110,7 @@ class ClassicRaftEngine(BaseEngine):
             self._send(self.leader_id, ProposeToLeader(entry=entry))
         # No known leader: drop; the client's proposal timeout retries.
 
+    @handles(ProposeToLeader)
     def _handle_propose_to_leader(self, msg: ProposeToLeader,
                                   sender: str) -> None:
         if self.role is not Role.LEADER:

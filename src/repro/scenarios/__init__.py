@@ -8,7 +8,15 @@ from repro.scenarios.registry import (
     run_scenario,
     scenario_names,
 )
-from repro.scenarios.runner import RunContext, SweepRunner, drive, probe, run_cell
+from repro.scenarios.runner import (
+    RunContext,
+    SweepRunner,
+    close_sweep_pool,
+    drive,
+    per_cell_profiles,
+    probe,
+    run_cell,
+)
 from repro.scenarios.spec import (
     Cell,
     Event,
@@ -32,8 +40,10 @@ __all__ = [
     "SweepRunner",
     "TopologySpec",
     "WorkloadSpec",
+    "close_sweep_pool",
     "drive",
     "get_scenario",
+    "per_cell_profiles",
     "probe",
     "register_scenario",
     "run_cell",

@@ -10,12 +10,19 @@ travel across process boundaries and workers resolve the names locally.
 ``multiprocessing`` workers. Because every cell is a self-contained
 simulation (own loop, own RNG registry, own fabric), parallelism is
 embarrassingly safe: serial and parallel execution produce identical
-results, in cell order, for the same specs and seeds.
+results, in cell order, for the same specs and seeds. The pool itself
+is module-persistent -- spin-up and per-worker catalog imports are paid
+once per process, not once per sweep -- and :func:`close_sweep_pool`
+(also an ``atexit`` hook) tears it down.
 """
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
+import pathlib
+import re
+from contextlib import contextmanager
 from typing import Any, Callable
 
 from repro.consensus.engine import Role
@@ -297,45 +304,161 @@ def probe_mean_latency(ctx: RunContext) -> float:
 # ----------------------------------------------------------------------
 # Cell execution + the sweep runner
 # ----------------------------------------------------------------------
-def run_cell(spec: ScenarioSpec, seed: int):
-    """Execute one scenario cell in an isolated simulation."""
+def run_cell(spec: ScenarioSpec, seed: int,
+             profile_dir: str | None = None, label: str | None = None):
+    """Execute one scenario cell in an isolated simulation.
+
+    With ``profile_dir`` set the cell runs under :mod:`cProfile` and
+    dumps raw stats to ``<profile_dir>/cell_<label>.pstats`` (load with
+    :class:`pstats.Stats`); the metrics returned are unchanged, and the
+    dump happens in whichever process runs the cell -- so parallel
+    sweeps profile each cell inside its worker.
+    """
     fn = resolve_drive(spec.drive)
     system = build_from_spec(spec, seed)
-    return fn(system, spec)
+    if profile_dir is None:
+        return fn(system, spec)
+    import cProfile
+    slug = re.sub(r"[^A-Za-z0-9._-]+", "_", label or f"{spec.name}_{seed}")
+    path = pathlib.Path(profile_dir)
+    path.mkdir(parents=True, exist_ok=True)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        return fn(system, spec)
+    finally:
+        profiler.disable()
+        profiler.dump_stats(path / f"cell_{slug}.pstats")
 
 
-def _pool_entry(task: tuple[ScenarioSpec, int]):
-    spec, seed = task
-    return run_cell(spec, seed)
+def _pool_entry(task: tuple[ScenarioSpec, int, str | None, str]):
+    """Worker-side wrapper: success flag + payload.
+
+    Exceptions are flattened to a string rather than pickled back --
+    arbitrary exception objects (tracebacks, simulation state in args)
+    are not reliably picklable, and a worker dying on the *reply* would
+    hang the sweep.
+    """
+    spec, seed, profile_dir, label = task
+    try:
+        return True, run_cell(spec, seed, profile_dir, label)
+    except Exception as exc:  # noqa: BLE001 - reported to the parent
+        return False, f"{type(exc).__name__}: {exc}"
+
+
+#: The reusable worker pool: (pool, (workers, start_method)). Spinning a
+#: pool up costs fork/spawn plus a catalog import per worker; benchmarks
+#: and the CLI run many sweeps per process, so the pool persists across
+#: SweepRunner calls and is torn down at interpreter exit (or explicitly
+#: via close_sweep_pool).
+_POOL: Any = None
+_POOL_KEY: tuple[int, str] | None = None
+
+#: Default per-cell profile directory (see per_cell_profiles).
+_PROFILE_DIR: str | None = None
+
+
+def sweep_pool(workers: int):
+    """The shared pool, rebuilt only when the requested shape changes.
+
+    Callers outside this module (the perf benchmark) use it to run work
+    in a warm, quiet worker process without paying pool spin-up per
+    call; they must not close it -- :func:`close_sweep_pool` owns that.
+    """
+    global _POOL, _POOL_KEY
+    methods = multiprocessing.get_all_start_methods()
+    method = "fork" if "fork" in methods else "spawn"
+    key = (workers, method)
+    if _POOL is None or _POOL_KEY != key:
+        close_sweep_pool()
+        context = multiprocessing.get_context(method)
+        _POOL = context.Pool(processes=workers, initializer=load_catalog)
+        _POOL_KEY = key
+    return _POOL
+
+
+def close_sweep_pool() -> None:
+    """Terminate the shared sweep pool (idempotent).
+
+    Called automatically at interpreter exit and whenever a worker cell
+    fails (a broken sweep must not leave siblings burning CPU); call it
+    explicitly to release the worker processes early, e.g. between
+    benchmark phases that need the machine quiet.
+    """
+    global _POOL, _POOL_KEY
+    pool, _POOL, _POOL_KEY = _POOL, None, None
+    if pool is not None:
+        pool.terminate()
+        pool.join()
+
+
+atexit.register(close_sweep_pool)
+
+
+@contextmanager
+def per_cell_profiles(directory: str | pathlib.Path):
+    """Every sweep cell run inside this context dumps a cProfile stats
+    file into ``directory`` -- including cells executed by pool workers,
+    which profile in-process and write from the worker."""
+    global _PROFILE_DIR
+    previous = _PROFILE_DIR
+    _PROFILE_DIR = str(directory)
+    try:
+        yield
+    finally:
+        _PROFILE_DIR = previous
+
+
+def _cell_label(cell: Cell) -> str:
+    return "_".join(str(part) for part in cell.key) + f"_{cell.seed}"
 
 
 class SweepRunner:
     """Runs sweep cells, optionally across worker processes.
 
     ``jobs=1`` (the serial fallback) executes in-process; ``jobs=N``
-    uses a ``multiprocessing`` pool. Results come back in cell order
+    uses a shared ``multiprocessing`` pool that persists across sweeps
+    (see :func:`close_sweep_pool`). Results come back in cell order
     either way, and -- because each cell is a hermetic simulation keyed
     only by ``(spec, seed)`` -- the two modes produce identical values.
+
+    A cell that raises in a worker surfaces as :class:`ExperimentError`
+    naming the cell, and the pool is terminated rather than leaked.
     """
 
-    def __init__(self, jobs: int = 1) -> None:
+    def __init__(self, jobs: int = 1,
+                 profile_dir: str | None = None) -> None:
         if jobs < 1:
             raise ExperimentError(f"jobs must be >= 1: {jobs!r}")
         self.jobs = jobs
+        self.profile_dir = profile_dir
 
     def map(self, cells: list[Cell]) -> list[Any]:
         """Metrics for every cell, in cell order."""
         load_catalog()
+        profile_dir = self.profile_dir or _PROFILE_DIR
         if self.jobs == 1 or len(cells) <= 1:
-            return [run_cell(cell.spec, cell.seed) for cell in cells]
-        methods = multiprocessing.get_all_start_methods()
-        context = multiprocessing.get_context(
-            "fork" if "fork" in methods else "spawn")
-        workers = min(self.jobs, len(cells))
-        with context.Pool(processes=workers,
-                          initializer=load_catalog) as pool:
-            return pool.map(_pool_entry,
-                            [(cell.spec, cell.seed) for cell in cells])
+            return [run_cell(cell.spec, cell.seed, profile_dir,
+                             _cell_label(cell)) for cell in cells]
+        pool = sweep_pool(self.jobs)
+        tasks = [(cell.spec, cell.seed, profile_dir, _cell_label(cell))
+                 for cell in cells]
+        results: list[Any] = []
+        try:
+            # imap keeps result order while pairing each reply with its
+            # cell, so a failure is attributed by name.
+            for cell, (ok, payload) in zip(cells,
+                                           pool.imap(_pool_entry, tasks)):
+                if not ok:
+                    raise ExperimentError(
+                        f"sweep cell {cell.spec.name!r} "
+                        f"(key={cell.key}, seed={cell.seed}) "
+                        f"failed in worker: {payload}")
+                results.append(payload)
+        except BaseException:
+            close_sweep_pool()
+            raise
+        return results
 
     def run(self, cells: list[Cell]) -> dict[tuple, Any]:
         """Like :meth:`map`, keyed by each cell's ``key``."""

@@ -150,6 +150,58 @@ class TestSweepRunnerParallel:
 
 
 # ----------------------------------------------------------------------
+# 2b. The persistent worker pool
+# ----------------------------------------------------------------------
+class TestPersistentSweepPool:
+    def test_pool_persists_until_shape_changes(self):
+        from repro.scenarios import runner
+        runner.close_sweep_pool()
+        first = runner.sweep_pool(2)
+        assert runner.sweep_pool(2) is first      # reused, not respawned
+        resized = runner.sweep_pool(3)
+        assert resized is not first               # shape change rebuilds
+        runner.close_sweep_pool()
+        assert runner._POOL is None
+        runner.close_sweep_pool()                 # idempotent
+
+    def test_worker_failure_names_cell_and_terminates_pool(self):
+        from repro.scenarios import runner
+        spec = ScenarioSpec(name="boom", engine="raft",
+                            topology=TopologySpec(n_sites=3),
+                            workload=WorkloadSpec(requests=1),
+                            drive="not_a_registered_drive")
+        cells = [Cell(key=("boom", i), spec=spec, seed=i)
+                 for i in range(2)]
+        with pytest.raises(ExperimentError) as err:
+            SweepRunner(jobs=2).map(cells)
+        message = str(err.value)
+        assert "'boom'" in message and "failed in worker" in message
+        assert runner._POOL is None               # terminated, not leaked
+
+    def test_per_cell_profiles_in_serial_and_parallel(self, tmp_path):
+        import pstats
+
+        from repro.experiments.fig3_latency import fig3_cells
+        cells = fig3_cells(Fig3Config(loss_rates=(0.0,), trials=2))
+        serial_dir, parallel_dir = tmp_path / "s", tmp_path / "p"
+        serial = SweepRunner(jobs=1, profile_dir=str(serial_dir)).map(cells)
+        parallel = SweepRunner(jobs=2,
+                               profile_dir=str(parallel_dir)).map(cells)
+        assert serial == parallel                 # profiling changes nothing
+        for directory in (serial_dir, parallel_dir):
+            dumps = sorted(directory.glob("cell_*.pstats"))
+            assert len(dumps) == len(cells)
+            stats = pstats.Stats(str(dumps[0]))   # loadable, non-empty
+            assert stats.total_calls > 0
+
+    def test_profile_context_threads_through_nested_runs(self, tmp_path):
+        from repro.scenarios.runner import per_cell_profiles
+        with per_cell_profiles(tmp_path):
+            run_fig3(Fig3Config(loss_rates=(0.0,), trials=1), jobs=1)
+        assert list(tmp_path.glob("cell_*.pstats"))
+
+
+# ----------------------------------------------------------------------
 # 3. Spec semantics
 # ----------------------------------------------------------------------
 class TestSpecs:
