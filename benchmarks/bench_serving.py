@@ -1,0 +1,49 @@
+"""Benchmark: serving-layer throughput/latency (heavy_traffic row).
+
+Runs the registered ``heavy_traffic`` scenario -- the session fleet
+over the 6x5 C-Raft mesh with adaptive proposal batching -- and appends
+a client-observed throughput/latency row to the ``BENCH_perf.json``
+trajectory at the repository root (under ``serving_runs``, next to the
+core-speedup ``runs``). The scenario's SLOSpec is enforced inside the
+run, so this benchmark doubles as an SLO gate.
+
+Scale: ``REPRO_BENCH_SMOKE=1`` runs the smoke fleet (CI),
+``REPRO_BENCH_FULL=1`` the paper-scale 20k-session fleet; the default
+is the quick fleet (2k sessions).
+
+Run directly (``python benchmarks/bench_serving.py``) or through
+pytest.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+if __package__ in (None, ""):  # direct execution: make the repo root
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from benchmarks._common import bench_jobs, emit, full_scale, smoke_scale
+from repro.bench.serving import run_bench_serving, write_serving_trajectory
+from repro.scenarios.runner import close_sweep_pool
+
+
+def _run() -> None:
+    mode = ("smoke" if smoke_scale()
+            else "full" if full_scale() else "quick")
+    try:
+        report = run_bench_serving(mode, jobs=bench_jobs())
+    finally:
+        close_sweep_pool()
+    emit("bench_serving", report.format(), data=report.as_dict())
+    path = write_serving_trajectory(report)
+    print(f"[serving row appended to {path}]")
+    report.check()
+
+
+def test_bench_serving() -> None:
+    _run()
+
+
+if __name__ == "__main__":
+    sys.exit(_run())

@@ -16,12 +16,20 @@ from repro.bench.perf import (
     run_bench_perf,
     write_trajectory,
 )
+from repro.bench.serving import (
+    ServingReport,
+    run_bench_serving,
+    write_serving_trajectory,
+)
 
 __all__ = [
     "CellComparison",
     "PerfReport",
     "PerfSample",
+    "ServingReport",
     "default_output_path",
     "run_bench_perf",
+    "run_bench_serving",
+    "write_serving_trajectory",
     "write_trajectory",
 ]

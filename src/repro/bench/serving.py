@@ -1,0 +1,135 @@
+"""Serving-layer throughput/latency row for the perf trajectory.
+
+Where :mod:`repro.bench.perf` measures the simulator core (events/sec,
+legacy vs current), this module measures the *serving layer* the core
+carries: the registered ``heavy_traffic`` scenario -- a session fleet
+over the 6x5 C-Raft mesh with adaptive proposal batching -- reduced to
+one row of client-observed numbers (throughput, p50/p99/p999 latency,
+abandoned fraction, duplicates suppressed).
+
+The row appends to the same ``BENCH_perf.json`` file at the repository
+root, under a sibling ``serving_runs`` list (the ``runs`` list stays
+homogeneous: core comparisons only). The scenario's own
+:class:`~repro.scenarios.spec.SLOSpec` is enforced while the cell runs,
+so a committed serving row is by construction one that met its SLOs.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+import time
+from dataclasses import dataclass
+
+from repro.bench.perf import default_output_path
+from repro.errors import ExperimentError
+from repro.metrics.summary import SummaryStats
+
+_MODES = ("smoke", "quick", "full")
+
+
+@dataclass(frozen=True)
+class ServingReport:
+    """One measured ``heavy_traffic`` run, trajectory-ready."""
+
+    mode: str
+    sessions: int
+    arrival_rate: float
+    throughput: float
+    latency: SummaryStats
+    abandoned_fraction: float
+    duplicates_suppressed: int
+    wall_seconds: float
+
+    def format(self) -> str:
+        return (
+            "Serving layer -- heavy_traffic "
+            f"(mode={self.mode}, {self.sessions} sessions @ "
+            f"{self.arrival_rate:g}/s)\n"
+            f"{'throughput':>12} {'p50_ms':>8} {'p99_ms':>8} "
+            f"{'p999_ms':>9} {'abandoned':>10} {'dups':>6} {'wall_s':>7}\n"
+            f"{self.throughput:>10.1f}/s "
+            f"{self.latency.median * 1e3:>8.1f} "
+            f"{self.latency.p99 * 1e3:>8.1f} "
+            f"{self.latency.p999 * 1e3:>9.1f} "
+            f"{self.abandoned_fraction:>10.4f} "
+            f"{self.duplicates_suppressed:>6} "
+            f"{self.wall_seconds:>7.1f}")
+
+    def as_dict(self) -> dict:
+        return {
+            "benchmark": "heavy_traffic",
+            "mode": self.mode,
+            "python": platform.python_version(),
+            "platform": platform.system().lower(),
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ",
+                                       time.gmtime()),
+            "sessions": self.sessions,
+            "arrival_rate": self.arrival_rate,
+            "throughput_per_sec": round(self.throughput, 2),
+            "latency_ms": {
+                "p50": round(self.latency.median * 1e3, 2),
+                "p99": round(self.latency.p99 * 1e3, 2),
+                "p999": round(self.latency.p999 * 1e3, 2),
+                "mean": round(self.latency.mean * 1e3, 2),
+                "max": round(self.latency.maximum * 1e3, 2),
+                "samples": self.latency.count,
+            },
+            "abandoned_fraction": round(self.abandoned_fraction, 5),
+            "duplicates_suppressed": self.duplicates_suppressed,
+            "wall_seconds": round(self.wall_seconds, 2),
+        }
+
+    def check(self) -> None:
+        """Shape sanity; the SLOs were already enforced in the run."""
+        if self.throughput <= 0 or self.latency.count <= 0:
+            raise ExperimentError(
+                "serving bench produced no completed requests")
+
+
+def run_bench_serving(mode: str = "quick", jobs: int = 1) -> ServingReport:
+    """Run the ``heavy_traffic`` scenario at ``mode`` scale, timed.
+
+    The scenario's SLOSpec raises from inside the run on violation, so
+    the returned report is always one that satisfied its SLOs.
+    """
+    if mode not in _MODES:
+        raise ExperimentError(f"unknown serving bench mode: {mode!r}")
+    from repro.experiments.heavy_traffic import (
+        HeavyTrafficConfig,
+        run_heavy_traffic,
+    )
+    config = {"smoke": HeavyTrafficConfig.smoke,
+              "quick": HeavyTrafficConfig.quick,
+              "full": HeavyTrafficConfig.paper}[mode]()
+    started = time.perf_counter()
+    result = run_heavy_traffic(config, jobs=jobs)
+    wall = time.perf_counter() - started
+    result.check_shape()
+    return ServingReport(
+        mode=mode, sessions=config.sessions,
+        arrival_rate=config.arrival_rate,
+        throughput=result.throughput, latency=result.latency,
+        abandoned_fraction=result.abandoned_fraction,
+        duplicates_suppressed=result.duplicates_suppressed,
+        wall_seconds=wall)
+
+
+def write_serving_trajectory(report: ServingReport,
+                             path: pathlib.Path | None = None
+                             ) -> pathlib.Path:
+    """Append ``report`` under ``serving_runs`` in ``BENCH_perf.json``."""
+    path = path if path is not None else default_output_path()
+    if path.exists():
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        if payload.get("schema") != 1:  # pragma: no cover - future-proof
+            raise ExperimentError(
+                f"unknown BENCH_perf.json schema: {payload.get('schema')!r}")
+    else:  # pragma: no cover - bench_perf normally creates the file
+        payload = {"schema": 1, "benchmark": "bench_perf",
+                   "unit": "events/sec", "runs": []}
+    payload.setdefault("serving_runs", []).append(report.as_dict())
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return path

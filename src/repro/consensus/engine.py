@@ -207,6 +207,12 @@ class BaseEngine:
         self.snapshots_shipped = 0
         self.snapshot_chunks_sent = 0
         self.entries_compacted = 0
+        # Recovery-probe outcomes (probe-before-trust handshake, see
+        # begin_recovery_probe); summed across engines by
+        # metrics.summary.tally_probe_outcomes.
+        self.recovery_probes_confirmed = 0
+        self.recovery_probes_rejected = 0
+        self.recovery_probes_timeout = 0
         # target -> (snapshot index, send time): a snapshot is a bulk
         # transfer, so unlike AppendEntries it is not re-sent every
         # heartbeat while unanswered.
@@ -251,6 +257,20 @@ class BaseEngine:
             ctx.loop, self._on_recovery_probe_timeout)
         self._recovering = False
         self._stopped = False
+        # --- leader leases (linearizable local reads; inert while
+        # --- timing.lease_duration == 0, the default) ---
+        self._lease_enabled = self.timing.lease_duration > 0
+        #: follower -> send time of the newest beat it acked. The lease
+        #: renews from beat *send* times a quorum provably answered.
+        self._lease_acks: dict[str, float] = {}
+        #: What the current leader last advertised to us; an active
+        #: lease suppresses our election votes for other candidates
+        #: (that refusal is what makes the lease a real guarantee).
+        self._follower_lease_until = 0.0
+        #: Server-installed hook fired on every lease-carrying beat:
+        #: ``hook(sent_at, leader_commit, lease_until)``. Follower lease
+        #: reads drain against it.
+        self.on_lease_beat: Any = None
         if perf.LEGACY_CORE:
             # Pre-flattening core: per-instance bound-method dict plus
             # the isinstance-walk sender gate, kept selectable so
@@ -575,6 +595,12 @@ class BaseEngine:
             return
         self._recovering = False
         self._recovery_probe_timer.cancel()
+        if outcome == "confirmed":
+            self.recovery_probes_confirmed += 1
+        elif outcome == "rejected":
+            self.recovery_probes_rejected += 1
+        else:
+            self.recovery_probes_timeout += 1
         self._trace("recovery.probe_done", outcome=outcome)
 
     def _on_recovery_probe_timeout(self) -> None:
@@ -592,6 +618,55 @@ class BaseEngine:
         rejoin path; engines without a membership protocol only note it."""
         self._trace("recovery.stale_config", via=sender,
                     members=msg.members, leader_hint=msg.leader_hint)
+
+    # ------------------------------------------------------------------
+    # Leader leases (linearizable local reads)
+    # ------------------------------------------------------------------
+    @property
+    def lease_enabled(self) -> bool:
+        return self._lease_enabled
+
+    def _lease_expiry(self, now: float) -> float:
+        """Until when this leader's lease provably holds: the
+        ``classic_quorum``-th newest acked beat send time, plus the
+        lease duration, minus the clock-skew margin. A quorum of
+        replicas acked beats sent at or after that base time -- and an
+        acked lease-carrying beat is a promise to refuse election votes
+        until its advertised expiry -- so no competing leader can be
+        elected (and commit writes this leader has not seen) before it.
+        Returns 0.0 when no quorum has acked anything yet."""
+        config = self._configuration
+        name = self.ctx.name
+        acks_get = self._lease_acks.get
+        times = [now if member == name else acks_get(member, 0.0)
+                 for member in config.members]
+        quorum = config.classic_quorum
+        if quorum > len(times):
+            return 0.0
+        times.sort(reverse=True)
+        base = times[quorum - 1]
+        if base <= 0.0:
+            return 0.0
+        return base + self.timing.lease_duration - self.timing.lease_skew
+
+    def lease_valid(self, now: float) -> bool:
+        """Leader-side check: may this engine serve a local linearizable
+        read right now?"""
+        return (self._lease_enabled and self.role is Role.LEADER
+                and self._lease_expiry(now) > now)
+
+    def _record_lease_ack(self, follower: str, beat_sent_at: float) -> None:
+        if beat_sent_at > self._lease_acks.get(follower, 0.0):
+            self._lease_acks[follower] = beat_sent_at
+
+    def _note_lease_beat(self, msg: Any) -> None:
+        """Follower side: a lease-carrying AppendEntries arrived (called
+        after its entries were absorbed and the commit index advanced)."""
+        if msg.lease_until > self._follower_lease_until:
+            self._follower_lease_until = msg.lease_until
+        hook = self.on_lease_beat
+        if hook is not None:
+            hook(msg.sent_at, msg.leader_commit, msg.lease_until)
 
     # ------------------------------------------------------------------
     # Term handling
@@ -694,6 +769,16 @@ class BaseEngine:
         if msg.term < self.current_term:
             self._send(sender, self._make_vote_response(False))
             return
+        if (self._lease_enabled and msg.candidate_id != self._leader_id
+                and self.ctx.loop.now() < self._follower_lease_until):
+            # Acking a lease-carrying beat promised the leader no rival
+            # would be elected before the advertised expiry; honoring
+            # that promise here is what makes lease reads linearizable.
+            self._trace("election.vote_suppressed",
+                        candidate=msg.candidate_id,
+                        lease_until=self._follower_lease_until)
+            self._send(sender, self._make_vote_response(False))
+            return
         can_vote = self.voted_for in (None, msg.candidate_id)
         granted = can_vote and self._candidate_up_to_date(msg)
         if granted:
@@ -745,29 +830,69 @@ class BaseEngine:
 
         Stops early at a hole: a site never considers an entry committed
         before holding it (contiguity guard; see DESIGN.md).
+
+        The current core runs the sweep batch-natively: the loop
+        constants (log accessor, apply/origin callbacks, trace flag)
+        resolve once per sweep instead of once per entry. The per-entry
+        *callback order* is untouched -- apply callbacks send messages
+        (client replies, C-Raft batch proposals), so reordering them
+        against each other would shift the network RNG stream and break
+        the identical-trajectory invariant between the cores.
+        ``commit_index`` is still read back each iteration because an
+        apply callback may advance it reentrantly.
         """
-        advanced = False
+        if perf.LEGACY_CORE:
+            advanced = False
+            while self.commit_index < new_commit:
+                next_index = self.commit_index + 1
+                entry = self.log.get(next_index)
+                if entry is None:
+                    break
+                self.commit_index = next_index
+                advanced = True
+                if self._tracing:
+                    self._trace("commit", index=next_index,
+                                entry_id=entry.entry_id,
+                                kind=entry.kind.value, term=entry.term)
+                if entry.kind is EntryKind.CONFIG:
+                    # A fast-track commit can land on a still-self-approved
+                    # copy of the entry; tentative configs do not govern
+                    # until decided, so activation happens here at latest.
+                    self._refresh_configuration()
+                self._on_entry_committed(next_index, entry)
+                self.ctx.on_apply(next_index, entry)
+                if entry.origin == self.name:
+                    self.ctx.on_origin_commit(entry, next_index)
+            if advanced:
+                self._maybe_compact()
+            return
+        start = self.commit_index
+        if start >= new_commit:
+            return
+        log_get = self.log.get
+        ctx = self.ctx
+        on_apply = ctx.on_apply
+        on_origin = ctx.on_origin_commit
+        committed_hook = self._on_entry_committed
+        tracing = self._tracing
+        name = ctx.name
         while self.commit_index < new_commit:
             next_index = self.commit_index + 1
-            entry = self.log.get(next_index)
+            entry = log_get(next_index)
             if entry is None:
                 break
             self.commit_index = next_index
-            advanced = True
-            if self._tracing:
+            if tracing:
                 self._trace("commit", index=next_index,
                             entry_id=entry.entry_id,
                             kind=entry.kind.value, term=entry.term)
             if entry.kind is EntryKind.CONFIG:
-                # A fast-track commit can land on a still-self-approved
-                # copy of the entry; tentative configs do not govern
-                # until decided, so activation happens here at latest.
                 self._refresh_configuration()
-            self._on_entry_committed(next_index, entry)
-            self.ctx.on_apply(next_index, entry)
-            if entry.origin == self.name:
-                self.ctx.on_origin_commit(entry, next_index)
-        if advanced:
+            committed_hook(next_index, entry)
+            on_apply(next_index, entry)
+            if entry.origin == name:
+                on_origin(entry, next_index)
+        if self.commit_index != start:
             self._maybe_compact()
 
     def _on_entry_committed(self, index: int, entry: LogEntry) -> None:

@@ -42,10 +42,18 @@ def _est_memo() -> Any:
 # ----------------------------------------------------------------------
 @dataclass(frozen=True, slots=True)
 class ClientRequest:
-    """A client asks its attached site to get ``command`` committed."""
+    """A client asks its attached site to get ``command`` committed.
+
+    Session clients additionally carry a session id and a per-session
+    sequence number; servers use the pair for exactly-once duplicate
+    suppression over the at-least-once retry loop. The defaults keep
+    plain (sessionless) clients wire-identical.
+    """
 
     request_id: str
     command: Any
+    session_id: str = ""
+    sequence: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -54,6 +62,32 @@ class ClientReply:
 
     request_id: str
     ok: bool
+    index: int | None = None
+    info: str = ""
+
+
+@dataclass(frozen=True, slots=True)
+class ReadRequest:
+    """A client asks its attached site for a linearizable local read.
+
+    Served without touching the consensus path: a leader holding a
+    quorum-renewed lease answers immediately; a follower answers after
+    the next lease-carrying heartbeat proves the state it reads is at
+    least as fresh as every write acknowledged before the read arrived.
+    """
+
+    request_id: str
+    key: str
+
+
+@dataclass(frozen=True, slots=True)
+class ReadReply:
+    """Outcome of a lease read (``ok=False``: no active lease -- the
+    client retries, as with write timeouts)."""
+
+    request_id: str
+    ok: bool
+    value: Any = None
     index: int | None = None
     info: str = ""
 
@@ -117,6 +151,12 @@ class AppendEntries:
     #: C-Raft: the local leader piggybacks the global commit index on its
     #: local AppendEntries so cluster members learn global commits.
     global_commit: int = 0
+    #: Leader-lease piggyback (zero unless leases are enabled): the
+    #: leader's clock when this beat was built, and how long its lease
+    #: runs. Excluded from the sizing formula below -- the scalars only
+    #: travel meaningfully when the lease feature is switched on.
+    sent_at: float = 0.0
+    lease_until: float = 0.0
     _wire_size: int | None = _wire_memo()
 
     def payload_size(self) -> int:
@@ -142,6 +182,10 @@ class AppendEntriesResponse:
     match_index: int
     #: Follower's last log index -- lets the leader cap nextIndex backoff.
     last_log_index: int
+    #: Echo of the acked beat's ``AppendEntries.sent_at`` (zero unless
+    #: leases are enabled) -- the leader renews its lease from the send
+    #: time a quorum provably acked, never from response arrival times.
+    beat_sent_at: float = 0.0
 
 
 @dataclass(frozen=True, slots=True)

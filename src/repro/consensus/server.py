@@ -1,27 +1,40 @@
 """ConsensusServer: binds a protocol engine to a network address.
 
 The server owns everything that is *not* consensus: client bookkeeping
-(request -> client, exactly-once replies), state-machine application of
-committed DATA entries, and crash/recovery (rebuilding the engine from
-stable storage with fresh volatile state).
+(request -> client, exactly-once replies), session dedup for retried
+requests, lease-based local reads, optional proposal coalescing on the
+leader, state-machine application of committed DATA entries, and
+crash/recovery (rebuilding the engine from stable storage with fresh
+volatile state).
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.consensus.config import Configuration, TransferConfig
-from repro.consensus.engine import BaseEngine, EngineContext
+from repro.consensus.engine import BaseEngine, EngineContext, Role
 from repro.consensus.entry import EntryKind, LogEntry
-from repro.consensus.messages import ClientReply, ClientRequest
+from repro.consensus.messages import (ClientReply, ClientRequest, ReadReply,
+                                      ReadRequest)
 from repro.consensus.timing import TimingConfig
 from repro.net.network import Network
 from repro.sim.actor import Actor
 from repro.sim.loop import SimLoop
 from repro.sim.rng import RngRegistry
+from repro.sim.timers import RestartableTimer
 from repro.sim.trace import TraceRecorder
+from repro.smr.sessions import SessionTable
 from repro.snapshot import CompactionPolicy, Snapshot, SnapshotImage
 from repro.storage.stable import StableStore
+
+if TYPE_CHECKING:  # craft imports this module's engines: runtime-lazy
+    from repro.craft.batching import BatchPolicy, ProposalCoalescer
+
+
+def _make_coalescer(policy: "BatchPolicy") -> "ProposalCoalescer":
+    from repro.craft.batching import ProposalCoalescer
+    return ProposalCoalescer(policy)
 
 
 class ConsensusServer(Actor):
@@ -36,7 +49,8 @@ class ConsensusServer(Actor):
                  trace: TraceRecorder,
                  state_machine_factory: Callable[[], Any] | None = None,
                  compaction: CompactionPolicy | None = None,
-                 transfer: TransferConfig | None = None
+                 transfer: TransferConfig | None = None,
+                 propose_batch: BatchPolicy | None = None
                  ) -> None:
         super().__init__(loop, name)
         self._network = network
@@ -58,6 +72,22 @@ class ConsensusServer(Actor):
         #: Index the machine was last restored to from a snapshot (0 if
         #: never): applies must resume exactly one above it (checkers).
         self.applied_floor = 0
+        # Session dedup: off until a session client attaches (the flag is
+        # sticky across crashes -- session state itself is volatile and
+        # rebuilt from the snapshot + replay, but whether to track is a
+        # deployment property, not runtime state).
+        self._session_tracking = False
+        self._sessions = SessionTable()
+        #: Retried requests answered from the session table (metrics).
+        self.session_duplicates = 0
+        # Lease reads queued until a qualifying quorum-acked beat arrives.
+        self._pending_reads: dict[str, tuple[ReadRequest, str, float]] = {}
+        # Optional leader-side proposal coalescing (ClientRequest -> engine).
+        self._propose_policy = propose_batch
+        self._coalescer = (_make_coalescer(propose_batch)
+                           if propose_batch is not None else None)
+        self._coalesce_timer: RestartableTimer | None = None
+        self._request_arrivals: dict[str, float] = {}
         self.engine = self._build_engine()
 
     # ------------------------------------------------------------------
@@ -72,7 +102,9 @@ class ConsensusServer(Actor):
             capture_snapshot=self._capture_snapshot,
             on_snapshot_restore=self._restore_snapshot,
             compaction=self._compaction, transfer=self._transfer)
-        return type(self).engine_cls(ctx, self._bootstrap_config)
+        engine = type(self).engine_cls(ctx, self._bootstrap_config)
+        engine.on_lease_beat = self._on_lease_beat
+        return engine
 
     def _send(self, dst: str, message: Any) -> None:
         self._network.send(self.name, dst, message)
@@ -85,6 +117,9 @@ class ConsensusServer(Actor):
     # ------------------------------------------------------------------
     def crash(self) -> None:
         """Stop the site. Stable storage survives; volatile state dies."""
+        if self._coalesce_timer is not None:
+            self._coalesce_timer.cancel()
+        self._pending_reads.clear()
         self.engine.stop()
         self.kill()
 
@@ -96,6 +131,16 @@ class ConsensusServer(Actor):
         self._applied_ids.clear()
         self.applied_log = []
         self.applied_floor = 0
+        # Session state is volatile but fully derivable: the snapshot
+        # restore and the commit replay below the restored commit point
+        # repopulate it through _restore_snapshot/_on_apply.
+        self._sessions = SessionTable()
+        self._pending_reads.clear()
+        self._request_arrivals.clear()
+        if self._coalescer is not None:
+            self._coalescer = _make_coalescer(self._propose_policy)
+        if self._coalesce_timer is not None:
+            self._coalesce_timer.cancel()
         self.engine = self._build_engine()
         self.revive()
         self.engine.start()
@@ -124,6 +169,11 @@ class ConsensusServer(Actor):
             if snapshot.machine_state is not None:
                 self.state_machine.restore(snapshot.machine_state)
         self._applied_ids = set(snapshot.applied_ids)
+        if self._session_tracking:
+            # The session table is a compressed view of the applied-id
+            # set, so it rides in every snapshot for free.
+            self._sessions = SessionTable.from_applied_ids(
+                snapshot.applied_ids)
         self.applied_log = []
         self.applied_floor = snapshot.last_included_index
         self._trace.record(self.now(), self.name, "node.snapshot_restored",
@@ -136,8 +186,124 @@ class ConsensusServer(Actor):
         # ClientRequest is a final class: the exact-type test matches the
         # isinstance check and skips its subclass walk on every delivery.
         if type(message) is ClientRequest:
+            if (self._session_tracking and message.sequence
+                    and self._sessions.is_duplicate(message.session_id,
+                                                    message.sequence)):
+                self._reply_duplicate(message, sender)
+                return
             self._clients[message.request_id] = sender
+            coalescer = self._coalescer
+            if coalescer is not None and self.engine.role is Role.LEADER:
+                now = self.now()
+                self._request_arrivals[message.request_id] = now
+                if coalescer.add(message.request_id, message, sender, now):
+                    self._flush_proposals()
+                else:
+                    self._arm_coalesce_timer()
+                return
+        elif type(message) is ReadRequest:
+            self._handle_read(message, sender)
+            return
         self.engine.handle(message, sender)
+
+    def _reply_duplicate(self, message: ClientRequest, sender: str) -> None:
+        """A retry of an already-applied request: complete it without
+        entering consensus at all (exactly-once over at-least-once)."""
+        sequence, index = self._sessions.last_applied(message.session_id)
+        self.session_duplicates += 1
+        self._trace.record(self.now(), self.name, "session.duplicate",
+                           request_id=message.request_id)
+        self._network.send_local(self.name, sender, ClientReply(
+            request_id=message.request_id, ok=True,
+            index=index if sequence == message.sequence else None,
+            info="duplicate"))
+
+    # ------------------------------------------------------------------
+    # Sessions
+    # ------------------------------------------------------------------
+    def enable_session_tracking(self) -> None:
+        """Turn on per-session dedup (idempotent; called when a session
+        client attaches anywhere in the deployment). Default runs never
+        pay for the table."""
+        self._session_tracking = True
+
+    @property
+    def session_count(self) -> int:
+        return len(self._sessions)
+
+    # ------------------------------------------------------------------
+    # Proposal coalescing (leader side)
+    # ------------------------------------------------------------------
+    def _flush_proposals(self) -> None:
+        if self._coalesce_timer is not None:
+            self._coalesce_timer.cancel()
+        for message, sender in self._coalescer.drain():
+            self.engine.handle(message, sender)
+
+    def _arm_coalesce_timer(self) -> None:
+        deadline = self._coalescer.age_deadline()
+        if deadline is None:
+            return
+        if self._coalesce_timer is None:
+            self._coalesce_timer = RestartableTimer(self.loop,
+                                                    self._on_coalesce_timeout)
+        self._coalesce_timer.reset(max(0.0, deadline - self.now()))
+
+    def _on_coalesce_timeout(self) -> None:
+        if self._coalescer.pending_count:
+            self._flush_proposals()
+
+    # ------------------------------------------------------------------
+    # Lease reads
+    # ------------------------------------------------------------------
+    def _handle_read(self, message: ReadRequest, sender: str) -> None:
+        engine = self.engine
+        now = self.now()
+        if engine.lease_valid(now):
+            # Leaseholder: local state covers every acknowledged write.
+            self._serve_read(message, sender, engine.commit_index)
+            return
+        if not engine.lease_enabled:
+            self._network.send_local(self.name, sender, ReadReply(
+                request_id=message.request_id, ok=False,
+                info="leases_disabled"))
+            return
+        # Follower (or leaderless/expired): hold the read until a beat
+        # sent after its arrival proves freshness. A retried read simply
+        # re-arms its arrival time.
+        self._pending_reads[message.request_id] = (message, sender, now)
+
+    def _on_lease_beat(self, sent_at: float, leader_commit: int,
+                       lease_until: float) -> None:
+        """Engine hook: a lease-carrying AppendEntries was absorbed.
+
+        A beat sent at ``sent_at`` proves the leader had committed (and
+        this follower has now locally applied) everything acknowledged
+        before ``sent_at`` -- so any read that arrived before the beat
+        was *sent* linearizes at the beat's commit point.
+        """
+        if not self._pending_reads:
+            return
+        if lease_until <= self.now():
+            return
+        if self.engine.commit_index < leader_commit:
+            return  # local apply not caught up yet; wait for the next beat
+        ready = [request_id
+                 for request_id, (_, _, arrived) in self._pending_reads.items()
+                 if arrived < sent_at]
+        for request_id in ready:
+            message, sender, _ = self._pending_reads.pop(request_id)
+            self._serve_read(message, sender, leader_commit)
+
+    def _serve_read(self, message: ReadRequest, sender: str,
+                    index: int) -> None:
+        machine = self.state_machine
+        getter = getattr(machine, "get", None)
+        value = getter(message.key) if getter is not None else None
+        self._trace.record(self.now(), self.name, "lease.read_served",
+                           request_id=message.request_id, index=index)
+        self._network.send_local(self.name, sender, ReadReply(
+            request_id=message.request_id, ok=True, value=value, index=index))
 
     # ------------------------------------------------------------------
     # Commit callbacks
@@ -149,6 +315,8 @@ class ConsensusServer(Actor):
         if entry.entry_id in self._applied_ids:
             return  # exactly-once: a retried request committed twice
         self._applied_ids.add(entry.entry_id)
+        if self._session_tracking:
+            self._sessions.observe(entry.entry_id, index)
         if self.state_machine is not None:
             self.state_machine.apply(entry.payload)
 
@@ -158,5 +326,9 @@ class ConsensusServer(Actor):
         if client is None or request_id in self._replied:
             return
         self._replied.add(request_id)
+        if self._coalescer is not None:
+            arrived = self._request_arrivals.pop(request_id, None)
+            if arrived is not None:
+                self._coalescer.observe_commit_latency(self.now() - arrived)
         self._network.send_local(self.name, client, ClientReply(
             request_id=request_id, ok=True, index=index))

@@ -72,6 +72,15 @@ class TimingConfig:
     #: handshake. The default resolves an eviction-while-down well inside
     #: ``election_timeout_min``, the old worst-case detection latency.
     recovery_probe_timeout: float = 0.150
+    #: Leader-lease duration for linearizable local reads: each
+    #: quorum-acked heartbeat renews the lease for this long past the
+    #: beat's send time. ``0`` (the default) disables leases entirely --
+    #: no lease fields travel and reads are refused.
+    lease_duration: float = 0.0
+    #: Clock-skew safety margin subtracted from every advertised lease
+    #: expiry (follower clocks may run ahead of the leader's by up to
+    #: this much without breaking the no-second-leader guarantee).
+    lease_skew: float = 0.010
 
     def __post_init__(self) -> None:
         if self.heartbeat_interval <= 0:
@@ -94,6 +103,20 @@ class TimingConfig:
             raise ConfigurationError(
                 "recovery_probe_timeout must be >= 0 (0 disables the "
                 "recovery probe)")
+        if self.lease_duration < 0:
+            raise ConfigurationError(
+                "lease_duration must be >= 0 (0 disables leases)")
+        if self.lease_duration > 0:
+            if self.lease_skew < 0:
+                raise ConfigurationError("lease_skew must be >= 0")
+            if self.lease_duration <= self.lease_skew:
+                raise ConfigurationError(
+                    "lease_duration must exceed lease_skew or every "
+                    "lease expires before it is granted")
+            if self.lease_duration < self.heartbeat_interval:
+                raise ConfigurationError(
+                    "lease_duration shorter than the heartbeat interval "
+                    "would lapse between renewals")
 
     @property
     def effective_decision_interval(self) -> float:

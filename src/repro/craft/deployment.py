@@ -52,7 +52,12 @@ class CRaftDeployment:
         self.network.register(server)
 
     def add_client(self, site: str, name: str | None = None,
-                   proposal_timeout: float | None = None) -> Client:
+                   proposal_timeout: float | None = None,
+                   max_attempts: int | None = None,
+                   session: bool = False) -> Client:
+        """Attach a client to ``site``. ``session=True`` makes it a
+        session client and switches every site (all clusters -- batches
+        propagate applied ids everywhere) to session dedup."""
         if site not in self.servers:
             raise ExperimentError(f"unknown site: {site!r}")
         if name is None:
@@ -60,7 +65,11 @@ class CRaftDeployment:
         timeout = (proposal_timeout if proposal_timeout is not None
                    else self.local_timing.proposal_timeout)
         client = Client(name, self.loop, self.network, site,
-                        proposal_timeout=timeout)
+                        proposal_timeout=timeout, max_attempts=max_attempts,
+                        session=session)
+        if session:
+            for server in self.servers.values():
+                server.enable_session_tracking()
         self.clients[name] = client
         self.network.register(client)
         return client

@@ -70,6 +70,7 @@ from repro.sim.loop import SimLoop
 from repro.sim.rng import RngRegistry
 from repro.sim.timers import PeriodicTimer, RestartableTimer
 from repro.sim.trace import TraceRecorder
+from repro.smr.sessions import SessionTable
 from repro.snapshot import CompactionPolicy, Snapshot, SnapshotImage, SnapshotStore
 from repro.snapshot.types import governing_config, newest
 from repro.storage.stable import StorageFabric
@@ -111,6 +112,12 @@ class CRaftServer(Actor):
         self._seq = itertools.count(1)
         if perf.LEGACY_CORE:
             self.on_message = self._legacy_on_message  # type: ignore[method-assign]
+            self._on_local_apply = self._legacy_on_local_apply  # type: ignore[method-assign]
+        # Sticky across crashes (deployment property, like the factory
+        # args): whether to maintain the per-session dedup table.
+        self._session_tracking = False
+        #: Retried requests answered from the session table (metrics).
+        self.session_duplicates = 0
         self._reset_volatile()
         self.local_engine = self._build_local_engine()
         self.global_engine: CRaftGlobalEngine | None = None
@@ -153,10 +160,17 @@ class CRaftServer(Actor):
         self.batcher = Batcher(self.cluster, self._batch_policy)
         self._clients: dict[str, str] = {}
         self._replied: set[str] = set()
+        self._sessions = SessionTable()
         self._pending_gates: dict[str, Callable[[], None]] = {}
         self._gate_timers: dict[str, RestartableTimer] = {}
         self._outstanding_batches: dict[str, RestartableTimer] = {}
         self._batch_tick: PeriodicTimer | None = None
+        #: Precise max_age flush (armed only for age-bounded policies;
+        #: the default count-only policy never allocates a timer).
+        self._batch_age_timer: RestartableTimer | None = None
+        #: Propose time per in-flight batch (adaptive policies only):
+        #: feeds the global-commit-latency EWMA that steers the knobs.
+        self._batch_proposed_at: dict[str, float] = {}
 
     # ------------------------------------------------------------------
     # Engine construction
@@ -277,6 +291,8 @@ class CRaftServer(Actor):
         self._drop_global_engine()
         if self._batch_tick is not None:
             self._batch_tick.stop()
+        if self._batch_age_timer is not None:
+            self._batch_age_timer.cancel()
         self.kill()
 
     def recover(self) -> None:
@@ -324,9 +340,34 @@ class CRaftServer(Actor):
                     self._relay_global_without_engine(message.inner, sender)
             return
         if message_type is ClientRequest:
+            if (self._session_tracking and message.sequence
+                    and self._sessions.is_duplicate(message.session_id,
+                                                    message.sequence)):
+                self._reply_duplicate(message, sender)
+                return
             self._clients[message.request_id] = sender
             self.local_engine.handle(message, sender)
         # else: stray unwrapped message; C-Raft traffic is enveloped
+
+    def _reply_duplicate(self, message: ClientRequest, sender: str) -> None:
+        """A retry of an already-applied request: complete it without
+        re-entering local consensus (exactly-once over at-least-once)."""
+        sequence, index = self._sessions.last_applied(message.session_id)
+        self.session_duplicates += 1
+        self._trace.record(self.now(), self.name, "session.duplicate",
+                           request_id=message.request_id)
+        self._network.send_local(self.name, sender, ClientReply(
+            request_id=message.request_id, ok=True,
+            index=index if (sequence == message.sequence and index) else None,
+            info="duplicate"))
+
+    def enable_session_tracking(self) -> None:
+        """Turn on per-session dedup (idempotent; survives crashes)."""
+        self._session_tracking = True
+
+    @property
+    def session_count(self) -> int:
+        return len(self._sessions)
 
     def on_enveloped(self, level: str, scope: str, inner: Any,
                      sender: str) -> None:
@@ -346,6 +387,13 @@ class CRaftServer(Actor):
         """Pre-flattening routing (isinstance chain), selected under
         ``REPRO_LEGACY_CORE``."""
         if isinstance(message, ClientRequest):
+            # Session dedup is serving semantics, not a perf-gated
+            # optimization: both cores answer retries without consensus.
+            if (self._session_tracking and message.sequence
+                    and self._sessions.is_duplicate(message.session_id,
+                                                    message.sequence)):
+                self._reply_duplicate(message, sender)
+                return
             self._clients[message.request_id] = sender
             self.local_engine.handle(message, sender)
             return
@@ -438,8 +486,17 @@ class CRaftServer(Actor):
         self.applied_log.append((index, entry))
         if entry.kind is EntryKind.DATA:
             self._uncovered_data.append((index, entry))
-            self.batcher.observe_local_commit(index, entry, self.now())
-            self._maybe_propose_batch()
+            if self._session_tracking:
+                self._sessions.observe(entry.entry_id, index)
+            # Fused observe+readiness check: one Batcher call per applied
+            # entry instead of two, and the (role, membership, take)
+            # pipeline in _maybe_propose_batch runs only when a batch can
+            # actually form. Equivalent to the legacy body because
+            # _maybe_propose_batch is a no-op whenever ready() is False.
+            if self.batcher.observe_and_check(index, entry, self.now()):
+                self._maybe_propose_batch()
+            elif self.batcher.has_age_flush:
+                self._arm_batch_age_timer()
         elif entry.kind is EntryKind.GLOBAL_STATE:
             if entry.payload.snapshot is not None:
                 # A gated global snapshot: every cluster member inherits
@@ -453,6 +510,44 @@ class CRaftServer(Actor):
                 self.global_commit = entry.payload.global_commit
             self._advance_global_apply()
             self._complete_gate(entry.entry_id)
+
+    def _legacy_on_local_apply(self, index: int, entry: LogEntry) -> None:
+        """Pre-restructure apply path (separate observe and readiness
+        calls), selected under ``REPRO_LEGACY_CORE`` at construction."""
+        self.applied_log.append((index, entry))
+        if entry.kind is EntryKind.DATA:
+            self._uncovered_data.append((index, entry))
+            if self._session_tracking:
+                # Session dedup is serving semantics, not a perf-gated
+                # optimization: both cores must observe applied ids.
+                self._sessions.observe(entry.entry_id, index)
+            self.batcher.observe_local_commit(index, entry, self.now())
+            self._maybe_propose_batch()
+        elif entry.kind is EntryKind.GLOBAL_STATE:
+            if entry.payload.snapshot is not None:
+                self._adopt_global_snapshot(entry.payload.snapshot)
+            for gindex, gentry in entry.payload.inserts:
+                self._view_insert(gindex, gentry)
+            if entry.payload.global_commit > self.global_commit:
+                self.global_commit = entry.payload.global_commit
+            self._advance_global_apply()
+            self._complete_gate(entry.entry_id)
+
+    def _arm_batch_age_timer(self) -> None:
+        """Schedule the pending batch's age flush for exactly when it
+        falls due, instead of waiting for the next heartbeat-period tick
+        (which added up to a full heartbeat of avoidable latency)."""
+        deadline = self.batcher.age_deadline()
+        if deadline is None:
+            return
+        if self._batch_age_timer is None:
+            self._batch_age_timer = RestartableTimer(
+                self.loop, self._on_batch_age_timeout)
+        self._batch_age_timer.reset(max(0.0, deadline - self.now()))
+
+    def _on_batch_age_timeout(self) -> None:
+        if self.alive:
+            self._maybe_propose_batch()
 
     def _view_insert(self, gindex: int, gentry: LogEntry) -> None:
         """Materialize one global entry, with the same finality guards as
@@ -500,6 +595,8 @@ class CRaftServer(Actor):
     def _became_local_leader(self) -> None:
         covered = self._covered_by_cluster.get(self.cluster, 0)
         self.batcher.rebuild(self._uncovered_data, covered + 1, self.now())
+        if self.batcher.has_age_flush:
+            self._arm_batch_age_timer()
         self._ensure_global_engine()
         replaces = (self._prior_local_leader
                     if self._prior_local_leader != self.name else None)
@@ -595,11 +692,18 @@ class CRaftServer(Actor):
     def _apply_batch(self, gentry: LogEntry) -> None:
         payload = gentry.payload
         applied = 0
+        track_sessions = self._session_tracking
         for inner in payload.entries:
             if inner.entry_id in self._global_applied_ids:
                 continue
             self._global_applied_ids.add(inner.entry_id)
             applied += 1
+            if track_sessions:
+                # Cross-cluster observation: a session client that
+                # re-attaches to another region after failover still gets
+                # duplicate suppression there (index 0: the local slot is
+                # unknown for remote entries, completion is what counts).
+                self._sessions.observe(inner.entry_id, 0)
             if self.global_state_machine is not None:
                 self.global_state_machine.apply(inner.payload)
         self.global_apply_events.append((self.now(), applied))
@@ -683,6 +787,11 @@ class CRaftServer(Actor):
             if state.get("machine") is not None:
                 self.global_state_machine.restore(state["machine"])
         self._global_applied_ids = set(snapshot.applied_ids)
+        if self._session_tracking:
+            # Max-merge (not replace): locally applied entries not yet
+            # covered by the snapshot may already be in the table.
+            for entry_id in snapshot.applied_ids:
+                self._sessions.observe(entry_id, 0)
         self.global_applied_index = snapshot.last_included_index
         self.global_applied_term = snapshot.last_included_term
         self.global_applied = []
@@ -762,7 +871,11 @@ class CRaftServer(Actor):
             self.loop, lambda: self._retry_batch(entry))
         timer.reset(self._global_timing.proposal_timeout)
         self._outstanding_batches[entry.entry_id] = timer
+        if self._batch_policy.adaptive:
+            self._batch_proposed_at[entry.entry_id] = self.now()
         engine.propose(entry)
+        if self.batcher.has_age_flush:
+            self._arm_batch_age_timer()
 
     def _retry_batch(self, entry: LogEntry) -> None:
         timer = self._outstanding_batches.get(entry.entry_id)
@@ -779,5 +892,12 @@ class CRaftServer(Actor):
         if timer is None:
             return
         timer.cancel()
+        if self._batch_policy.adaptive:
+            proposed = self._batch_proposed_at.pop(entry_id, None)
+            if proposed is not None:
+                # Propose -> global origin-commit (or batch apply,
+                # whichever is seen first): the latency signal that
+                # steers the adaptive knobs.
+                self.batcher.observe_commit_latency(self.now() - proposed)
         self.batcher.batch_done()
         self._maybe_propose_batch()

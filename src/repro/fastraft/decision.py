@@ -26,6 +26,7 @@ DESIGN.md):
 
 from __future__ import annotations
 
+from repro import perf
 from repro.consensus.engine import Role
 from repro.consensus.entry import EntryKind, InsertedBy, LogEntry, make_noop
 from repro.consensus.messages import ProposeEntry
@@ -125,7 +126,52 @@ class DecisionMixin:
         self.ctx.loop.call_soon(self._run_decision)
 
     def _after_decision(self, k: int) -> str:
-        """Steps (c)-(e): update fastMatchIndex, try the fast commit."""
+        """Steps (c)-(e): update fastMatchIndex, try the fast commit.
+
+        The current core defers the fast-quorum member count until the
+        fast track is actually reachable (``k`` right above the commit
+        index, current-term entry): for a decided-ahead range riding the
+        classic track, the count's outcome is discarded, so skipping it
+        drops an O(members) sweep per decided index with no observable
+        difference. The legacy core keeps the unconditional count.
+        """
+        if perf.LEGACY_CORE:
+            return self._legacy_after_decision(k)
+        entry = self.log.get(k)
+        if entry is None:
+            return "blocked"
+        fast_match = self.fast_match_index
+        record = self.possible_entries.record_for(k, entry.entry_id)
+        if record is not None:
+            for voter in record.voters:
+                current = fast_match.get(voter)
+                if current is not None and current < k:
+                    fast_match[voter] = k
+        name = self.name
+        if fast_match.get(name, 0) < k:
+            fast_match[name] = k
+        if k != self.commit_index + 1 or entry.term != self.current_term:
+            return "classic"
+        config = self.configuration
+        fast_match_get = fast_match.get
+        matches = 0
+        for member in config.members:
+            if fast_match_get(member, 0) >= k:
+                matches += 1
+        if config.is_fast_quorum(matches):
+            # "The fast track can only be taken here if the last index was
+            # committed" -- otherwise commitIndex would cover earlier,
+            # undecided indices.
+            if self._tracing:
+                self._trace("fast_commit", index=k, entry_id=entry.entry_id,
+                            matches=matches)
+            self._advance_commit_index(k)
+            self.possible_entries.drop_through(k)
+            return "committed"
+        return "classic"
+
+    def _legacy_after_decision(self, k: int) -> str:
+        """Pre-restructure steps (c)-(e), kept selectable for bench_perf."""
         entry = self.log.get(k)
         if entry is None:
             return "blocked"
@@ -142,9 +188,6 @@ class DecisionMixin:
         if (k == self.commit_index + 1
                 and self.configuration.is_fast_quorum(matches)
                 and entry.term == self.current_term):
-            # "The fast track can only be taken here if the last index was
-            # committed" -- otherwise commitIndex would cover earlier,
-            # undecided indices.
             if self._tracing:
                 self._trace("fast_commit", index=k, entry_id=entry.entry_id,
                             matches=matches)

@@ -64,11 +64,17 @@ class ReplicationMixin:
             hi = min(self.last_leader_index,
                      prev_index + self.timing.max_append_batch)
             entries = tuple(self.log.entries_between(next_index, hi))
+            if self._lease_enabled:
+                sent_at = self.now()
+                lease_until = self._lease_expiry(sent_at)
+            else:
+                sent_at = lease_until = 0.0
             message = AppendEntries(
                 term=self.current_term, leader_id=self.name,
                 prev_log_index=prev_index, prev_log_term=prev_term,
                 entries=entries, leader_commit=self.commit_index,
-                global_commit=self._global_commit_piggyback())
+                global_commit=self._global_commit_piggyback(),
+                sent_at=sent_at, lease_until=lease_until)
             if round_cache is not None:
                 round_cache[next_index] = message
         self._send(target, message)
@@ -93,6 +99,8 @@ class ReplicationMixin:
         # transfer; installs are idempotent, so this is accepted cost.)
         self._snapshot_inflight.pop(follower, None)
         if msg.success:
+            if msg.beat_sent_at:
+                self._record_lease_ack(follower, msg.beat_sent_at)
             self.match_index[follower] = max(
                 self.match_index.get(follower, 0), msg.match_index)
             self.next_index[follower] = max(
@@ -114,6 +122,50 @@ class ReplicationMixin:
         longer a configuration member (lingering step-down after its own
         exclusion committed) holds no vote of its own -- counting itself
         would let it commit entries its successors never saw."""
+        if perf.LEGACY_CORE:
+            self._legacy_classic_track_commit()
+            return
+        # Current core: quorum coverage is monotone in the index (match
+        # counts only shrink as k grows), so the per-index member
+        # recount collapses to one order statistic -- the quorum-th
+        # largest match -- giving the replication frontier directly.
+        # Unlike classic Raft, Fast Raft's overwrite semantics leave
+        # terms non-monotonic along the log, so the highest
+        # current-term entry at or below the frontier is found by a
+        # short downward scan rather than a single term check.
+        commit = self.commit_index
+        frontier = self.last_leader_index
+        if frontier <= commit:
+            return
+        config = self.configuration
+        name = self.name
+        match_get = self.match_index.get
+        counts = [match_get(member, 0) for member in config.members
+                  if member != name]
+        quorum_needed = (config.classic_quorum - 1
+                         if name in config else config.classic_quorum)
+        if quorum_needed > 0:
+            if quorum_needed > len(counts):
+                return
+            counts.sort(reverse=True)
+            frontier = min(frontier, counts[quorum_needed - 1])
+        best = commit
+        log_get = self.log.get
+        term = self.current_term
+        for k in range(frontier, commit, -1):
+            entry = log_get(k)
+            if entry is not None and entry.term == term:
+                best = k
+                break
+        if best > commit:
+            self._trace("classic_commit", index=best)
+            self._advance_commit_index(best)
+            self.possible_entries.drop_through(self.commit_index)
+            self.ctx.loop.call_soon(self._run_decision)
+
+    def _legacy_classic_track_commit(self) -> None:
+        """Pre-restructure commit rule: per-index member recount, kept
+        selectable so bench_perf prices the frontier rewrite."""
         best = self.commit_index
         for k in range(self.commit_index + 1, self.last_leader_index + 1):
             votes = 1 if self.name in self.configuration else 0
@@ -204,9 +256,12 @@ class ReplicationMixin:
         if msg.leader_commit > self.commit_index:
             self._advance_commit_index(min(msg.leader_commit,
                                            max(last_new, self.commit_index)))
+        if msg.lease_until:
+            self._note_lease_beat(msg)
         self._send(sender, AppendEntriesResponse(
             term=self.current_term, success=True, follower=self.name,
-            match_index=last_new, last_log_index=self.log.last_index))
+            match_index=last_new, last_log_index=self.log.last_index,
+            beat_sent_at=msg.sent_at))
 
     def _absorb_global_commit(self, global_commit: int) -> None:
         """C-Raft local level overrides; plain Fast Raft ignores."""

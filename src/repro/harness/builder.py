@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.consensus.config import Configuration, TransferConfig
 from repro.consensus.engine import Role
@@ -24,6 +24,9 @@ from repro.sim.trace import TraceRecorder
 from repro.smr.client import Client
 from repro.snapshot import CompactionPolicy
 from repro.storage.stable import StorageFabric
+
+if TYPE_CHECKING:
+    from repro.craft.batching import BatchPolicy
 
 #: Default intra-region one-way latency: the paper reports sub-millisecond
 #: round trips inside one AWS region.
@@ -54,8 +57,15 @@ class Cluster:
 
     def add_client(self, site: str, name: str | None = None,
                    proposal_timeout: float | None = None,
-                   max_attempts: int | None = None) -> Client:
-        """Attach a client to ``site`` (co-located, reliable link)."""
+                   max_attempts: int | None = None,
+                   session: bool = False) -> Client:
+        """Attach a client to ``site`` (co-located, reliable link).
+
+        ``session=True`` makes it a session client (stamped sequence
+        numbers) and switches every server in the cluster to session
+        dedup -- the tracking flag is cluster-wide because any site may
+        later lead and must recognize the session's retries.
+        """
         if site not in self.servers:
             raise ExperimentError(f"unknown site: {site!r}")
         if name is None:
@@ -63,7 +73,11 @@ class Cluster:
         timeout = (proposal_timeout if proposal_timeout is not None
                    else self.timing.proposal_timeout)
         client = Client(name, self.loop, self.network, site,
-                        proposal_timeout=timeout, max_attempts=max_attempts)
+                        proposal_timeout=timeout, max_attempts=max_attempts,
+                        session=session)
+        if session:
+            for server in self.servers.values():
+                server.enable_session_tracking()
         self.clients[name] = client
         self.network.register(client)
         return client
@@ -143,7 +157,8 @@ def build_cluster(server_cls: type[ConsensusServer], n_sites: int = 5,
                   bandwidth: float | None = None,
                   shared_link: bool = False,
                   n_observers: int = 0,
-                  name_prefix: str = "n") -> Cluster:
+                  name_prefix: str = "n",
+                  propose_batch: BatchPolicy | None = None) -> Cluster:
     """Standard single-group cluster: ``n_sites`` voting members.
 
     ``n_observers`` adds that many standing non-voting observers (named
@@ -189,7 +204,8 @@ def build_cluster(server_cls: type[ConsensusServer], n_sites: int = 5,
             store=fabric.store_for(name), bootstrap_config=config,
             timing=timing, rng=rng, trace=trace,
             state_machine_factory=state_machine_factory,
-            compaction=compaction, transfer=transfer)
+            compaction=compaction, transfer=transfer,
+            propose_batch=propose_batch)
         cluster.add_server(server)
     return cluster
 
@@ -203,7 +219,9 @@ def build_topology_cluster(server_cls: type[ConsensusServer],
                            trace_enabled: bool = True,
                            state_machine_factory: Callable[[], Any] | None = None,
                            compaction: CompactionPolicy | None = None,
-                           transfer: TransferConfig | None = None) -> Cluster:
+                           transfer: TransferConfig | None = None,
+                           propose_batch: BatchPolicy | None = None
+                           ) -> Cluster:
     """One flat consensus group spanning every node of ``topology``.
 
     The geo-distributed classic-Raft baseline of Fig. 5: a single voting
@@ -227,7 +245,8 @@ def build_topology_cluster(server_cls: type[ConsensusServer],
             store=fabric.store_for(name), bootstrap_config=members,
             timing=timing, rng=rng, trace=trace,
             state_machine_factory=state_machine_factory,
-            compaction=compaction, transfer=transfer)
+            compaction=compaction, transfer=transfer,
+            propose_batch=propose_batch)
         cluster.add_server(server)
     return cluster
 
@@ -274,9 +293,11 @@ def build_from_spec(spec, seed: int):
             trace_enabled=spec.trace,
             state_machine_factory=spec.state_machine,
             compaction=spec.compaction, transfer=spec.transfer,
-            name_prefix=spec.topology.name_prefix)
+            name_prefix=spec.topology.name_prefix,
+            propose_batch=spec.propose_batch)
     return build_topology_cluster(
         server_cls, topology, latency=latency, loss=loss, seed=seed,
         timing=spec.timing, trace_enabled=spec.trace,
         state_machine_factory=spec.state_machine,
-        compaction=spec.compaction, transfer=spec.transfer)
+        compaction=spec.compaction, transfer=spec.transfer,
+        propose_batch=spec.propose_batch)

@@ -11,18 +11,24 @@
 from repro.metrics.rounds import hops_from_latency
 from repro.metrics.series import EventSeries, ValueSeries
 from repro.metrics.summary import (
+    RecoveryProbeCounters,
     SnapshotCounters,
+    StreamingReservoir,
     SummaryStats,
     summarize,
+    tally_probe_outcomes,
     tally_snapshots,
 )
 
 __all__ = [
     "EventSeries",
+    "RecoveryProbeCounters",
     "SnapshotCounters",
+    "StreamingReservoir",
     "SummaryStats",
     "ValueSeries",
     "hops_from_latency",
     "summarize",
+    "tally_probe_outcomes",
     "tally_snapshots",
 ]

@@ -19,6 +19,10 @@ class SummaryStats:
     maximum: float
     p5: float
     p95: float
+    #: Tail percentiles for serving SLOs (0.0 when not computed by an
+    #: older caller; ``summarize`` always fills them).
+    p99: float = 0.0
+    p999: float = 0.0
 
     def format(self, unit: str = "", scale: float = 1.0) -> str:
         """Human-readable one-liner, e.g. ``'52.1 ms (median 51.3, n=100)'``."""
@@ -98,4 +102,88 @@ def summarize(values: list[float]) -> SummaryStats:
     return SummaryStats(
         count=count, mean=mean, median=percentile(ordered, 0.5),
         stdev=stdev, minimum=ordered[0], maximum=ordered[-1],
-        p5=percentile(ordered, 0.05), p95=percentile(ordered, 0.95))
+        p5=percentile(ordered, 0.05), p95=percentile(ordered, 0.95),
+        p99=percentile(ordered, 0.99), p999=percentile(ordered, 0.999))
+
+
+class StreamingReservoir:
+    """Bounded-memory percentile sketch for high-volume runs.
+
+    Classic reservoir sampling (Algorithm R) with an *injected* rng so
+    simulations stay deterministic: every value updates the exact
+    count/sum/min/max; a uniform sample of ``capacity`` values stands in
+    for the full distribution when percentiles are needed. With tens of
+    thousands of sessions, keeping every latency would dominate scenario
+    memory; a few thousand samples pin the tail estimates well enough
+    for SLO checks.
+    """
+
+    __slots__ = ("_capacity", "_rng", "_sample", "count", "total",
+                 "minimum", "maximum")
+
+    def __init__(self, capacity: int, rng) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1: {capacity!r}")
+        self._capacity = capacity
+        self._rng = rng
+        self._sample: list[float] = []
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        if len(self._sample) < self._capacity:
+            self._sample.append(value)
+            return
+        slot = self._rng.randrange(self.count)
+        if slot < self._capacity:
+            self._sample[slot] = value
+
+    @property
+    def sample(self) -> list[float]:
+        return list(self._sample)
+
+    def summary(self) -> SummaryStats:
+        """Exact count/mean/min/max; percentiles and stdev estimated
+        from the sample. Raises on an empty stream."""
+        if not self.count:
+            raise ValueError("cannot summarize an empty stream")
+        estimated = summarize(self._sample)
+        mean = min(max(self.total / self.count, self.minimum), self.maximum)
+        return SummaryStats(
+            count=self.count, mean=mean, median=estimated.median,
+            stdev=estimated.stdev, minimum=self.minimum,
+            maximum=self.maximum, p5=estimated.p5, p95=estimated.p95,
+            p99=estimated.p99, p999=estimated.p999)
+
+
+@dataclass(frozen=True)
+class RecoveryProbeCounters:
+    """Aggregate probe-before-trust outcomes across a set of engines
+    (see BaseEngine.recovery_probes_*)."""
+
+    confirmed: int = 0
+    rejected: int = 0
+    timed_out: int = 0
+
+    def format(self) -> str:
+        return (f"recovery probes: {self.confirmed} confirmed, "
+                f"{self.rejected} rejected, {self.timed_out} timed out")
+
+
+def tally_probe_outcomes(engines: Iterable) -> RecoveryProbeCounters:
+    """Sum the per-engine recovery-probe counters for a report."""
+    confirmed = rejected = timed_out = 0
+    for engine in engines:
+        confirmed += getattr(engine, "recovery_probes_confirmed", 0)
+        rejected += getattr(engine, "recovery_probes_rejected", 0)
+        timed_out += getattr(engine, "recovery_probes_timeout", 0)
+    return RecoveryProbeCounters(confirmed=confirmed, rejected=rejected,
+                                 timed_out=timed_out)

@@ -197,10 +197,16 @@ class ClassicRaftEngine(BaseEngine):
             hi = min(self.log.last_index,
                      prev_index + self.timing.max_append_batch)
             entries = tuple(self.log.entries_between(next_index, hi))
+            if self._lease_enabled:
+                sent_at = self.now()
+                lease_until = self._lease_expiry(sent_at)
+            else:
+                sent_at = lease_until = 0.0
             message = AppendEntries(
                 term=self.current_term, leader_id=self.name,
                 prev_log_index=prev_index, prev_log_term=prev_term,
-                entries=entries, leader_commit=self.commit_index)
+                entries=entries, leader_commit=self.commit_index,
+                sent_at=sent_at, lease_until=lease_until)
             if round_cache is not None:
                 round_cache[next_index] = message
         self._send(target, message)
@@ -217,6 +223,8 @@ class ClassicRaftEngine(BaseEngine):
         # transfer; installs are idempotent, so this is accepted cost.)
         self._snapshot_inflight.pop(follower, None)
         if msg.success:
+            if msg.beat_sent_at:
+                self._record_lease_ack(follower, msg.beat_sent_at)
             self.match_index[follower] = max(
                 self.match_index.get(follower, 0), msg.match_index)
             self.next_index[follower] = self.match_index[follower] + 1
@@ -282,9 +290,12 @@ class ClassicRaftEngine(BaseEngine):
         if msg.leader_commit > self.commit_index:
             self._advance_commit_index(min(msg.leader_commit,
                                            max(last_new, self.commit_index)))
+        if msg.lease_until:
+            self._note_lease_beat(msg)
         self._send(sender, AppendEntriesResponse(
             term=self.current_term, success=True, follower=self.name,
-            match_index=last_new, last_log_index=self.log.last_index))
+            match_index=last_new, last_log_index=self.log.last_index,
+            beat_sent_at=msg.sent_at))
 
     def _log_matches(self, prev_index: int, prev_term: int) -> bool:
         if prev_index == 0:

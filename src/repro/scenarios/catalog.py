@@ -15,6 +15,7 @@ import repro.experiments.fig3_latency   # noqa: F401
 import repro.experiments.fig4_churn     # noqa: F401
 import repro.experiments.fig5_throughput  # noqa: F401
 import repro.experiments.flapping       # noqa: F401
+import repro.experiments.heavy_traffic  # noqa: F401
 import repro.experiments.large_mesh     # noqa: F401
 import repro.experiments.mc_scenarios   # noqa: F401
 import repro.experiments.migrated_region  # noqa: F401

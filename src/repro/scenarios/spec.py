@@ -345,6 +345,49 @@ ENGINES = ("raft", "fastraft", "craft")
 
 
 @dataclass(frozen=True)
+class SLOSpec:
+    """Service-level objectives a scenario asserts over its measured
+    serving behaviour; ``None`` fields are unchecked. Latency bounds are
+    sim-seconds; throughput is applied entries per sim-second."""
+
+    p50: float | None = None
+    p99: float | None = None
+    p999: float | None = None
+    max_latency: float | None = None
+    max_abandoned_fraction: float | None = None
+    min_throughput: float | None = None
+
+    def check(self, latency: Any = None, throughput: float | None = None,
+              abandoned_fraction: float | None = None) -> None:
+        """Raise :class:`ExperimentError` naming every violated bound.
+
+        ``latency`` is a :class:`~repro.metrics.summary.SummaryStats`
+        (or anything with median/p99/p999/maximum attributes).
+        """
+        failures: list[str] = []
+
+        def bound(label: str, measured: float | None,
+                  limit: float | None, at_least: bool = False) -> None:
+            if limit is None or measured is None:
+                return
+            bad = measured < limit if at_least else measured > limit
+            if bad:
+                op = "<" if at_least else ">"
+                failures.append(f"{label} {measured:.4g} {op} {limit:.4g}")
+
+        if latency is not None:
+            bound("p50", latency.median, self.p50)
+            bound("p99", latency.p99, self.p99)
+            bound("p999", latency.p999, self.p999)
+            bound("max", latency.maximum, self.max_latency)
+        bound("throughput", throughput, self.min_throughput, at_least=True)
+        bound("abandoned_fraction", abandoned_fraction,
+              self.max_abandoned_fraction)
+        if failures:
+            raise ExperimentError("SLO violated: " + "; ".join(failures))
+
+
+@dataclass(frozen=True)
 class ScenarioSpec:
     """One fully described simulation cell. Picklable end to end."""
 
@@ -354,6 +397,11 @@ class ScenarioSpec:
     timing: TimingConfig | None = None
     global_timing: TimingConfig | None = None
     batch: BatchPolicy | None = None
+    #: Leader-side ClientRequest coalescing for the flat engines (craft
+    #: batches at the global level via ``batch`` instead).
+    propose_batch: BatchPolicy | None = None
+    #: Serving objectives the drive asserts before reporting (optional).
+    slo: SLOSpec | None = None
     compaction: CompactionPolicy | None = None
     global_compaction: CompactionPolicy | None = None
     transfer: TransferConfig | None = None

@@ -15,7 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-from repro.consensus.messages import ClientReply, ClientRequest
+from repro.consensus.messages import (ClientReply, ClientRequest, ReadReply,
+                                      ReadRequest)
 from repro.net.network import Network
 from repro.sim.actor import Actor
 from repro.sim.loop import SimLoop
@@ -32,6 +33,12 @@ class RequestRecord:
     committed_at: float | None = None
     commit_index: int | None = None
     attempts: int = 1
+    #: "write" (consensus commit) or "read" (lease-served local read).
+    kind: str = "write"
+    #: Per-session sequence number (0 for sessionless clients and reads).
+    sequence: int = 0
+    #: Read result value (reads only).
+    result: Any = None
     callbacks: list[Callable[["RequestRecord"], None]] = field(
         default_factory=list)
 
@@ -51,13 +58,19 @@ class Client(Actor):
 
     def __init__(self, name: str, loop: SimLoop, network: Network,
                  site: str, proposal_timeout: float = 1.0,
-                 max_attempts: int | None = None) -> None:
+                 max_attempts: int | None = None,
+                 session: bool = False) -> None:
         super().__init__(loop, name)
         self._network = network
         self._site = site
         self._proposal_timeout = proposal_timeout
         self._max_attempts = max_attempts
+        #: Session clients stamp requests with (session_id, sequence) so
+        #: servers can suppress duplicates from the retry loop without
+        #: re-entering consensus.
+        self._session = session
         self._sequence = 0
+        self._read_sequence = 0
         self._pending: dict[str, RequestRecord] = {}
         self._timers: dict[str, RestartableTimer] = {}
         #: Completed requests in completion order.
@@ -87,7 +100,27 @@ class Client(Actor):
         self._sequence += 1
         request_id = f"{self.name}.{self._sequence}"
         record = RequestRecord(request_id=request_id, command=command,
-                               submitted_at=self.now())
+                               submitted_at=self.now(),
+                               sequence=self._sequence if self._session else 0)
+        return self._track(record, on_done)
+
+    def read(self, key: str,
+             on_done: Callable[[RequestRecord], None] | None = None
+             ) -> RequestRecord:
+        """Linearizable read of ``key`` via the leader-lease path: served
+        locally by the attached site (no consensus round), retried on the
+        proposal timer like writes while no lease is active. The ``.read.``
+        id segment keeps reads out of the server's session namespace."""
+        self._read_sequence += 1
+        request_id = f"{self.name}.read.{self._read_sequence}"
+        record = RequestRecord(request_id=request_id, command=key,
+                               submitted_at=self.now(), kind="read")
+        return self._track(record, on_done)
+
+    def _track(self, record: RequestRecord,
+               on_done: Callable[[RequestRecord], None] | None
+               ) -> RequestRecord:
+        request_id = record.request_id
         if on_done is not None:
             record.callbacks.append(on_done)
         self._pending[request_id] = record
@@ -98,8 +131,14 @@ class Client(Actor):
         return record
 
     def _send_request(self, record: RequestRecord) -> None:
+        if record.kind == "read":
+            self._network.send_local(self.name, self._site, ReadRequest(
+                request_id=record.request_id, key=record.command))
+            return
         self._network.send_local(self.name, self._site, ClientRequest(
-            request_id=record.request_id, command=record.command))
+            request_id=record.request_id, command=record.command,
+            session_id=self.name if self._session else "",
+            sequence=record.sequence))
 
     def _on_timeout(self, request_id: str) -> None:
         record = self._pending.get(request_id)
@@ -119,16 +158,24 @@ class Client(Actor):
     # Replies
     # ------------------------------------------------------------------
     def on_message(self, message: Any, sender: str) -> None:
-        if not isinstance(message, ClientReply):
-            return
-        record = self._pending.pop(message.request_id, None)
+        if isinstance(message, ClientReply):
+            self._complete(message.request_id, message.index, None)
+        elif isinstance(message, ReadReply):
+            if not message.ok:
+                return  # no active lease yet: the proposal timer retries
+            self._complete(message.request_id, message.index, message.value)
+
+    def _complete(self, request_id: str, index: int | None,
+                  result: Any) -> None:
+        record = self._pending.pop(request_id, None)
         if record is None:
             return  # duplicate reply after completion
-        timer = self._timers.pop(message.request_id, None)
+        timer = self._timers.pop(request_id, None)
         if timer is not None:
             timer.cancel()
         record.committed_at = self.now()
-        record.commit_index = message.index
+        record.commit_index = index
+        record.result = result
         self.completed.append(record)
         for callback in record.callbacks:
             callback(record)

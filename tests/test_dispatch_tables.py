@@ -29,6 +29,8 @@ NON_ENGINE_MESSAGES = {
     "ClientReply": "delivered to clients, not to servers",
     "Envelope": "unwrapped by the server layer before engine dispatch",
     "PendingClient": "leader-side bookkeeping record, never on the wire",
+    "ReadRequest": "lease reads are served by the server layer",
+    "ReadReply": "delivered to clients, not to servers",
 }
 
 #: Message types only the *other* protocol family uses.

@@ -103,3 +103,92 @@ class TestRounds:
     def test_bad_delay_rejected(self):
         with pytest.raises(ValueError):
             hops_from_latency(0.03, 0.0)
+
+
+class TestTailPercentiles:
+    def test_summarize_fills_p99_p999(self):
+        values = [float(i) for i in range(1, 1001)]
+        stats = summarize(values)
+        assert stats.p99 == pytest.approx(990.01)
+        assert stats.p999 == pytest.approx(999.001)
+        assert stats.p99 <= stats.p999 <= stats.maximum
+
+    def test_single_value_tails(self):
+        stats = summarize([3.0])
+        assert stats.p99 == 3.0
+        assert stats.p999 == 3.0
+
+
+class TestStreamingReservoir:
+    def make(self, capacity, seed=7):
+        import random
+        from repro.metrics.summary import StreamingReservoir
+        return StreamingReservoir(capacity, random.Random(seed))
+
+    def test_exact_stats_survive_overflow(self):
+        reservoir = self.make(capacity=16)
+        for i in range(1, 1001):
+            reservoir.add(float(i))
+        stats = reservoir.summary()
+        assert stats.count == 1000          # exact, not sampled
+        assert stats.minimum == 1.0
+        assert stats.maximum == 1000.0
+        assert stats.mean == pytest.approx(500.5)
+        assert len(reservoir.sample) == 16  # bounded memory
+
+    def test_below_capacity_keeps_everything(self):
+        reservoir = self.make(capacity=100)
+        for v in (3.0, 1.0, 2.0):
+            reservoir.add(v)
+        assert sorted(reservoir.sample) == [1.0, 2.0, 3.0]
+        assert reservoir.summary().median == 2.0
+
+    def test_deterministic_with_injected_rng(self):
+        a, b = self.make(8, seed=42), self.make(8, seed=42)
+        for i in range(500):
+            a.add(float(i))
+            b.add(float(i))
+        assert a.sample == b.sample
+
+    def test_sample_is_plausibly_uniform(self):
+        reservoir = self.make(capacity=200, seed=3)
+        for i in range(10_000):
+            reservoir.add(float(i))
+        stats = reservoir.summary()
+        # a uniform sample of 0..9999 pins the quartiles loosely
+        assert 3000 < stats.median < 7000
+
+    def test_empty_and_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            self.make(capacity=0)
+        with pytest.raises(ValueError):
+            self.make(capacity=4).summary()
+
+
+class TestRecoveryProbeCounters:
+    class FakeEngine:
+        def __init__(self, confirmed=0, rejected=0, timeout=0):
+            self.recovery_probes_confirmed = confirmed
+            self.recovery_probes_rejected = rejected
+            self.recovery_probes_timeout = timeout
+
+    def test_tally_sums_across_engines(self):
+        from repro.metrics.summary import tally_probe_outcomes
+        counters = tally_probe_outcomes([
+            self.FakeEngine(confirmed=2),
+            self.FakeEngine(rejected=1, timeout=3)])
+        assert counters.confirmed == 2
+        assert counters.rejected == 1
+        assert counters.timed_out == 3
+
+    def test_engines_without_counters_count_zero(self):
+        from repro.metrics.summary import tally_probe_outcomes
+        counters = tally_probe_outcomes([object()])
+        assert (counters.confirmed, counters.rejected,
+                counters.timed_out) == (0, 0, 0)
+
+    def test_format(self):
+        from repro.metrics.summary import RecoveryProbeCounters
+        text = RecoveryProbeCounters(confirmed=1, timed_out=2).format()
+        assert "1 confirmed" in text
+        assert "2 timed out" in text

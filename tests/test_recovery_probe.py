@@ -299,3 +299,39 @@ class TestDeclarativeJoinReplaces:
         faults.apply_event(event, initial_leader=cluster.leader())
         (request,) = self._pending_join_requests(cluster)
         assert request.replaces is None
+
+
+class TestProbeCounters:
+    """The engine-level outcome counters behind
+    ``metrics.tally_probe_outcomes`` (trace-free runs still get
+    recovery-probe accounting)."""
+
+    def test_confirmed_recovery_increments_counter(self):
+        from repro.metrics import tally_probe_outcomes
+        cluster = started_cluster(FastRaftServer, seed=4)
+        victim = next(n for n in cluster.servers if n != cluster.leader())
+        faults = FaultInjector(cluster)
+        faults.crash(victim)
+        cluster.run_for(0.15)
+        faults.recover(victim)
+        cluster.run_for(0.5)
+        counters = tally_probe_outcomes(
+            s.engine for s in cluster.servers.values())
+        assert counters.confirmed == 1
+        assert counters.rejected == 0
+        assert counters.timed_out == 0
+
+    def test_timeout_recovery_increments_counter(self):
+        from repro.metrics import tally_probe_outcomes
+        cluster = started_cluster(FastRaftServer, seed=5)
+        victim = next(n for n in cluster.servers if n != cluster.leader())
+        faults = FaultInjector(cluster)
+        faults.crash(victim)
+        for peer in cluster.servers:
+            if peer != victim:
+                faults.set_link_loss(victim, peer, 1.0)
+        faults.recover(victim)
+        cluster.run_for(0.25)  # past recovery_probe_timeout=0.15
+        counters = tally_probe_outcomes(
+            s.engine for s in cluster.servers.values())
+        assert counters.timed_out == 1

@@ -45,6 +45,7 @@ from repro.scenarios.spec import (
     EventSchedule,
     LatencySpec,
     ScenarioSpec,
+    SLOSpec,
     TopologySpec,
     WorkloadSpec,
 )
@@ -312,7 +313,7 @@ class TestRegistry:
         for expected in ("rounds", "fig3", "fig4", "fig5", "ablations",
                          "catchup", "catchup_wan", "flapping_wan",
                          "migrated_region", "two_region_failover",
-                         "large_mesh"):
+                         "large_mesh", "heavy_traffic"):
             assert expected in names
 
     def test_unknown_scenario_raises(self):
@@ -366,6 +367,26 @@ class TestNewScenarios:
         assert result.victim not in result.members_after
         assert result.successor in result.members_after
 
+    def test_heavy_traffic_smoke(self):
+        """The serving capstone: a session fleet on the 6x5 mesh with
+        adaptive batching; the run itself enforces the SLOSpec, so a
+        clean return means every percentile bound held."""
+        from repro.experiments.heavy_traffic import (
+            HeavyTrafficConfig,
+            run_heavy_traffic,
+        )
+        result = run_heavy_traffic(HeavyTrafficConfig.smoke())
+        result.check_shape()
+        assert result.latency.count > 0
+        assert result.latency.p99 >= result.latency.median
+        assert result.abandoned_fraction <= 0.05
+        assert len(result.table().rows) == 1
+
+    def test_heavy_traffic_rejects_small_meshes(self):
+        from repro.experiments.heavy_traffic import HeavyTrafficConfig
+        with pytest.raises(ExperimentError):
+            HeavyTrafficConfig(clusters=2)
+
 
 class TestScenarioVocabulary:
     def test_new_actions_registered(self):
@@ -412,3 +433,43 @@ class TestScenarioVocabulary:
             workload=WorkloadSpec(placement="leader", requests=25))
         stats = run_cell(spec, seed=4)
         assert stats.count == 25
+
+
+class TestSLOSpec:
+    def stats(self, median=0.5, p99=1.0, p999=2.0, maximum=3.0):
+        from repro.metrics.summary import SummaryStats
+        return SummaryStats(count=100, mean=median, median=median,
+                            stdev=0.0, minimum=0.0, maximum=maximum,
+                            p5=0.0, p95=p99, p99=p99, p999=p999)
+
+    def test_within_bounds_passes(self):
+        slo = SLOSpec(p50=1.0, p99=2.0, p999=4.0, min_throughput=10.0,
+                      max_abandoned_fraction=0.05)
+        slo.check(latency=self.stats(), throughput=50.0,
+                  abandoned_fraction=0.0)
+
+    def test_violations_name_every_failed_bound(self):
+        slo = SLOSpec(p50=0.1, p999=1.0, min_throughput=100.0)
+        with pytest.raises(ExperimentError) as err:
+            slo.check(latency=self.stats(), throughput=50.0)
+        message = str(err.value)
+        assert "SLO violated" in message
+        assert "p50" in message
+        assert "p999" in message
+        assert "throughput" in message
+        assert "p99" not in message.replace("p999", "")  # unset: unchecked
+
+    def test_throughput_bound_is_a_floor(self):
+        SLOSpec(min_throughput=10.0).check(throughput=10.0)
+        with pytest.raises(ExperimentError):
+            SLOSpec(min_throughput=10.0).check(throughput=9.9)
+
+    def test_none_measurements_are_unchecked(self):
+        SLOSpec(p50=0.1, min_throughput=100.0).check()
+
+    def test_max_latency_and_abandoned(self):
+        with pytest.raises(ExperimentError):
+            SLOSpec(max_latency=2.0).check(latency=self.stats(maximum=3.0))
+        with pytest.raises(ExperimentError):
+            SLOSpec(max_abandoned_fraction=0.01).check(
+                abandoned_fraction=0.02)
